@@ -1,0 +1,93 @@
+//! Criterion versions of the paper's experiments at smoke scale: one
+//! Criterion benchmark per table/figure, so `cargo bench` exercises every
+//! experiment code path quickly. The full-scale numbers come from the
+//! `taskpoint-bench` binaries (`cargo run --release -p taskpoint-bench
+//! --bin run_all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taskpoint::TaskPointConfig;
+use taskpoint_bench::{figures, Harness, SweepPart};
+use taskpoint_workloads::ScaleConfig;
+use tasksim::MachineConfig;
+
+/// Smoke scale: tiny instruction counts, structure intact.
+fn harness() -> Harness {
+    Harness::new(ScaleConfig { instr_factor: 0.02, ..ScaleConfig::new() })
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table2_configs", |b| b.iter(|| figures::table2().len()));
+    g.finish();
+}
+
+fn bench_fig_variation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_fig5_variation");
+    g.sample_size(10);
+    // One representative benchmark through the variation pipeline per
+    // iteration (the full 19-benchmark sweep is the binary's job).
+    g.bench_function("variation_pipeline_smoke", |b| {
+        b.iter(|| {
+            let mut h = harness();
+            let program = h.program(taskpoint_workloads::Benchmark::Spmv).clone();
+            let result = tasksim::Simulation::builder(&program, MachineConfig::high_performance())
+                .workers(8)
+                .collect_reports(true)
+                .build()
+                .run(&mut tasksim::DetailedOnly);
+            result.reports.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_sensitivity");
+    g.sample_size(10);
+    g.bench_function("period_sweep_one_bench", |b| {
+        b.iter(|| {
+            let mut h = harness();
+            let machine = MachineConfig::high_performance();
+            let cell = h.cell(
+                taskpoint_workloads::Benchmark::Blackscholes,
+                &machine,
+                32,
+                TaskPointConfig::periodic(),
+            );
+            cell.outcome.error_percent
+        })
+    });
+    let _ = SweepPart::Period; // full sweep lives in the binary
+    g.finish();
+}
+
+fn bench_fig7_to_10_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_to_fig10_cells");
+    g.sample_size(10);
+    for (name, machine, threads, config) in [
+        ("fig7_periodic_hp_8t", MachineConfig::high_performance(), 8u32, TaskPointConfig::periodic()),
+        ("fig8_periodic_lp_4t", MachineConfig::low_power(), 4, TaskPointConfig::periodic()),
+        ("fig9_lazy_hp_8t", MachineConfig::high_performance(), 8, TaskPointConfig::lazy()),
+        ("fig10_lazy_lp_4t", MachineConfig::low_power(), 4, TaskPointConfig::lazy()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut h = harness();
+                let cell =
+                    h.cell(taskpoint_workloads::Benchmark::Cholesky, &machine, threads, config);
+                cell.outcome.error_percent
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fig_variation,
+    bench_fig6_sensitivity,
+    bench_fig7_to_10_cells
+);
+criterion_main!(benches);

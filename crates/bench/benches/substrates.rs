@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the substrate layers: trace generation,
+//! dependence analysis, cache simulation and workload generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taskpoint_trace::{AccessPattern, InstructionMix, MemRegion, TraceSpec};
+use taskpoint_workloads::{Benchmark, ScaleConfig};
+use tasksim::cache::SetAssocCache;
+
+fn trace_generation(c: &mut Criterion) {
+    let spec = TraceSpec::builder()
+        .seed(7)
+        .instructions(100_000)
+        .mix(InstructionMix::balanced())
+        .pattern(AccessPattern::strided(64, 4))
+        .footprint(MemRegion::new(0x10_0000, 1 << 20))
+        .build();
+    let mut g = c.benchmark_group("trace_generation");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("iterate_100k_instructions", |b| {
+        b.iter(|| spec.iter().map(|i| i.addr).fold(0u64, u64::wrapping_add))
+    });
+    g.finish();
+}
+
+fn cache_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("l1_hit_stream", |b| {
+        let mut cache = SetAssocCache::new(32 * 1024, 8, 64);
+        for line in 0..512u64 {
+            cache.access(line);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc += matches!(
+                    cache.access(i % 512),
+                    tasksim::cache::AccessOutcome::Hit
+                ) as u64;
+            }
+            acc
+        })
+    });
+    g.bench_function("thrash_stream", |b| {
+        let mut cache = SetAssocCache::new(32 * 1024, 8, 64);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc += matches!(
+                    cache.access(i % 4096),
+                    tasksim::cache::AccessOutcome::Hit
+                ) as u64;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_generation");
+    g.sample_size(10);
+    for bench in [Benchmark::Cholesky, Benchmark::SparseLu, Benchmark::Dedup] {
+        g.bench_with_input(
+            BenchmarkId::new("generate", bench.name()),
+            &bench,
+            |b, &bench| b.iter(|| bench.generate(&ScaleConfig::quick()).num_instances()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, trace_generation, cache_simulation, workload_generation);
+criterion_main!(benches);

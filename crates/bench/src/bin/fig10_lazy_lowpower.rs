@@ -1,0 +1,21 @@
+//! Regenerates Fig. 10: error and speedup of lazy sampling; low-power architecture.
+
+use taskpoint::TaskPointConfig;
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness};
+use tasksim::MachineConfig;
+
+fn main() {
+    let mut h = Harness::from_env();
+    let (t, _) = figures::error_speedup_figure(
+        &mut h,
+        &MachineConfig::low_power(),
+        &figures::LOW_POWER_THREADS,
+        TaskPointConfig::lazy(),
+    );
+    emit(
+        "fig10_lazy_lowpower",
+        "Fig. 10: lazy sampling; low-power architecture",
+        &t.render(),
+    );
+}

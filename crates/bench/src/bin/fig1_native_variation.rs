@@ -1,0 +1,16 @@
+//! Regenerates Fig. 1: per-type-normalized IPC variation in "native"
+//! execution (detailed simulation + system-noise model), 8 threads.
+
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness};
+use tasksim::MachineConfig;
+
+fn main() {
+    let mut h = Harness::from_env();
+    let t = figures::variation_figure(&mut h, &MachineConfig::high_performance(), true);
+    emit(
+        "fig1_native_variation",
+        "Fig. 1: IPC variation across task instances, native execution (noise model), 8 threads",
+        &t.render(),
+    );
+}

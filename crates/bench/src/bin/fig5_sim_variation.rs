@@ -1,0 +1,16 @@
+//! Regenerates Fig. 5: per-type-normalized IPC variation in detailed
+//! simulation of the high-performance architecture, 8 threads.
+
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness};
+use tasksim::MachineConfig;
+
+fn main() {
+    let mut h = Harness::from_env();
+    let t = figures::variation_figure(&mut h, &MachineConfig::high_performance(), false);
+    emit(
+        "fig5_sim_variation",
+        "Fig. 5: IPC variation across task instances, simulation, 8 threads",
+        &t.render(),
+    );
+}

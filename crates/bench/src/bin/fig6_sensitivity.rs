@@ -1,0 +1,28 @@
+//! Regenerates Fig. 6: sensitivity of error and speedup to the model
+//! parameters W (warmup), H (history size) and P (sampling period),
+//! averaged over 32- and 64-thread runs of the sensitivity benchmarks.
+//!
+//! Pass `--part w|h|p` to run a single sweep (all three by default).
+
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness, SweepPart};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let part = args.iter().position(|a| a == "--part").and_then(|i| args.get(i + 1));
+    let parts: Vec<(SweepPart, &str, &str)> = match part.map(String::as_str) {
+        Some("w") => vec![(SweepPart::Warmup, "fig6a_warmup", "Fig. 6a: warmup sweep (W)")],
+        Some("h") => vec![(SweepPart::History, "fig6b_history", "Fig. 6b: history sweep (H)")],
+        Some("p") => vec![(SweepPart::Period, "fig6c_period", "Fig. 6c: period sweep (P)")],
+        _ => vec![
+            (SweepPart::Warmup, "fig6a_warmup", "Fig. 6a: warmup sweep (W)"),
+            (SweepPart::History, "fig6b_history", "Fig. 6b: history sweep (H)"),
+            (SweepPart::Period, "fig6c_period", "Fig. 6c: period sweep (P)"),
+        ],
+    };
+    let mut h = Harness::from_env();
+    for (part, name, heading) in parts {
+        let t = figures::sensitivity_sweep(&mut h, part);
+        emit(name, heading, &t.render());
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 7: error and speedup of periodic sampling; high-performance architecture; P = 250.
+
+use taskpoint::TaskPointConfig;
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness};
+use tasksim::MachineConfig;
+
+fn main() {
+    let mut h = Harness::from_env();
+    let (t, _) = figures::error_speedup_figure(
+        &mut h,
+        &MachineConfig::high_performance(),
+        &figures::HIGH_PERF_THREADS,
+        TaskPointConfig::periodic(),
+    );
+    emit(
+        "fig7_periodic_highperf",
+        "Fig. 7: periodic sampling; high-performance architecture; P = 250",
+        &t.render(),
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 8: error and speedup of periodic sampling; low-power architecture; P = 250.
+
+use taskpoint::TaskPointConfig;
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness};
+use tasksim::MachineConfig;
+
+fn main() {
+    let mut h = Harness::from_env();
+    let (t, _) = figures::error_speedup_figure(
+        &mut h,
+        &MachineConfig::low_power(),
+        &figures::LOW_POWER_THREADS,
+        TaskPointConfig::periodic(),
+    );
+    emit(
+        "fig8_periodic_lowpower",
+        "Fig. 8: periodic sampling; low-power architecture; P = 250",
+        &t.render(),
+    );
+}

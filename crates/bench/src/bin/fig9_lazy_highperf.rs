@@ -1,0 +1,21 @@
+//! Regenerates Fig. 9: error and speedup of lazy sampling; high-performance architecture.
+
+use taskpoint::TaskPointConfig;
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness};
+use tasksim::MachineConfig;
+
+fn main() {
+    let mut h = Harness::from_env();
+    let (t, _) = figures::error_speedup_figure(
+        &mut h,
+        &MachineConfig::high_performance(),
+        &figures::HIGH_PERF_THREADS,
+        TaskPointConfig::lazy(),
+    );
+    emit(
+        "fig9_lazy_highperf",
+        "Fig. 9: lazy sampling; high-performance architecture",
+        &t.render(),
+    );
+}

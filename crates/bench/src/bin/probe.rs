@@ -1,0 +1,45 @@
+//! Quick end-to-end probe: one benchmark, full scale, both policies.
+//! Used during development to sanity-check accuracy and speedup shapes.
+
+use taskpoint::TaskPointConfig;
+use taskpoint_bench::Harness;
+use taskpoint_workloads::{Benchmark, ScaleConfig};
+use tasksim::MachineConfig;
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|n| Benchmark::by_name(&n))
+        .unwrap_or(Benchmark::Cholesky);
+    let workers: u32 = std::env::args().nth(2).and_then(|w| w.parse().ok()).unwrap_or(8);
+    let mut h = Harness::new(ScaleConfig::new());
+    let machine = MachineConfig::high_performance();
+    let t0 = std::time::Instant::now();
+    let reference = h.reference(bench, &machine, workers);
+    println!(
+        "{bench} @{workers}t reference: {} cycles, {:.2}s wall, {} tasks, {:.1}M instr",
+        reference.total_cycles,
+        reference.wall_seconds,
+        reference.detailed_tasks,
+        reference.total_instructions() as f64 / 1e6
+    );
+    for (name, cfg) in [("lazy", TaskPointConfig::lazy()), ("periodic", TaskPointConfig::periodic())] {
+        let cell = h.cell(bench, &machine, workers, cfg);
+        println!(
+            "  {name:<9} err {:6.2}%  speedup {:8.1}x  detail {:5.2}%  resamples {}",
+            cell.outcome.error_percent,
+            cell.outcome.speedup,
+            100.0 * cell.outcome.detail_fraction,
+            cell.stats.resamples.len()
+        );
+        use taskpoint::ResampleCause::*;
+        println!(
+            "            causes: policy {} newtype {} conc {} empty {}",
+            cell.stats.resamples_by(Policy),
+            cell.stats.resamples_by(NewTaskType),
+            cell.stats.resamples_by(ConcurrencyChange),
+            cell.stats.resamples_by(EmptyHistories)
+        );
+    }
+    println!("total probe time {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,85 @@
+//! Runs the complete evaluation: every table and figure of the paper, with
+//! references shared across figures. Writes each artefact to
+//! `results/<name>.txt` and prints a closing summary.
+
+use taskpoint::TaskPointConfig;
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness, SweepPart};
+use taskpoint_stats::ErrorSummary;
+use tasksim::MachineConfig;
+
+fn main() {
+    let started = std::time::Instant::now();
+    let mut h = Harness::from_env();
+    let hp = MachineConfig::high_performance();
+    let lp = MachineConfig::low_power();
+
+    emit("table2", "Table II: architectural parameters", &figures::table2().render());
+    emit("table1", "Table I: task-based parallel benchmarks", &figures::table1(&mut h).render());
+    emit(
+        "fig1_native_variation",
+        "Fig. 1: IPC variation, native execution (noise model), 8 threads",
+        &figures::variation_figure(&mut h, &hp, true).render(),
+    );
+    emit(
+        "fig5_sim_variation",
+        "Fig. 5: IPC variation, simulation, 8 threads",
+        &figures::variation_figure(&mut h, &hp, false).render(),
+    );
+    emit(
+        "fig6a_warmup",
+        "Fig. 6a: warmup sweep (W)",
+        &figures::sensitivity_sweep(&mut h, SweepPart::Warmup).render(),
+    );
+    emit(
+        "fig6b_history",
+        "Fig. 6b: history sweep (H)",
+        &figures::sensitivity_sweep(&mut h, SweepPart::History).render(),
+    );
+    emit(
+        "fig6c_period",
+        "Fig. 6c: period sweep (P)",
+        &figures::sensitivity_sweep(&mut h, SweepPart::Period).render(),
+    );
+
+    let (t7, c7) = figures::error_speedup_figure(
+        &mut h, &hp, &figures::HIGH_PERF_THREADS, TaskPointConfig::periodic());
+    emit("fig7_periodic_highperf", "Fig. 7: periodic sampling; high-performance; P = 250", &t7.render());
+    let (t8, _c8) = figures::error_speedup_figure(
+        &mut h, &lp, &figures::LOW_POWER_THREADS, TaskPointConfig::periodic());
+    emit("fig8_periodic_lowpower", "Fig. 8: periodic sampling; low-power; P = 250", &t8.render());
+    let (t9, c9) = figures::error_speedup_figure(
+        &mut h, &hp, &figures::HIGH_PERF_THREADS, TaskPointConfig::lazy());
+    emit("fig9_lazy_highperf", "Fig. 9: lazy sampling; high-performance", &t9.render());
+    let (t10, _c10) = figures::error_speedup_figure(
+        &mut h, &lp, &figures::LOW_POWER_THREADS, TaskPointConfig::lazy());
+    emit("fig10_lazy_lowpower", "Fig. 10: lazy sampling; low-power", &t10.render());
+
+    // Headline summary (abstract claim: 64 threads, lazy, avg err 1.8%,
+    // max 15.0%, avg speedup 19.1).
+    let lazy64: Vec<(f64, f64)> = c9
+        .iter()
+        .filter(|c| c.threads == 64)
+        .map(|c| (c.error_percent, c.speedup))
+        .collect();
+    let s = ErrorSummary::from_runs(&lazy64);
+    let periodic64: Vec<(f64, f64)> = c7
+        .iter()
+        .filter(|c| c.threads == 64)
+        .map(|c| (c.error_percent, c.speedup))
+        .collect();
+    let sp = ErrorSummary::from_runs(&periodic64);
+    let summary = format!(
+        "lazy @64t:     avg error {:.2}% (paper 1.8%), max error {:.1}% (paper 15.0%), avg speedup {:.1}x (paper 19.1x)\n\
+         periodic @64t: avg error {:.2}%, max error {:.1}%, avg speedup {:.1}x (paper 15.8x)\n\
+         total evaluation wall time: {:.0}s",
+        s.mean_error_percent,
+        s.max_error_percent,
+        s.mean_speedup,
+        sp.mean_error_percent,
+        sp.max_error_percent,
+        sp.mean_speedup,
+        started.elapsed().as_secs_f64()
+    );
+    emit("summary", "Headline comparison against the paper", &summary);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table I: the 19 benchmarks with type/instance counts and
+//! measured detailed-simulation wall times at 1 and 64 threads.
+
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness};
+
+fn main() {
+    let mut h = Harness::from_env();
+    let t = figures::table1(&mut h);
+    emit("table1", "Table I: task-based parallel benchmarks", &t.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table II: the high-performance and low-power machine
+//! configurations.
+
+use taskpoint_bench::output::emit;
+use taskpoint_bench::figures;
+
+fn main() {
+    let t = figures::table2();
+    emit("table2", "Table II: architectural parameters", &t.render());
+}

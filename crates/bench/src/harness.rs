@@ -1,0 +1,139 @@
+//! Shared experiment infrastructure.
+
+use std::collections::HashMap;
+
+use taskpoint::{ExperimentOutcome, SamplingStats, TaskPointConfig};
+use taskpoint_runtime::Program;
+use taskpoint_workloads::{Benchmark, ScaleConfig};
+use tasksim::{MachineConfig, SimResult};
+
+/// How big the runs are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Full evaluation scale (the crate's Table-I-shaped workloads).
+    Full,
+    /// Heavily reduced instruction counts for smoke tests and CI.
+    Quick,
+}
+
+impl RunScale {
+    /// Reads the scale from the command line (`--quick`) or the
+    /// `TASKPOINT_SCALE` environment variable (`quick`/`full`).
+    pub fn from_env_and_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            return RunScale::Quick;
+        }
+        match std::env::var("TASKPOINT_SCALE").as_deref() {
+            Ok("quick") => RunScale::Quick,
+            _ => RunScale::Full,
+        }
+    }
+
+    /// The workload scale configuration.
+    pub fn scale_config(self) -> ScaleConfig {
+        match self {
+            RunScale::Full => ScaleConfig::new(),
+            RunScale::Quick => ScaleConfig::quick(),
+        }
+    }
+}
+
+/// One experiment cell: a sampled run compared against its reference.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Error/speedup outcome.
+    pub outcome: ExperimentOutcome,
+    /// Controller telemetry.
+    pub stats: SamplingStats,
+}
+
+/// Caches programs and detailed references across experiment cells.
+pub struct Harness {
+    scale: ScaleConfig,
+    programs: HashMap<Benchmark, Program>,
+    references: HashMap<(Benchmark, String, u32), SimResult>,
+}
+
+impl Harness {
+    /// Creates a harness at the given workload scale.
+    pub fn new(scale: ScaleConfig) -> Self {
+        Self { scale, programs: HashMap::new(), references: HashMap::new() }
+    }
+
+    /// Creates a harness from CLI/env scale selection.
+    pub fn from_env() -> Self {
+        Self::new(RunScale::from_env_and_args().scale_config())
+    }
+
+    /// The workload scale in use.
+    pub fn scale(&self) -> &ScaleConfig {
+        &self.scale
+    }
+
+    /// Returns (generating on first use) the benchmark's program.
+    pub fn program(&mut self, bench: Benchmark) -> &Program {
+        let scale = self.scale;
+        self.programs.entry(bench).or_insert_with(|| bench.generate(&scale))
+    }
+
+    /// Returns (running on first use) the full-detail reference for the
+    /// cell. The cached copy drops per-task reports to bound memory.
+    pub fn reference(
+        &mut self,
+        bench: Benchmark,
+        machine: &MachineConfig,
+        workers: u32,
+    ) -> SimResult {
+        let key = (bench, machine.name.clone(), workers);
+        if !self.references.contains_key(&key) {
+            let scale = self.scale;
+            let program =
+                self.programs.entry(bench).or_insert_with(|| bench.generate(&scale));
+            let result = taskpoint::run_reference(program, machine.clone(), workers);
+            self.references.insert(key.clone(), result);
+        }
+        self.references[&key].clone()
+    }
+
+    /// Runs one sampled cell against its (cached) reference.
+    pub fn cell(
+        &mut self,
+        bench: Benchmark,
+        machine: &MachineConfig,
+        workers: u32,
+        config: TaskPointConfig,
+    ) -> Cell {
+        let reference = self.reference(bench, machine, workers);
+        let scale = self.scale;
+        let program = self.programs.entry(bench).or_insert_with(|| bench.generate(&scale));
+        let (outcome, stats) =
+            taskpoint::evaluate(program, machine.clone(), workers, config, Some(&reference));
+        Cell { outcome, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_caches_programs_and_references() {
+        let mut h = Harness::new(ScaleConfig::quick());
+        let machine = MachineConfig::low_power();
+        let r1 = h.reference(Benchmark::Spmv, &machine, 2);
+        let r2 = h.reference(Benchmark::Spmv, &machine, 2);
+        assert_eq!(r1.total_cycles, r2.total_cycles);
+        assert_eq!(h.references.len(), 1);
+        assert_eq!(h.programs.len(), 1);
+    }
+
+    #[test]
+    fn cell_produces_outcome() {
+        let mut h = Harness::new(ScaleConfig::quick());
+        let machine = MachineConfig::low_power();
+        let cell = h.cell(Benchmark::Spmv, &machine, 2, TaskPointConfig::lazy());
+        assert!(cell.outcome.error_percent.is_finite());
+        assert!(cell.outcome.speedup > 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Evaluation harness for the TaskPoint reproduction.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus the
+//! [`Harness`] that caches generated programs and detailed reference
+//! simulations so that sweeps sharing a (benchmark, machine, threads) cell
+//! do not repeat the expensive full-detail run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod format;
+pub mod harness;
+pub mod output;
+
+pub use figures::{error_speedup_figure, sensitivity_sweep, table1, table2, variation_figure, FigureCell, SweepPart};
+pub use format::Table;
+pub use harness::{Cell, Harness, RunScale};

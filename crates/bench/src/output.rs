@@ -1,0 +1,17 @@
+//! Output plumbing for the figure binaries: print to stdout and mirror
+//! into `results/<name>.txt`.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Prints `content` under a heading and mirrors it to `results/<name>.txt`.
+pub fn emit(name: &str, heading: &str, content: &str) {
+    println!("== {heading} ==\n{content}");
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.txt"));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = writeln!(f, "== {heading} ==\n{content}");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Size-clustered sampling — the paper's proposed future work, implemented.
+//!
+//! §V-B of the paper diagnoses the two worst benchmarks (freqmine, dedup):
+//! one dominant task type whose instances differ wildly in dynamic
+//! instruction count and therefore in performance, which a single per-type
+//! IPC cannot capture. The authors propose: *"One way to improve the
+//! accuracy ... is to classify task instances into classes of similar
+//! performance. We envision clustering of instances of the same task type
+//! based on micro-architecture independent metrics, e.g. instruction
+//! count."*
+//!
+//! [`ClusteredController`] implements exactly that: the sampling unit is
+//! `(task type, size class)` instead of the task type alone, where the
+//! size class is the order of magnitude (log₂ bucket, granularity
+//! configurable) of the instance's dynamic instruction count — a
+//! micro-architecture-independent metric available from the trace before
+//! simulation. Everything else (warmup, sampling transition, fast-forward,
+//! resampling triggers, policies) is inherited unchanged from
+//! [`TaskPointController`] by composition: the controller simply maps each
+//! instance to a *virtual type id* before delegating.
+
+use std::collections::HashMap;
+
+use taskpoint_runtime::TaskTypeId;
+use tasksim::{ExecMode, ModeController, TaskReport, TaskStart};
+
+use crate::config::TaskPointConfig;
+use crate::controller::{SamplingStats, TaskPointController};
+
+/// TaskPoint with `(type, size-class)` sampling units.
+#[derive(Debug)]
+pub struct ClusteredController {
+    inner: TaskPointController,
+    /// log2 granularity: instances whose instruction counts fall in the
+    /// same `[2^(g*k), 2^(g*(k+1)))` band share a class.
+    granularity: u32,
+    /// Dense remapping of (type, class) pairs to virtual type ids.
+    virtual_ids: HashMap<(u32, u32), u32>,
+}
+
+impl ClusteredController {
+    /// Creates a clustered controller. `granularity` is the width of a
+    /// size class in powers of two: 1 = one class per octave of
+    /// instruction count (fine), 2 = one class per factor of 4, ...
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity == 0` or the config is invalid.
+    pub fn new(config: TaskPointConfig, granularity: u32) -> Self {
+        assert!(granularity > 0, "granularity must be positive");
+        Self {
+            inner: TaskPointController::new(config),
+            granularity,
+            virtual_ids: HashMap::new(),
+        }
+    }
+
+    /// The size class of an instance with `instructions` dynamic
+    /// instructions.
+    fn size_class(&self, instructions: u64) -> u32 {
+        let log2 = 63 - instructions.max(1).leading_zeros();
+        log2 / self.granularity
+    }
+
+    /// Maps `(type, instructions)` to the virtual type id used as the
+    /// sampling unit.
+    fn virtual_type(&mut self, type_id: TaskTypeId, instructions: u64) -> TaskTypeId {
+        let class = self.size_class(instructions);
+        let next = self.virtual_ids.len() as u32;
+        let vid = *self.virtual_ids.entry((type_id.0, class)).or_insert(next);
+        TaskTypeId(vid)
+    }
+
+    /// Number of distinct `(type, size-class)` sampling units seen.
+    pub fn num_clusters(&self) -> usize {
+        self.virtual_ids.len()
+    }
+
+    /// The telemetry collected so far (virtual type ids in per-type maps).
+    pub fn stats(&self) -> &SamplingStats {
+        self.inner.stats()
+    }
+
+    /// Consumes the controller, returning its telemetry.
+    pub fn into_stats(self) -> SamplingStats {
+        self.inner.into_stats()
+    }
+}
+
+impl ModeController for ClusteredController {
+    fn mode_for_task(&mut self, start: &TaskStart) -> ExecMode {
+        let virt = self.virtual_type(start.type_id, start.instructions);
+        let mut mapped = *start;
+        mapped.type_id = virt;
+        self.inner.mode_for_task(&mapped)
+    }
+
+    fn on_task_complete(&mut self, report: &TaskReport) {
+        let virt = self.virtual_type(report.type_id, report.instructions);
+        let mut mapped = *report;
+        mapped.type_id = virt;
+        self.inner.on_task_complete(&mapped)
+    }
+}
+
+/// Runs a clustered sampled simulation (the counterpart of
+/// [`run_sampled`](crate::simulate::run_sampled)).
+pub fn run_clustered(
+    program: &taskpoint_runtime::Program,
+    machine: tasksim::MachineConfig,
+    workers: u32,
+    config: TaskPointConfig,
+    granularity: u32,
+) -> (tasksim::SimResult, SamplingStats, usize) {
+    let mut controller = ClusteredController::new(config, granularity);
+    let result = tasksim::Simulation::builder(program, machine)
+        .workers(workers)
+        .build()
+        .run(&mut controller);
+    let clusters = controller.num_clusters();
+    (result, controller.into_stats(), clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskpoint_runtime::Program;
+    use taskpoint_trace::TraceSpec;
+    use tasksim::MachineConfig;
+
+    #[test]
+    fn size_classes_partition_by_magnitude() {
+        let c = ClusteredController::new(TaskPointConfig::lazy(), 2);
+        assert_eq!(c.size_class(1), 0);
+        assert_eq!(c.size_class(3), 0); // log2=1 -> class 0 at granularity 2
+        assert_eq!(c.size_class(4), 1); // log2=2
+        assert_eq!(c.size_class(1000), 4); // log2=9
+        assert_eq!(c.size_class(1_000_000), 9); // log2=19
+    }
+
+    #[test]
+    fn same_type_different_sizes_get_distinct_units() {
+        let mut c = ClusteredController::new(TaskPointConfig::lazy(), 1);
+        let a = c.virtual_type(TaskTypeId(0), 100);
+        let b = c.virtual_type(TaskTypeId(0), 100_000);
+        let a2 = c.virtual_type(TaskTypeId(0), 110);
+        assert_ne!(a, b, "orders of magnitude apart => different units");
+        assert_eq!(a, a2, "similar sizes share a unit");
+        assert_eq!(c.num_clusters(), 2);
+    }
+
+    #[test]
+    fn different_types_never_share_units() {
+        let mut c = ClusteredController::new(TaskPointConfig::lazy(), 1);
+        let a = c.virtual_type(TaskTypeId(0), 1000);
+        let b = c.virtual_type(TaskTypeId(1), 1000);
+        assert_ne!(a, b);
+    }
+
+    /// A bimodal single-type workload: the exact pathology of dedup.
+    fn bimodal_program() -> Program {
+        let mut b = Program::builder("bimodal");
+        let ty = b.add_type("work");
+        for i in 0..600u64 {
+            let instrs = if i % 2 == 0 { 200 } else { 6_400 };
+            b.add_task(ty, TraceSpec::synthetic(i, instrs), vec![]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clustering_beats_plain_taskpoint_on_bimodal_types() {
+        let p = bimodal_program();
+        let machine = MachineConfig::high_performance();
+        let reference = crate::simulate::run_reference(&p, machine.clone(), 4);
+        let (plain, _) =
+            crate::simulate::run_sampled(&p, machine.clone(), 4, TaskPointConfig::lazy());
+        let (clustered, _, clusters) =
+            run_clustered(&p, machine, 4, TaskPointConfig::lazy(), 1);
+        let err = |predicted: u64| {
+            100.0 * ((predicted as f64 - reference.total_cycles as f64)
+                / reference.total_cycles as f64)
+                .abs()
+        };
+        assert!(clusters >= 2, "bimodal sizes must form >= 2 clusters");
+        let plain_err = err(plain.total_cycles);
+        let clustered_err = err(clustered.total_cycles);
+        assert!(
+            clustered_err <= plain_err + 0.5,
+            "clustering must not hurt: plain {plain_err:.2}% vs clustered {clustered_err:.2}%"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity")]
+    fn zero_granularity_rejected() {
+        ClusteredController::new(TaskPointConfig::lazy(), 0);
+    }
+}

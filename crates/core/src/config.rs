@@ -1,0 +1,162 @@
+//! TaskPoint configuration: the paper's model parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// When to resample a fast-forwarding simulation (paper §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingPolicy {
+    /// Resample after any thread has fast-forwarded `period` task
+    /// instances — the paper's *periodic sampling* with parameter `P`.
+    Periodic {
+        /// The sampling period `P` (> 0).
+        period: u64,
+    },
+    /// Never resample on a schedule (`P = ∞`) — the paper's *lazy
+    /// sampling*. Event-driven triggers (new task type, concurrency change,
+    /// empty histories) still apply.
+    Lazy,
+}
+
+impl SamplingPolicy {
+    /// The period as an option (`None` for lazy).
+    pub fn period(self) -> Option<u64> {
+        match self {
+            SamplingPolicy::Periodic { period } => Some(period),
+            SamplingPolicy::Lazy => None,
+        }
+    }
+}
+
+/// The complete parameter set of the methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskPointConfig {
+    /// `W`: detailed task instances per thread for warmup at simulation
+    /// start (paper's tuned value: 2).
+    pub warmup_instances: u64,
+    /// `H`: sample-history size per task type (paper's tuned value: 4).
+    pub history_size: usize,
+    /// The resampling policy (paper's tuned periodic value: P = 250).
+    pub policy: SamplingPolicy,
+    /// Rare-type cutoff: stop waiting for unfilled types once every thread
+    /// has completed this many detailed instances without meeting one
+    /// (paper: 5).
+    pub rare_type_cutoff: u64,
+    /// Thread-count trigger threshold (paper Fig. 4a): resample when the
+    /// smoothed concurrency level drifts by more than this factor from the
+    /// level recorded when sampling completed. Smoothing (EWMA over task
+    /// starts) keeps transient queue drains at wavefront boundaries from
+    /// thrashing resampling; only sustained phase-level parallelism changes
+    /// fire. (Implementation parameter; the paper does not specify its
+    /// change detector.)
+    pub concurrency_change_ratio: f64,
+}
+
+impl TaskPointConfig {
+    /// The paper's final periodic configuration: W=2, H=4, P=250.
+    pub fn periodic() -> Self {
+        Self {
+            warmup_instances: 2,
+            history_size: 4,
+            policy: SamplingPolicy::Periodic { period: 250 },
+            rare_type_cutoff: 5,
+            concurrency_change_ratio: 2.0,
+        }
+    }
+
+    /// The paper's lazy configuration: W=2, H=4, P=∞.
+    pub fn lazy() -> Self {
+        Self { policy: SamplingPolicy::Lazy, ..Self::periodic() }
+    }
+
+    /// Overrides `W`.
+    pub fn with_warmup(mut self, w: u64) -> Self {
+        self.warmup_instances = w;
+        self
+    }
+
+    /// Overrides `H`.
+    pub fn with_history(mut self, h: usize) -> Self {
+        self.history_size = h;
+        self
+    }
+
+    /// Overrides the policy.
+    pub fn with_policy(mut self, policy: SamplingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `H == 0` or a periodic period is 0.
+    pub fn validate(&self) {
+        assert!(self.history_size > 0, "history size H must be positive");
+        if let SamplingPolicy::Periodic { period } = self.policy {
+            assert!(period > 0, "sampling period P must be positive");
+        }
+        assert!(
+            self.concurrency_change_ratio > 1.0,
+            "concurrency change ratio must exceed 1"
+        );
+    }
+}
+
+impl Default for TaskPointConfig {
+    /// The paper's recommended default for accuracy-focused studies:
+    /// periodic sampling with the tuned parameters.
+    fn default() -> Self {
+        Self::periodic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = TaskPointConfig::periodic();
+        assert_eq!(p.warmup_instances, 2);
+        assert_eq!(p.history_size, 4);
+        assert_eq!(p.policy, SamplingPolicy::Periodic { period: 250 });
+        assert_eq!(p.rare_type_cutoff, 5);
+        assert!(p.concurrency_change_ratio > 1.0);
+        p.validate();
+        let l = TaskPointConfig::lazy();
+        assert_eq!(l.policy, SamplingPolicy::Lazy);
+        assert_eq!(l.warmup_instances, 2);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = TaskPointConfig::lazy()
+            .with_warmup(7)
+            .with_history(9)
+            .with_policy(SamplingPolicy::Periodic { period: 10 });
+        assert_eq!(c.warmup_instances, 7);
+        assert_eq!(c.history_size, 9);
+        assert_eq!(c.policy.period(), Some(10));
+    }
+
+    #[test]
+    fn lazy_has_no_period() {
+        assert_eq!(SamplingPolicy::Lazy.period(), None);
+        assert_eq!(SamplingPolicy::Periodic { period: 3 }.period(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "H must be positive")]
+    fn zero_history_rejected() {
+        TaskPointConfig::periodic().with_history(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "P must be positive")]
+    fn zero_period_rejected() {
+        TaskPointConfig::periodic()
+            .with_policy(SamplingPolicy::Periodic { period: 0 })
+            .validate();
+    }
+}

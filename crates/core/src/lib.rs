@@ -1,0 +1,66 @@
+//! # TaskPoint — sampled simulation of task-based programs
+//!
+//! A faithful reproduction of *Grass, Rico, Casas, Moreto, Ayguadé:
+//! "TaskPoint: Sampled Simulation of Task-Based Programs", ISPASS 2016*.
+//!
+//! TaskPoint accelerates architectural simulation of dynamically scheduled
+//! task-based programs by exploiting the programmer's task decomposition:
+//! instances of the same *task type* behave alike, so only a few of them
+//! need cycle-level simulation. The rest are *fast-forwarded* at the mean
+//! IPC of their type's recent samples (`C_i = I_i / IPC_T`), keeping every
+//! thread's progress — and therefore the dynamic schedule — correct.
+//!
+//! The crate implements the paper's complete mechanism on top of the
+//! [`tasksim`] simulator:
+//!
+//! * per-type **sample histories** (valid + all) of size `H` ([`history`]);
+//! * the **warmup → sampling → fast-forward → resampling** state machine
+//!   with the rare-task-type cutoff ([`controller`]);
+//! * **periodic** (`P`) and **lazy** (`P = ∞`) sampling policies
+//!   ([`config`]);
+//! * event-driven resampling on new task types, concurrency changes and
+//!   empty histories (paper Fig. 4);
+//! * the paper's proposed *future work* — clustering instances of a type
+//!   by instruction count into classes of similar performance
+//!   ([`clustered`]);
+//! * evaluation plumbing for error/speedup studies ([`metrics`],
+//!   [`simulate`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use taskpoint::{run_sampled, TaskPointConfig};
+//! use taskpoint_workloads::{Benchmark, ScaleConfig};
+//! use tasksim::MachineConfig;
+//!
+//! let program = Benchmark::Spmv.generate(&ScaleConfig::quick());
+//! let (result, stats) = run_sampled(
+//!     &program,
+//!     MachineConfig::high_performance(),
+//!     8,
+//!     TaskPointConfig::lazy(),
+//! );
+//! println!(
+//!     "predicted {} cycles, {:.1}% of instructions in detail, {} resamples",
+//!     result.total_cycles,
+//!     100.0 * result.detail_fraction(),
+//!     stats.resamples.len(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustered;
+pub mod config;
+pub mod controller;
+pub mod history;
+pub mod metrics;
+pub mod simulate;
+
+pub use clustered::{run_clustered, ClusteredController};
+pub use config::{SamplingPolicy, TaskPointConfig};
+pub use controller::{Phase, ResampleCause, SamplingStats, TaskPointController};
+pub use history::{SampleHistory, TypeHistories};
+pub use metrics::ExperimentOutcome;
+pub use simulate::{evaluate, run_reference, run_sampled};

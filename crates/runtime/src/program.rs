@@ -1,0 +1,234 @@
+//! Complete task-based programs.
+//!
+//! A [`Program`] is what a workload generator produces and what the
+//! simulator consumes: the task types, every task instance (with its trace
+//! spec and region annotations) and the dependence DAG derived from the
+//! annotations.
+
+use crate::depgraph::{DependenceGraph, DependenceGraphBuilder};
+use crate::regions::RegionAccess;
+use crate::task::{TaskInstance, TaskInstanceId, TaskType, TaskTypeId};
+use serde::{Deserialize, Serialize};
+use taskpoint_trace::TraceSpec;
+
+/// An immutable task-based program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    types: Vec<TaskType>,
+    instances: Vec<TaskInstance>,
+    graph: DependenceGraph,
+}
+
+impl Program {
+    /// Starts building a program with the given name.
+    pub fn builder(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            types: Vec::new(),
+            instances: Vec::new(),
+            graph: DependenceGraphBuilder::new(),
+        }
+    }
+
+    /// The program's name (the benchmark name in the evaluation).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared task types.
+    pub fn types(&self) -> &[TaskType] {
+        &self.types
+    }
+
+    /// All task instances in creation order.
+    pub fn instances(&self) -> &[TaskInstance] {
+        &self.instances
+    }
+
+    /// Looks up one instance.
+    pub fn instance(&self, id: TaskInstanceId) -> &TaskInstance {
+        &self.instances[id.index()]
+    }
+
+    /// Looks up one task type.
+    pub fn task_type(&self, id: TaskTypeId) -> &TaskType {
+        &self.types[id.0 as usize]
+    }
+
+    /// The dependence DAG.
+    pub fn graph(&self) -> &DependenceGraph {
+        &self.graph
+    }
+
+    /// Number of task types (Table I column "# Task Types").
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of task instances (Table I column "# Task Instances").
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Total dynamic instruction count over all instances.
+    pub fn total_instructions(&self) -> u64 {
+        self.instances.iter().map(TaskInstance::instructions).sum()
+    }
+
+    /// Instances per type, indexed by `TaskTypeId`.
+    pub fn instances_per_type(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.types.len()];
+        for inst in &self.instances {
+            counts[inst.type_id().0 as usize] += 1;
+        }
+        counts
+    }
+
+    /// Instructions per type, indexed by `TaskTypeId`. The paper highlights
+    /// dominant types (e.g. freqmine's type with 93% of all instructions).
+    pub fn instructions_per_type(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.types.len()];
+        for inst in &self.instances {
+            counts[inst.type_id().0 as usize] += inst.instructions();
+        }
+        counts
+    }
+}
+
+/// Builder for [`Program`]. Task ids are assigned densely in creation
+/// order, exactly like a sequential OmpSs program creating tasks.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    types: Vec<TaskType>,
+    instances: Vec<TaskInstance>,
+    graph: DependenceGraphBuilder,
+}
+
+impl ProgramBuilder {
+    /// Declares a task type and returns its id.
+    pub fn add_type(&mut self, name: impl Into<String>) -> TaskTypeId {
+        let id = TaskTypeId(self.types.len() as u32);
+        self.types.push(TaskType::new(id, name));
+        id
+    }
+
+    /// Creates a task instance of `type_id` with the given trace and region
+    /// annotations; returns its id. Dependences on earlier tasks are derived
+    /// immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_id` has not been declared.
+    pub fn add_task(
+        &mut self,
+        type_id: TaskTypeId,
+        trace: TraceSpec,
+        accesses: Vec<RegionAccess>,
+    ) -> TaskInstanceId {
+        assert!(
+            (type_id.0 as usize) < self.types.len(),
+            "undeclared task type {type_id}"
+        );
+        let id = TaskInstanceId(self.instances.len() as u64);
+        self.graph.add_task(id, &accesses);
+        self.instances.push(TaskInstance::new(id, type_id, trace, accesses));
+        id
+    }
+
+    /// Number of instances added so far.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any declared type has zero instances (almost certainly a
+    /// generator bug that would corrupt Table I counts).
+    pub fn build(self) -> Program {
+        let program = Program {
+            name: self.name,
+            types: self.types,
+            instances: self.instances,
+            graph: self.graph.build(),
+        };
+        for (i, count) in program.instances_per_type().iter().enumerate() {
+            assert!(
+                *count > 0,
+                "task type {} ({}) has no instances",
+                i,
+                program.types[i].name()
+            );
+        }
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::RegionAccess;
+    use taskpoint_trace::MemRegion;
+
+    fn trace(n: u64) -> TraceSpec {
+        TraceSpec::synthetic(0, n)
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = Program::builder("p");
+        let t = b.add_type("work");
+        let a = b.add_task(t, trace(10), vec![]);
+        let c = b.add_task(t, trace(20), vec![]);
+        assert_eq!(a, TaskInstanceId(0));
+        assert_eq!(c, TaskInstanceId(1));
+        let p = b.build();
+        assert_eq!(p.num_instances(), 2);
+        assert_eq!(p.num_types(), 1);
+        assert_eq!(p.total_instructions(), 30);
+    }
+
+    #[test]
+    fn per_type_statistics() {
+        let mut b = Program::builder("p");
+        let ta = b.add_type("a");
+        let tb = b.add_type("b");
+        b.add_task(ta, trace(100), vec![]);
+        b.add_task(ta, trace(100), vec![]);
+        b.add_task(tb, trace(50), vec![]);
+        let p = b.build();
+        assert_eq!(p.instances_per_type(), vec![2, 1]);
+        assert_eq!(p.instructions_per_type(), vec![200, 50]);
+        assert_eq!(p.task_type(ta).name(), "a");
+    }
+
+    #[test]
+    fn graph_is_wired_through_builder() {
+        let mut b = Program::builder("p");
+        let t = b.add_type("w");
+        let r = MemRegion::new(0x100, 0x10);
+        let first = b.add_task(t, trace(1), vec![RegionAccess::output(r)]);
+        let second = b.add_task(t, trace(1), vec![RegionAccess::input(r)]);
+        let p = b.build();
+        assert_eq!(p.graph().predecessors(second), &[first]);
+        assert_eq!(p.graph().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared task type")]
+    fn undeclared_type_rejected() {
+        let mut b = Program::builder("p");
+        b.add_task(TaskTypeId(0), trace(1), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no instances")]
+    fn empty_type_rejected() {
+        let mut b = Program::builder("p");
+        let _unused = b.add_type("never-instantiated");
+        b.build();
+    }
+}

@@ -1,0 +1,152 @@
+//! Task types and task instances.
+//!
+//! The paper's central distinction (§II-A): *"Every execution of a task
+//! declaration statement at runtime results in the creation of a task
+//! instance. All task instances resulting from the same task declaration
+//! statement in the source code are said to be of the same task type."*
+//! TaskPoint leverages task types as its sampling-unit classes.
+
+use crate::regions::RegionAccess;
+use serde::{Deserialize, Serialize};
+use taskpoint_trace::TraceSpec;
+
+/// Identifier of a task type (a task declaration in the source program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskTypeId(pub u32);
+
+impl std::fmt::Display for TaskTypeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a task instance (one dynamic execution of a declaration).
+///
+/// Instance ids are dense: the `i`-th task created by a program has id `i`,
+/// which lets per-instance state live in plain vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskInstanceId(pub u64);
+
+impl TaskInstanceId {
+    /// The id as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskInstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A task type: the static declaration all its instances share.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskType {
+    id: TaskTypeId,
+    name: String,
+}
+
+impl TaskType {
+    /// Creates a task type. Normally done through
+    /// [`ProgramBuilder::add_type`](crate::program::ProgramBuilder::add_type).
+    pub fn new(id: TaskTypeId, name: impl Into<String>) -> Self {
+        Self { id, name: name.into() }
+    }
+
+    /// The type's identifier.
+    pub fn id(&self) -> TaskTypeId {
+        self.id
+    }
+
+    /// The type's source-level name (e.g. `"gemm"`, `"lu0"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A task instance: one dynamic execution with its own data and trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskInstance {
+    id: TaskInstanceId,
+    type_id: TaskTypeId,
+    trace: TraceSpec,
+    accesses: Vec<RegionAccess>,
+}
+
+impl TaskInstance {
+    /// Creates a task instance. Normally done through
+    /// [`ProgramBuilder::add_task`](crate::program::ProgramBuilder::add_task).
+    pub fn new(
+        id: TaskInstanceId,
+        type_id: TaskTypeId,
+        trace: TraceSpec,
+        accesses: Vec<RegionAccess>,
+    ) -> Self {
+        Self { id, type_id, trace, accesses }
+    }
+
+    /// The instance's identifier (== creation order).
+    pub fn id(&self) -> TaskInstanceId {
+        self.id
+    }
+
+    /// The type this instance belongs to.
+    pub fn type_id(&self) -> TaskTypeId {
+        self.type_id
+    }
+
+    /// The instance's dynamic instruction stream.
+    pub fn trace(&self) -> &TraceSpec {
+        &self.trace
+    }
+
+    /// Dynamic instruction count — the `I_i` of the paper's fast-forward
+    /// formula `C_i = I_i / IPC_T`.
+    pub fn instructions(&self) -> u64 {
+        self.trace.instructions()
+    }
+
+    /// The region annotations dependences are derived from.
+    pub fn accesses(&self) -> &[RegionAccess] {
+        &self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::AccessMode;
+    use taskpoint_trace::MemRegion;
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(TaskTypeId(3).to_string(), "T3");
+        assert_eq!(TaskInstanceId(42).to_string(), "t42");
+    }
+
+    #[test]
+    fn instance_exposes_trace_instruction_count() {
+        let trace = TraceSpec::synthetic(0, 777);
+        let inst = TaskInstance::new(TaskInstanceId(0), TaskTypeId(0), trace, vec![]);
+        assert_eq!(inst.instructions(), 777);
+    }
+
+    #[test]
+    fn instance_keeps_accesses_in_order() {
+        let r1 = RegionAccess::new(MemRegion::new(0, 8), AccessMode::In);
+        let r2 = RegionAccess::new(MemRegion::new(8, 8), AccessMode::Out);
+        let inst = TaskInstance::new(
+            TaskInstanceId(1),
+            TaskTypeId(0),
+            TraceSpec::builder().build(),
+            vec![r1, r2],
+        );
+        assert_eq!(inst.accesses(), &[r1, r2]);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(TaskInstanceId(17).index(), 17);
+    }
+}

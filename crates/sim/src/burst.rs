@@ -1,0 +1,83 @@
+//! Burst (fast-forward) timing.
+//!
+//! TaskSim's fast mode only accounts for the cycles between the beginning
+//! and the end of a task instance. Our extension (the paper's contribution,
+//! §IV) computes that duration at the *start* of the instance from its
+//! dynamic instruction count and a prescribed IPC:
+//!
+//! ```text
+//! C_i = I_i / IPC_T
+//! ```
+//!
+//! where `IPC_T` is the mean IPC of the instance's task type's sample
+//! history.
+
+/// Number of cycles a task with `instructions` dynamic instructions takes
+/// at the prescribed `ipc`, rounded up and never zero.
+///
+/// ```
+/// use tasksim::burst::burst_duration;
+/// assert_eq!(burst_duration(1000, 2.0), 500);
+/// assert_eq!(burst_duration(1001, 2.0), 501); // rounds up
+/// assert_eq!(burst_duration(0, 2.0), 1);      // a task never takes 0 cycles
+/// ```
+///
+/// # Panics
+///
+/// Panics if `ipc` is not a positive finite number.
+pub fn burst_duration(instructions: u64, ipc: f64) -> u64 {
+    assert!(ipc.is_finite() && ipc > 0.0, "invalid burst IPC {ipc}");
+    let cycles = (instructions as f64 / ipc).ceil() as u64;
+    cycles.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        assert_eq!(burst_duration(100, 4.0), 25);
+    }
+
+    #[test]
+    fn rounds_up() {
+        assert_eq!(burst_duration(101, 4.0), 26);
+        assert_eq!(burst_duration(1, 4.0), 1);
+    }
+
+    #[test]
+    fn never_zero() {
+        assert_eq!(burst_duration(0, 10.0), 1);
+    }
+
+    #[test]
+    fn monotone_in_instructions() {
+        let mut prev = 0;
+        for i in (0..10_000).step_by(97) {
+            let d = burst_duration(i, 1.7);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn monotone_in_inverse_ipc() {
+        let d_fast = burst_duration(5000, 4.0);
+        let d_slow = burst_duration(5000, 0.5);
+        assert!(d_slow > d_fast);
+        assert_eq!(d_slow, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid burst IPC")]
+    fn rejects_zero_ipc() {
+        burst_duration(10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid burst IPC")]
+    fn rejects_nan_ipc() {
+        burst_duration(10, f64::NAN);
+    }
+}

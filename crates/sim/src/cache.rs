@@ -1,0 +1,273 @@
+//! Set-associative cache with LRU replacement.
+//!
+//! The building block of the memory hierarchy: used for the private L1/L2
+//! levels (one instance per core) and the shared last level (one instance).
+//! Tags are stored per set in MRU-first order; associativities in the
+//! evaluation are ≤ 20, so linear probing within a set is faster than any
+//! clever structure.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled (possibly evicting another).
+    Miss,
+}
+
+/// A set-associative, write-allocate cache with true-LRU replacement,
+/// indexed by line address (byte address >> log2(line size)).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    /// sets[s] holds up to `assoc` tags, MRU first.
+    sets: Vec<Vec<u64>>,
+    set_shift: u32,
+    set_mask: u64,
+    assoc: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `size_bytes` capacity with `associativity` ways
+    /// and `line_size`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_size` is a power of two, the number of lines is
+    /// divisible by the associativity, and the resulting set count is a
+    /// power of two.
+    pub fn new(size_bytes: u64, associativity: u32, line_size: u32) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        let lines = size_bytes / line_size as u64;
+        assert!(lines > 0 && lines % associativity as u64 == 0, "bad geometry");
+        let num_sets = lines / associativity as u64;
+        assert!(num_sets.is_power_of_two(), "set count {num_sets} must be a power of two");
+        Self {
+            sets: vec![Vec::with_capacity(associativity as usize); num_sets as usize],
+            set_shift: line_size.trailing_zeros(),
+            set_mask: num_sets - 1,
+            assoc: associativity as usize,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Converts a byte address to this cache's line address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.set_shift
+    }
+
+    /// Accesses `line` (a line address): returns `Hit` and promotes it to
+    /// MRU, or fills it (LRU eviction) and returns `Miss`.
+    pub fn access(&mut self, line: u64) -> AccessOutcome {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Move to front (MRU).
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            self.hits += 1;
+            AccessOutcome::Hit
+        } else {
+            if ways.len() == self.assoc {
+                ways.pop(); // evict LRU
+            }
+            ways.insert(0, line);
+            self.misses += 1;
+            AccessOutcome::Miss
+        }
+    }
+
+    /// True if `line` is present (does not touch LRU order or counters).
+    pub fn contains(&self, line: u64) -> bool {
+        self.sets[self.set_of(line)].contains(&line)
+    }
+
+    /// Removes `line` if present (coherence invalidation). Returns whether
+    /// it was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            ways.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops all contents and statistics (cold state).
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Zeroes the hit/miss counters while keeping contents (used after
+    /// pre-warming so statistics cover only the measured region).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Installs `line` without touching the hit/miss counters (prefetch or
+    /// prewarm fill). No-op if already present; evicts LRU when full.
+    pub fn install(&mut self, line: u64) {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if ways.contains(&line) {
+            return;
+        }
+        if ways.len() == self.assoc {
+            ways.pop();
+        }
+        ways.insert(0, line);
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over the cache's lifetime; 0 when never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B lines = 512 B
+        SetAssocCache::new(512, 2, 64)
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small();
+        assert_eq!(c.access(7), AccessOutcome::Miss);
+        assert_eq!(c.access(7), AccessOutcome::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.access(0);
+        c.access(4);
+        // Touch 0 so 4 becomes LRU.
+        assert_eq!(c.access(0), AccessOutcome::Hit);
+        // Fill a third line in the same set: evicts 4, not 0.
+        c.access(8);
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = small();
+        for line in 0..4u64 {
+            assert_eq!(c.access(line), AccessOutcome::Miss);
+        }
+        for line in 0..4u64 {
+            assert_eq!(c.access(line), AccessOutcome::Hit, "line {line}");
+        }
+    }
+
+    #[test]
+    fn invalidate_removes_only_target() {
+        let mut c = small();
+        c.access(0);
+        c.access(4);
+        assert!(c.invalidate(0));
+        assert!(!c.contains(0));
+        assert!(c.contains(4));
+        assert!(!c.invalidate(0), "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn occupancy_saturates_at_capacity() {
+        let mut c = small();
+        for line in 0..100u64 {
+            c.access(line);
+        }
+        assert_eq!(c.occupancy(), c.capacity_lines());
+        assert_eq!(c.capacity_lines(), 8);
+    }
+
+    #[test]
+    fn reset_returns_to_cold_state() {
+        let mut c = small();
+        c.access(1);
+        c.access(2);
+        c.reset();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.access(1), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn line_of_uses_line_size() {
+        let c = SetAssocCache::new(1024, 2, 64);
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(63), 0);
+        assert_eq!(c.line_of(64), 1);
+        assert_eq!(c.line_of(6400), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_rejected() {
+        SetAssocCache::new(512, 2, 48);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = small(); // 8 lines
+        // Cyclic walk over 16 lines with LRU => 0% hit rate.
+        for _ in 0..10 {
+            for line in 0..16u64 {
+                c.access(line);
+            }
+        }
+        assert!(c.hit_rate() < 1e-9);
+    }
+}

@@ -1,0 +1,407 @@
+//! The detailed core timing model.
+//!
+//! TaskSim's detailed mode is based on the *Reorder-Buffer Occupancy
+//! Analysis* model of Lee, Evans and Cho ("Accurately approximating
+//! superscalar processor performance from traces", ISPASS 2009), which the
+//! paper cites as the core model of TaskSim. The model approximates an
+//! out-of-order superscalar pipeline from a trace by enforcing, per
+//! instruction, the following constraints:
+//!
+//! * **issue width** — at most `issue_width` instructions dispatch per cycle;
+//! * **ROB occupancy** — instruction *i* cannot dispatch before instruction
+//!   *i − rob_size* has committed (the window is full otherwise);
+//! * **MSHRs** — at most `mshrs` cache misses may be outstanding;
+//! * **serialization** — data dependences (probabilistic, from the trace
+//!   spec), branch mispredictions and fences delay subsequent dispatch;
+//! * **in-order commit** — at most `commit_width` instructions commit per
+//!   cycle, in program order, after completing execution.
+//!
+//! Loads get their completion latency from the [`MemorySystem`]; everything
+//! else uses the configured latency table. The model keeps fractional-cycle
+//! bookkeeping with integer *ticks* (`1 tick = 1/width` cycles) so it is
+//! exact and fast.
+
+use crate::config::CoreConfig;
+use crate::hierarchy::MemorySystem;
+use taskpoint_stats::rng::Xoshiro256pp;
+use taskpoint_trace::{InstKind, Instruction};
+
+/// Workload-dependent execution parameters of the current task, taken from
+/// its trace spec.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskParams {
+    /// Probability that a branch mispredicts.
+    pub branch_mispredict_rate: f64,
+    /// Probability that the next instruction depends on this one.
+    pub dependency_rate: f64,
+}
+
+/// Per-core pipeline state of the ROB occupancy analysis model.
+#[derive(Debug, Clone)]
+pub struct RobCore {
+    // -- static configuration --
+    rob_size: usize,
+    issue_width: u64,
+    commit_width: u64,
+    mispredict_penalty: u64,
+    mshrs: usize,
+    lat_int_alu: u64,
+    lat_int_mul: u64,
+    lat_int_div: u64,
+    lat_fp_alu: u64,
+    lat_fp_mul: u64,
+    lat_fp_div: u64,
+    lat_store: u64,
+    lat_branch: u64,
+    lat_atomic_extra: u64,
+    lat_fence: u64,
+    // -- dynamic state --
+    /// Commit cycle of instruction `i - rob_size`, indexed `i % rob_size`.
+    commit_ring: Vec<u64>,
+    ring_pos: usize,
+    /// Dispatch clock in ticks of `1/issue_width` cycles.
+    dispatch_ticks: u64,
+    /// Commit clock in ticks of `1/commit_width` cycles.
+    commit_ticks: u64,
+    /// Earliest cycle the next instruction may dispatch (dependences,
+    /// mispredictions, fences).
+    serial_until: u64,
+    /// Completion cycles of outstanding cache misses.
+    outstanding: Vec<u64>,
+    last_commit: u64,
+}
+
+impl RobCore {
+    /// Creates a core with drained pipeline state at cycle 0.
+    pub fn new(cfg: &CoreConfig) -> Self {
+        let l = &cfg.latencies;
+        Self {
+            rob_size: cfg.rob_size as usize,
+            issue_width: cfg.issue_width as u64,
+            commit_width: cfg.commit_width as u64,
+            mispredict_penalty: cfg.mispredict_penalty as u64,
+            mshrs: cfg.mshrs as usize,
+            lat_int_alu: l.int_alu as u64,
+            lat_int_mul: l.int_mul as u64,
+            lat_int_div: l.int_div as u64,
+            lat_fp_alu: l.fp_alu as u64,
+            lat_fp_mul: l.fp_mul as u64,
+            lat_fp_div: l.fp_div as u64,
+            lat_store: l.store as u64,
+            lat_branch: l.branch as u64,
+            lat_atomic_extra: l.atomic_extra as u64,
+            lat_fence: l.fence as u64,
+            commit_ring: vec![0; cfg.rob_size as usize],
+            ring_pos: 0,
+            dispatch_ticks: 0,
+            commit_ticks: 0,
+            serial_until: 0,
+            outstanding: Vec::with_capacity(cfg.mshrs as usize),
+            last_commit: 0,
+        }
+    }
+
+    /// Drains the pipeline and restarts the clocks at `start` — called at
+    /// every task boundary (tasks never share pipeline state; caches, which
+    /// live in the [`MemorySystem`], do persist across tasks).
+    pub fn reset(&mut self, start: u64) {
+        self.commit_ring.fill(start);
+        self.ring_pos = 0;
+        self.dispatch_ticks = start * self.issue_width;
+        self.commit_ticks = start * self.commit_width;
+        self.serial_until = start;
+        self.outstanding.clear();
+        self.last_commit = start;
+    }
+
+    /// The cycle the next instruction would dispatch at (the core's local
+    /// clock for chunked execution).
+    pub fn dispatch_cycle(&self) -> u64 {
+        self.dispatch_ticks / self.issue_width
+    }
+
+    /// Commit cycle of the most recently executed instruction.
+    pub fn last_commit(&self) -> u64 {
+        self.last_commit
+    }
+
+    /// Executes one trace instruction on core `core_id`; returns its commit
+    /// cycle. `rng` must be the task instance's private stream so replays
+    /// are identical in every simulation mode.
+    pub fn execute(
+        &mut self,
+        core_id: u32,
+        inst: &Instruction,
+        params: TaskParams,
+        mem: &mut MemorySystem,
+        data_rng: &mut Xoshiro256pp,
+        code_rng: &mut Xoshiro256pp,
+    ) -> u64 {
+        // Dispatch constraints: issue width (tick += 1 below), ROB window,
+        // serialization.
+        let rob_constraint = self.commit_ring[self.ring_pos];
+        let mut ticks = self.dispatch_ticks.max(rob_constraint * self.issue_width);
+        ticks = ticks.max(self.serial_until * self.issue_width);
+        let mut d = ticks / self.issue_width;
+
+        // MSHR constraint for loads/atomics that will touch memory.
+        if matches!(inst.kind, InstKind::Load | InstKind::Atomic) {
+            self.outstanding.retain(|&c| c > d);
+            if self.outstanding.len() >= self.mshrs {
+                let earliest = *self.outstanding.iter().min().expect("non-empty");
+                d = d.max(earliest);
+                ticks = ticks.max(d * self.issue_width);
+                self.outstanding.retain(|&c| c > d);
+            }
+        }
+
+        // Execute.
+        let complete = match inst.kind {
+            InstKind::Load => {
+                let r = mem.access(core_id, inst.addr, false, d);
+                if r.l1_miss {
+                    self.outstanding.push(d + r.latency);
+                }
+                d + r.latency
+            }
+            InstKind::Atomic => {
+                let r = mem.access(core_id, inst.addr, true, d);
+                if r.l1_miss {
+                    self.outstanding.push(d + r.latency);
+                }
+                d + r.latency + self.lat_atomic_extra
+            }
+            InstKind::Store => {
+                // Write-allocate + coherence happen now; the store itself
+                // retires through the write buffer at store latency.
+                let _ = mem.access(core_id, inst.addr, true, d);
+                d + self.lat_store
+            }
+            InstKind::IntAlu => d + self.lat_int_alu,
+            InstKind::IntMul => d + self.lat_int_mul,
+            InstKind::IntDiv => d + self.lat_int_div,
+            InstKind::FpAlu => d + self.lat_fp_alu,
+            InstKind::FpMul => d + self.lat_fp_mul,
+            InstKind::FpDiv => d + self.lat_fp_div,
+            InstKind::Branch => d + self.lat_branch,
+            InstKind::Fence => d + self.lat_fence,
+        };
+
+        // Serialization effects on later instructions.
+        match inst.kind {
+            InstKind::Branch => {
+                // Branch outcomes are data-dependent: per-instance stream.
+                if data_rng.next_f64() < params.branch_mispredict_rate {
+                    self.serial_until =
+                        self.serial_until.max(complete + self.mispredict_penalty);
+                }
+            }
+            InstKind::Fence => {
+                self.serial_until = self.serial_until.max(complete);
+            }
+            _ => {
+                // Register dependences are code structure: the code stream,
+                // shared by all instances of a task type.
+                if code_rng.next_f64() < params.dependency_rate {
+                    self.serial_until = self.serial_until.max(complete);
+                }
+            }
+        }
+
+        // Consume one dispatch slot.
+        self.dispatch_ticks = ticks + 1;
+
+        // In-order commit, bounded by commit width.
+        self.commit_ticks = (self.commit_ticks + 1).max(complete * self.commit_width);
+        let commit_cycle = self.commit_ticks / self.commit_width;
+
+        // The slot we read as the i-ROB constraint is overwritten with this
+        // instruction's commit time for instruction i+ROB.
+        self.commit_ring[self.ring_pos] = commit_cycle;
+        self.ring_pos = (self.ring_pos + 1) % self.rob_size;
+        self.last_commit = commit_cycle;
+        commit_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use taskpoint_stats::rng::Xoshiro256pp;
+
+    const NO_EVENTS: TaskParams = TaskParams { branch_mispredict_rate: 0.0, dependency_rate: 0.0 };
+
+    fn setup(cores: u32) -> (RobCore, MemorySystem) {
+        let m = MachineConfig::high_performance();
+        (RobCore::new(&m.core), MemorySystem::new(&m, cores))
+    }
+
+    fn run_kinds(kinds: &[InstKind], n: usize) -> u64 {
+        let (mut core, mut mem) = setup(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut crng = Xoshiro256pp::seed_from_u64(100);
+        core.reset(0);
+        let mut last = 0;
+        for i in 0..n {
+            let k = kinds[i % kinds.len()];
+            let inst = if k.is_memory() {
+                Instruction::memory(k, (i as u64 % 64) * 64, 8)
+            } else {
+                Instruction::compute(k)
+            };
+            last = core.execute(0, &inst, NO_EVENTS, &mut mem, &mut rng, &mut crng);
+        }
+        last
+    }
+
+    #[test]
+    fn independent_alu_stream_reaches_issue_width() {
+        // 4-wide high-perf core, no dependences: IPC -> 4.
+        let n = 10_000;
+        let cycles = run_kinds(&[InstKind::IntAlu], n);
+        let ipc = n as f64 / cycles as f64;
+        assert!(ipc > 3.8 && ipc <= 4.0, "ipc {ipc}");
+    }
+
+    #[test]
+    fn fully_dependent_stream_serializes() {
+        let (mut core, mut mem) = setup(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut crng = Xoshiro256pp::seed_from_u64(102);
+        core.reset(0);
+        let params = TaskParams { branch_mispredict_rate: 0.0, dependency_rate: 1.0 };
+        let n = 1000u64;
+        let mut last = 0;
+        for _ in 0..n {
+            last = core.execute(0, &Instruction::compute(InstKind::IntAlu), params, &mut mem, &mut rng, &mut crng);
+        }
+        // Every instruction waits for the previous one: ~1 cycle each.
+        let ipc = n as f64 / last as f64;
+        assert!(ipc < 1.1, "serial chain ipc {ipc}");
+    }
+
+    #[test]
+    fn long_latency_divide_throttles_commit() {
+        let fast = run_kinds(&[InstKind::IntAlu], 4000);
+        let slow = run_kinds(&[InstKind::IntDiv], 4000);
+        assert!(slow >= fast, "divides cannot be faster ({slow} vs {fast})");
+    }
+
+    #[test]
+    fn cold_misses_stall_the_window() {
+        let (mut core, mut mem) = setup(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut crng = Xoshiro256pp::seed_from_u64(103);
+        core.reset(0);
+        // Every load touches a new line far apart -> all DRAM misses.
+        let n = 2000u64;
+        let mut last = 0;
+        for i in 0..n {
+            let inst = Instruction::memory(InstKind::Load, i * 4096, 8);
+            last = core.execute(0, &inst, NO_EVENTS, &mut mem, &mut rng, &mut crng);
+        }
+        let ipc = n as f64 / last as f64;
+        // DRAM latency 180, MSHRs 10 -> IPC is miss-bound well below 1.
+        assert!(ipc < 0.2, "miss-bound ipc {ipc}");
+    }
+
+    #[test]
+    fn mshrs_bound_memory_level_parallelism() {
+        // With more MSHRs the same miss stream must finish no later.
+        let m = MachineConfig::high_performance();
+        let mut few_cfg = m.core.clone();
+        few_cfg.mshrs = 1;
+        let run = |cfg: &crate::config::CoreConfig| {
+            let mut core = RobCore::new(cfg);
+            let mut mem = MemorySystem::new(&m, 1);
+            let mut rng = Xoshiro256pp::seed_from_u64(4);
+            let mut crng = Xoshiro256pp::seed_from_u64(104);
+            core.reset(0);
+            let mut last = 0;
+            for i in 0..500u64 {
+                let inst = Instruction::memory(InstKind::Load, i * 4096, 8);
+                last = core.execute(0, &inst, NO_EVENTS, &mut mem, &mut rng, &mut crng);
+            }
+            last
+        };
+        let wide = run(&m.core);
+        let narrow = run(&few_cfg);
+        assert!(
+            narrow > wide * 3,
+            "1 MSHR must be much slower than 10: {narrow} vs {wide}"
+        );
+    }
+
+    #[test]
+    fn mispredictions_add_penalty() {
+        let (mut core, mut mem) = setup(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut crng = Xoshiro256pp::seed_from_u64(105);
+        core.reset(0);
+        let clean = TaskParams { branch_mispredict_rate: 0.0, dependency_rate: 0.0 };
+        let dirty = TaskParams { branch_mispredict_rate: 0.5, dependency_rate: 0.0 };
+        let mut run = |p: TaskParams| {
+            core.reset(0);
+            let mut last = 0;
+            for _ in 0..2000 {
+                last = core.execute(0, &Instruction::compute(InstKind::Branch), p, &mut mem, &mut rng, &mut crng);
+            }
+            last
+        };
+        let fast = run(clean);
+        let slow = run(dirty);
+        assert!(slow > fast * 2, "mispredicts must hurt: {slow} vs {fast}");
+    }
+
+    #[test]
+    fn reset_restarts_clocks_at_given_cycle() {
+        let (mut core, mut mem) = setup(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let mut crng = Xoshiro256pp::seed_from_u64(106);
+        core.reset(1_000_000);
+        assert_eq!(core.dispatch_cycle(), 1_000_000);
+        let c = core.execute(0, &Instruction::compute(InstKind::IntAlu), NO_EVENTS, &mut mem, &mut rng, &mut crng);
+        assert!(c >= 1_000_000);
+        assert_eq!(core.last_commit(), c);
+    }
+
+    #[test]
+    fn rob_limits_runahead_past_a_miss() {
+        // A DRAM miss followed by cheap ALU work: with a small ROB the ALU
+        // stream cannot run ahead past the window, so total time is longer.
+        let m = MachineConfig::high_performance();
+        let mut small = m.core.clone();
+        small.rob_size = 8;
+        let run = |cfg: &crate::config::CoreConfig| {
+            let mut core = RobCore::new(cfg);
+            let mut mem = MemorySystem::new(&m, 1);
+            let mut rng = Xoshiro256pp::seed_from_u64(7);
+            let mut crng = Xoshiro256pp::seed_from_u64(107);
+            core.reset(0);
+            let mut last = 0;
+            for i in 0..3000u64 {
+                let inst = if i % 300 == 0 {
+                    Instruction::memory(InstKind::Load, i * 8192, 8)
+                } else {
+                    Instruction::compute(InstKind::IntAlu)
+                };
+                last = core.execute(0, &inst, NO_EVENTS, &mut mem, &mut rng, &mut crng);
+            }
+            last
+        };
+        let big_rob = run(&m.core);
+        let small_rob = run(&small);
+        assert!(
+            small_rob >= big_rob,
+            "smaller ROB cannot be faster: {small_rob} vs {big_rob}"
+        );
+    }
+
+    #[test]
+    fn fence_serializes_following_work() {
+        let with_fences = run_kinds(&[InstKind::Fence, InstKind::IntAlu], 2000);
+        let without = run_kinds(&[InstKind::IntAlu], 2000);
+        assert!(with_fences > without * 2);
+    }
+}

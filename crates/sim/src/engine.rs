@@ -1,0 +1,716 @@
+//! The multi-core interleaving engine.
+//!
+//! Executes a [`Program`] on a simulated machine: worker cores advance in
+//! bounded time chunks (a min-heap orders them by local clock, so causal
+//! skew on shared state never exceeds one chunk), the scheduler hands ready
+//! task instances to idle workers, and a [`ModeController`] decides per
+//! task instance whether it runs through the detailed core model or is
+//! fast-forwarded at a prescribed IPC. Mode switching therefore happens
+//! exactly at task boundaries, matching the paper's mechanism; tasks that
+//! started before a global mode transition simply finish in the mode they
+//! started in.
+//!
+//! The engine is single-threaded and fully deterministic: heap ties break
+//! on worker id, schedulers are deterministic, and all randomness (trace
+//! content, mispredictions, noise) is derived from per-instance seeds.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use taskpoint_runtime::{FifoScheduler, Program, ReadySet, Scheduler, TaskInstanceId, WorkerId};
+use taskpoint_stats::rng::{mix_seed, Xoshiro256pp};
+use taskpoint_trace::TraceIter;
+
+use crate::burst::burst_duration;
+use crate::config::MachineConfig;
+use crate::core_model::{RobCore, TaskParams};
+use crate::hierarchy::MemorySystem;
+use crate::mode::{ExecMode, ModeController, TaskStart};
+use crate::noise::NoiseModel;
+use crate::report::{SimMode, SimResult, TaskReport};
+
+/// Domain-separation constant for per-task pipeline randomness (branch and
+/// dependency draws), mixed with the trace seed so detailed replays are
+/// identical in every run and mode.
+const PIPELINE_RNG_SALT: u64 = 0xC0DE_0001;
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+pub struct Simulation<'p> {
+    program: &'p Program,
+    machine: MachineConfig,
+    workers: u32,
+    scheduler: Box<dyn Scheduler>,
+    noise: Option<NoiseModel>,
+    collect_reports: bool,
+    prewarm: bool,
+}
+
+/// Builder for [`Simulation`].
+pub struct SimulationBuilder<'p> {
+    program: &'p Program,
+    machine: MachineConfig,
+    workers: u32,
+    scheduler: Option<Box<dyn Scheduler>>,
+    noise: Option<NoiseModel>,
+    collect_reports: bool,
+    prewarm: bool,
+}
+
+impl<'p> Simulation<'p> {
+    /// Starts building a simulation of `program` on `machine`.
+    pub fn builder(program: &'p Program, machine: MachineConfig) -> SimulationBuilder<'p> {
+        SimulationBuilder {
+            program,
+            machine,
+            workers: 1,
+            scheduler: None,
+            noise: None,
+            collect_reports: false,
+            prewarm: true,
+        }
+    }
+
+    /// Runs the simulation to completion under `controller` and returns the
+    /// result. Consumes the simulation (caches and clocks are single-use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler loses tasks (tasks pending but none ready or
+    /// running — impossible with the provided schedulers) or the controller
+    /// returns an invalid fast-forward IPC.
+    pub fn run<C: ModeController>(self, controller: &mut C) -> SimResult {
+        let Simulation {
+            program,
+            machine,
+            workers: num_workers,
+            scheduler,
+            noise,
+            collect_reports,
+            prewarm,
+        } = self;
+        let wall_start = Instant::now();
+        let mut mem = MemorySystem::new(&machine, num_workers);
+        if prewarm {
+            prewarm_memory(&mut mem, program, machine.line_size);
+        }
+        let mut engine = Engine {
+            program,
+            mem,
+            workers: (0..num_workers)
+                .map(|_| WorkerState {
+                    core: RobCore::new(&machine.core),
+                    local_time: 0,
+                    running: None,
+                })
+                .collect(),
+            scheduler,
+            ready_set: program.graph().ready_set(),
+            ready_at: vec![0; program.num_instances()],
+            heap: BinaryHeap::new(),
+            idle: (0..num_workers).rev().collect(),
+            running_count: 0,
+            num_workers,
+            chunk_cycles: machine.chunk_cycles,
+            noise,
+            collect_reports,
+            stats: RunStats::default(),
+            reports: Vec::new(),
+        };
+        for root in program.graph().roots() {
+            engine.scheduler.task_ready(root);
+        }
+        engine.assign_ready_tasks(controller, 0);
+        engine.event_loop(controller);
+
+        assert!(
+            engine.ready_set.all_done(),
+            "simulation stalled with {} tasks pending (scheduler lost tasks?)",
+            engine.ready_set.pending()
+        );
+
+        SimResult {
+            total_cycles: engine.stats.max_end,
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+            detailed_tasks: engine.stats.detailed_tasks,
+            fast_tasks: engine.stats.fast_tasks,
+            detailed_instructions: engine.stats.detailed_instructions,
+            fast_instructions: engine.stats.fast_instructions,
+            reports: engine.reports,
+            invalidations: engine.mem.invalidations(),
+            dram_accesses: engine.mem.dram_accesses(),
+            private_cache: (0..engine.mem.private_levels())
+                .map(|l| engine.mem.private_stats(l))
+                .collect(),
+            shared_cache: (0..engine.mem.shared_levels())
+                .map(|l| engine.mem.shared_stats(l))
+                .collect(),
+            workers: num_workers,
+        }
+    }
+}
+
+/// Live state of a run (separated from `Simulation` so borrows stay local).
+struct Engine<'p> {
+    program: &'p Program,
+    mem: MemorySystem,
+    workers: Vec<WorkerState>,
+    scheduler: Box<dyn Scheduler>,
+    ready_set: ReadySet,
+    /// Earliest start cycle of each task: the maximum completion time of
+    /// its predecessors. Completions are processed in *heap* order, which
+    /// can differ from end-time order when a task's commit tail extends
+    /// past its final chunk — without this, a successor could start before
+    /// a predecessor's actual end.
+    ready_at: Vec<u64>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Idle worker ids, kept sorted descending so `pop` yields lowest id.
+    idle: Vec<u32>,
+    running_count: u32,
+    num_workers: u32,
+    chunk_cycles: u64,
+    noise: Option<NoiseModel>,
+    collect_reports: bool,
+    stats: RunStats,
+    reports: Vec<TaskReport>,
+}
+
+impl<'p> Engine<'p> {
+    fn event_loop<C: ModeController>(&mut self, controller: &mut C) {
+        while let Some(Reverse((t, w))) = self.heap.pop() {
+            let widx = w as usize;
+            let running = self.workers[widx].running.take().expect("scheduled worker has a task");
+            match running {
+                Running::Detailed {
+                    task,
+                    mut iter,
+                    mut data_rng,
+                    mut code_rng,
+                    params,
+                    start,
+                    mut executed,
+                    concurrency,
+                } => {
+                    let chunk_end =
+                        self.workers[widx].core.dispatch_cycle().max(t) + self.chunk_cycles;
+                    let mut finished = false;
+                    {
+                        let worker = &mut self.workers[widx];
+                        while worker.core.dispatch_cycle() < chunk_end {
+                            match iter.next() {
+                                Some(inst) => {
+                                    worker.core.execute(
+                                        w,
+                                        &inst,
+                                        params,
+                                        &mut self.mem,
+                                        &mut data_rng,
+                                        &mut code_rng,
+                                    );
+                                    executed += 1;
+                                }
+                                None => {
+                                    finished = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if finished {
+                        let raw_end = self.workers[widx].core.last_commit().max(start + 1);
+                        let end = match &self.noise {
+                            Some(n) => {
+                                let f = n.factor(self.program.instance(task).trace().seed());
+                                let dur = ((raw_end - start) as f64 * f).round() as u64;
+                                start + dur.max(1)
+                            }
+                            None => raw_end,
+                        };
+                        let report = TaskReport {
+                            task,
+                            type_id: self.program.instance(task).type_id(),
+                            worker: WorkerId(w),
+                            start,
+                            end,
+                            instructions: executed,
+                            mode: SimMode::Detailed,
+                            concurrency,
+                        };
+                        self.complete(w, report, controller);
+                    } else {
+                        let now = self.workers[widx].core.dispatch_cycle();
+                        self.workers[widx].local_time = now;
+                        self.workers[widx].running = Some(Running::Detailed {
+                            task,
+                            iter,
+                            data_rng,
+                            code_rng,
+                            params,
+                            start,
+                            executed,
+                            concurrency,
+                        });
+                        self.heap.push(Reverse((now, w)));
+                    }
+                }
+                Running::Burst { task, start, end, instructions, concurrency } => {
+                    debug_assert_eq!(t, end);
+                    let report = TaskReport {
+                        task,
+                        type_id: self.program.instance(task).type_id(),
+                        worker: WorkerId(w),
+                        start,
+                        end,
+                        instructions,
+                        mode: SimMode::Fast,
+                        concurrency,
+                    };
+                    self.complete(w, report, controller);
+                }
+            }
+        }
+    }
+
+    /// Records a completed task, releases its worker and assigns any newly
+    /// ready work.
+    fn complete<C: ModeController>(&mut self, w: u32, report: TaskReport, controller: &mut C) {
+        match report.mode {
+            SimMode::Detailed => {
+                self.stats.detailed_tasks += 1;
+                self.stats.detailed_instructions += report.instructions;
+            }
+            SimMode::Fast => {
+                self.stats.fast_tasks += 1;
+                self.stats.fast_instructions += report.instructions;
+            }
+        }
+        self.stats.max_end = self.stats.max_end.max(report.end);
+        self.running_count -= 1;
+        controller.on_task_complete(&report);
+        if self.collect_reports {
+            self.reports.push(report);
+        }
+        for &succ in self.program.graph().successors(report.task) {
+            let r = &mut self.ready_at[succ.index()];
+            *r = (*r).max(report.end);
+        }
+        let newly = self.ready_set.complete(self.program.graph(), report.task);
+        for t in newly {
+            self.scheduler.task_ready(t);
+        }
+        self.workers[w as usize].local_time = report.end;
+        self.idle.push(w);
+        self.idle.sort_unstable_by(|a, b| b.cmp(a));
+        self.assign_ready_tasks(controller, report.end);
+    }
+
+    /// Hands ready tasks to idle workers (lowest id first), starting them
+    /// no earlier than `now`.
+    fn assign_ready_tasks<C: ModeController>(&mut self, controller: &mut C, now: u64) {
+        while self.scheduler.ready_count() > 0 {
+            let Some(w) = self.idle.pop() else { break };
+            let Some(task) = self.scheduler.pick(WorkerId(w)) else {
+                self.idle.push(w);
+                break;
+            };
+            let widx = w as usize;
+            let start = self.workers[widx]
+                .local_time
+                .max(now)
+                .max(self.ready_at[task.index()]);
+            let inst = self.program.instance(task);
+            self.running_count += 1;
+            let ctx = TaskStart {
+                task,
+                type_id: inst.type_id(),
+                instructions: inst.instructions(),
+                worker: WorkerId(w),
+                time: start,
+                concurrency: self.running_count,
+                total_workers: self.num_workers,
+            };
+            match controller.mode_for_task(&ctx) {
+                ExecMode::Detailed => {
+                    let spec = inst.trace();
+                    self.workers[widx].core.reset(start);
+                    self.workers[widx].running = Some(Running::Detailed {
+                        task,
+                        iter: spec.iter(),
+                        data_rng: Xoshiro256pp::seed_from_u64(mix_seed(&[
+                            spec.seed(),
+                            PIPELINE_RNG_SALT,
+                        ])),
+                        code_rng: Xoshiro256pp::seed_from_u64(mix_seed(&[
+                            spec.code_seed(),
+                            PIPELINE_RNG_SALT,
+                        ])),
+                        params: TaskParams {
+                            branch_mispredict_rate: spec.branch_mispredict_rate(),
+                            dependency_rate: spec.dependency_rate(),
+                        },
+                        start,
+                        executed: 0,
+                        concurrency: self.running_count,
+                    });
+                    self.workers[widx].local_time = start;
+                    self.heap.push(Reverse((start, w)));
+                }
+                ExecMode::Fast { ipc } => {
+                    let end = start + burst_duration(inst.instructions(), ipc);
+                    self.workers[widx].running = Some(Running::Burst {
+                        task,
+                        start,
+                        end,
+                        instructions: inst.instructions(),
+                        concurrency: self.running_count,
+                    });
+                    self.workers[widx].local_time = start;
+                    self.heap.push(Reverse((end, w)));
+                }
+            }
+        }
+    }
+}
+
+/// Models the application's initialization phase: trace-driven simulation
+/// begins after the program's data structures were allocated and filled, so
+/// the *shared* last-level cache holds the most recently initialized data
+/// (bounded by its capacity — LRU keeps the tail of the walk, and data
+/// beyond capacity simply stays in DRAM as it would in reality). Private
+/// caches stay cold; heating those is exactly what TaskPoint's warmup
+/// phase is for.
+fn prewarm_memory(mem: &mut MemorySystem, program: &Program, line_size: u32) {
+    let capacity = mem.last_level_capacity_lines();
+    if capacity == 0 {
+        return;
+    }
+    // Deduplicate regions first: tiled programs annotate the same block in
+    // thousands of instances, and re-touching resident lines would spend
+    // the entire prewarm budget on LRU churn.
+    let mut seen = std::collections::HashSet::new();
+    let mut regions = Vec::new();
+    // Reverse creation order: the "most recently initialized" data (what an
+    // init phase leaves resident) wins the capacity race.
+    for inst in program.instances().iter().rev() {
+        for region in [inst.trace().footprint(), inst.trace().shared()] {
+            if !region.is_empty() && seen.insert((region.base, region.len)) {
+                regions.push(region);
+            }
+        }
+    }
+    // All-or-nothing: if the program's distinct data exceeds the last
+    // level, partial prewarming would split instances of one task type into
+    // a fast (resident) and a slow (DRAM) class that does not exist in
+    // reality — real init leaves *every* task's data equally (non-)resident.
+    // When the data does not fit, nothing is prewarmed and every instance
+    // pays the same DRAM first-touch costs.
+    let total_lines: u64 = regions
+        .iter()
+        .map(|r| {
+            let first = r.base >> line_size.trailing_zeros();
+            let last = (r.end() - 1) >> line_size.trailing_zeros();
+            last - first + 1
+        })
+        .sum();
+    if total_lines > capacity as u64 {
+        return;
+    }
+    for region in regions {
+        let first = region.base >> line_size.trailing_zeros();
+        let last = (region.end() - 1) >> line_size.trailing_zeros();
+        for line in first..=last {
+            mem.prewarm_line(line);
+        }
+    }
+    mem.reset_stats();
+}
+
+/// Per-run counters.
+#[derive(Debug, Default)]
+struct RunStats {
+    detailed_tasks: u64,
+    fast_tasks: u64,
+    detailed_instructions: u64,
+    fast_instructions: u64,
+    max_end: u64,
+}
+
+/// What a worker is currently doing.
+enum Running {
+    Detailed {
+        task: TaskInstanceId,
+        iter: TraceIter,
+        data_rng: Xoshiro256pp,
+        code_rng: Xoshiro256pp,
+        params: TaskParams,
+        start: u64,
+        executed: u64,
+        concurrency: u32,
+    },
+    Burst {
+        task: TaskInstanceId,
+        start: u64,
+        end: u64,
+        instructions: u64,
+        concurrency: u32,
+    },
+}
+
+struct WorkerState {
+    core: RobCore,
+    local_time: u64,
+    running: Option<Running>,
+}
+
+impl<'p> SimulationBuilder<'p> {
+    /// Sets the number of simulated worker threads (default 1, max 64).
+    pub fn workers(mut self, n: u32) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Installs a scheduler (default: [`FifoScheduler`]).
+    pub fn scheduler(mut self, s: Box<dyn Scheduler>) -> Self {
+        self.scheduler = Some(s);
+        self
+    }
+
+    /// Enables the system-noise model ("native execution" stand-in).
+    pub fn noise(mut self, n: NoiseModel) -> Self {
+        self.noise = Some(n);
+        self
+    }
+
+    /// Collects per-task reports into the result (needed by the variation
+    /// figures; costs memory proportional to the instance count).
+    pub fn collect_reports(mut self, yes: bool) -> Self {
+        self.collect_reports = yes;
+        self
+    }
+
+    /// Enables/disables last-level-cache pre-warming with the program's
+    /// data footprint (default: enabled; see the engine docs). Disable to
+    /// model a completely cold machine.
+    pub fn prewarm(mut self, yes: bool) -> Self {
+        self.prewarm = yes;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker count is 0 or exceeds 64, or the machine
+    /// configuration is invalid.
+    pub fn build(self) -> Simulation<'p> {
+        assert!(self.workers >= 1 && self.workers <= 64, "1..=64 workers");
+        self.machine.validate();
+        Simulation {
+            program: self.program,
+            machine: self.machine,
+            workers: self.workers,
+            scheduler: self.scheduler.unwrap_or_else(|| Box::new(FifoScheduler::new())),
+            noise: self.noise,
+            collect_reports: self.collect_reports,
+            prewarm: self.prewarm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::{DetailedOnly, FixedIpc};
+    use taskpoint_runtime::RegionAccess;
+    use taskpoint_trace::{MemRegion, TraceSpec};
+
+    /// `n` independent tasks of `instrs` instructions each.
+    fn independent_program(n: u64, instrs: u64) -> Program {
+        let mut b = Program::builder("indep");
+        let ty = b.add_type("work");
+        for i in 0..n {
+            b.add_task(ty, TraceSpec::synthetic(i, instrs), vec![]);
+        }
+        b.build()
+    }
+
+    /// A serial chain: task i writes region i, reads region i-1.
+    fn chain_program(n: u64, instrs: u64) -> Program {
+        let mut b = Program::builder("chain");
+        let ty = b.add_type("link");
+        for i in 0..n {
+            let mut acc = vec![RegionAccess::output(MemRegion::new(0x100_0000 + i * 64, 64))];
+            if i > 0 {
+                acc.push(RegionAccess::input(MemRegion::new(0x100_0000 + (i - 1) * 64, 64)));
+            }
+            b.add_task(ty, TraceSpec::synthetic(i, instrs), acc);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn detailed_run_executes_every_task() {
+        let p = independent_program(20, 500);
+        let sim = Simulation::builder(&p, MachineConfig::tiny_test()).workers(4).build();
+        let r = sim.run(&mut DetailedOnly);
+        assert_eq!(r.detailed_tasks, 20);
+        assert_eq!(r.fast_tasks, 0);
+        assert_eq!(r.detailed_instructions, 20 * 500);
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn fast_run_matches_burst_arithmetic() {
+        let p = independent_program(8, 1000);
+        let sim = Simulation::builder(&p, MachineConfig::tiny_test()).workers(8).build();
+        let r = sim.run(&mut FixedIpc(2.0));
+        // All 8 run concurrently from t=0, each 1000/2 = 500 cycles.
+        assert_eq!(r.total_cycles, 500);
+        assert_eq!(r.fast_tasks, 8);
+        assert_eq!(r.detail_fraction(), 0.0);
+    }
+
+    #[test]
+    fn serial_chain_cannot_overlap() {
+        let p = chain_program(10, 100);
+        let sim = Simulation::builder(&p, MachineConfig::tiny_test()).workers(4).build();
+        let r = sim.run(&mut FixedIpc(1.0));
+        // Each task takes exactly 100 cycles and they serialize: >= 1000.
+        assert_eq!(r.total_cycles, 1000);
+    }
+
+    #[test]
+    fn more_workers_do_not_slow_down_independent_work() {
+        let p = independent_program(32, 400);
+        let one = Simulation::builder(&p, MachineConfig::tiny_test()).workers(1).build();
+        let eight = Simulation::builder(&p, MachineConfig::tiny_test()).workers(8).build();
+        let t1 = one.run(&mut FixedIpc(1.0)).total_cycles;
+        let t8 = eight.run(&mut FixedIpc(1.0)).total_cycles;
+        assert_eq!(t1, 32 * 400);
+        assert_eq!(t8, 4 * 400, "perfect speedup for equal burst tasks");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let p = independent_program(16, 800);
+        let run = || {
+            Simulation::builder(&p, MachineConfig::tiny_test())
+                .workers(4)
+                .collect_reports(true)
+                .build()
+                .run(&mut DetailedOnly)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.reports, b.reports);
+    }
+
+    #[test]
+    fn schedule_respects_dependences() {
+        let p = chain_program(12, 200);
+        let sim = Simulation::builder(&p, MachineConfig::tiny_test())
+            .workers(4)
+            .collect_reports(true)
+            .build();
+        let r = sim.run(&mut DetailedOnly);
+        // Completion order must be the chain order and no task may start
+        // before its predecessor ends.
+        let mut by_task: Vec<&TaskReport> = r.reports.iter().collect();
+        by_task.sort_by_key(|t| t.task);
+        for pair in by_task.windows(2) {
+            assert!(
+                pair[1].start >= pair[0].end,
+                "task {} started at {} before {} ended at {}",
+                pair[1].task,
+                pair[1].start,
+                pair[0].task,
+                pair[0].end
+            );
+        }
+    }
+
+    #[test]
+    fn reports_collected_only_on_request() {
+        let p = independent_program(4, 100);
+        let without = Simulation::builder(&p, MachineConfig::tiny_test()).build().run(&mut DetailedOnly);
+        assert!(without.reports.is_empty());
+        let with = Simulation::builder(&p, MachineConfig::tiny_test())
+            .collect_reports(true)
+            .build()
+            .run(&mut DetailedOnly);
+        assert_eq!(with.reports.len(), 4);
+    }
+
+    #[test]
+    fn concurrency_is_tracked() {
+        let p = independent_program(8, 300);
+        let r = Simulation::builder(&p, MachineConfig::tiny_test())
+            .workers(4)
+            .collect_reports(true)
+            .build()
+            .run(&mut FixedIpc(1.0));
+        // First four tasks start together: concurrency ramps 1..=4.
+        let mut first_wave: Vec<u32> =
+            r.reports.iter().filter(|t| t.start == 0).map(|t| t.concurrency).collect();
+        first_wave.sort_unstable();
+        assert_eq!(first_wave, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn noise_changes_durations_deterministically() {
+        let p = independent_program(10, 500);
+        let noisy = |seed| {
+            Simulation::builder(&p, MachineConfig::tiny_test())
+                .workers(2)
+                .noise(NoiseModel::native_execution(seed))
+                .collect_reports(true)
+                .build()
+                .run(&mut DetailedOnly)
+        };
+        let clean = Simulation::builder(&p, MachineConfig::tiny_test())
+            .workers(2)
+            .collect_reports(true)
+            .build()
+            .run(&mut DetailedOnly);
+        let a = noisy(1);
+        let b = noisy(1);
+        assert_eq!(a.total_cycles, b.total_cycles, "noise is seeded");
+        let durations_differ = a
+            .reports
+            .iter()
+            .zip(clean.reports.iter())
+            .any(|(x, y)| x.cycles() != y.cycles());
+        assert!(durations_differ, "noise must perturb at least one task");
+    }
+
+    #[test]
+    fn mixed_mode_controller_splits_work() {
+        struct EveryOther(bool);
+        impl ModeController for EveryOther {
+            fn mode_for_task(&mut self, _s: &TaskStart) -> ExecMode {
+                self.0 = !self.0;
+                if self.0 {
+                    ExecMode::Detailed
+                } else {
+                    ExecMode::Fast { ipc: 1.0 }
+                }
+            }
+        }
+        let p = independent_program(10, 200);
+        let r = Simulation::builder(&p, MachineConfig::tiny_test())
+            .workers(2)
+            .build()
+            .run(&mut EveryOther(false));
+        assert_eq!(r.detailed_tasks, 5);
+        assert_eq!(r.fast_tasks, 5);
+        assert!((r.detail_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 workers")]
+    fn zero_workers_rejected() {
+        let p = independent_program(1, 1);
+        let _ = Simulation::builder(&p, MachineConfig::tiny_test()).workers(0).build();
+    }
+}

@@ -1,0 +1,114 @@
+//! Execution-mode control — the interface TaskPoint plugs into.
+//!
+//! The paper's two requirements on the host simulator (§III-A) are:
+//!
+//! 1. a detailed and a fast simulation mode, and
+//! 2. a fast mode capable of operating at a **user-specified IPC**.
+//!
+//! [`ExecMode`] expresses exactly that choice per task instance, and a
+//! [`ModeController`] makes the decision at every task start and observes
+//! every completion. The TaskPoint crate implements this trait; the
+//! baselines below are used for reference runs and tests.
+
+use crate::report::TaskReport;
+use taskpoint_runtime::{TaskInstanceId, TaskTypeId, WorkerId};
+
+/// How to simulate one task instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecMode {
+    /// Cycle-level simulation through the core model and caches.
+    Detailed,
+    /// Fast-forward: the task takes `ceil(instructions / ipc)` cycles.
+    Fast {
+        /// The prescribed IPC (> 0).
+        ipc: f64,
+    },
+}
+
+/// Context handed to the controller when a task is about to start.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskStart {
+    /// The instance about to run.
+    pub task: TaskInstanceId,
+    /// Its task type.
+    pub type_id: TaskTypeId,
+    /// Its dynamic instruction count (`I_i` in the paper).
+    pub instructions: u64,
+    /// The worker it will run on.
+    pub worker: WorkerId,
+    /// Simulated start cycle.
+    pub time: u64,
+    /// Workers executing tasks at this instant, including this one.
+    pub concurrency: u32,
+    /// Total workers in the machine.
+    pub total_workers: u32,
+}
+
+/// Decides the simulation mode of every task instance.
+pub trait ModeController {
+    /// Chooses the mode for a task that is about to start.
+    fn mode_for_task(&mut self, start: &TaskStart) -> ExecMode;
+
+    /// Observes a completed task (both modes). Default: ignore.
+    fn on_task_complete(&mut self, report: &TaskReport) {
+        let _ = report;
+    }
+}
+
+/// Baseline controller: everything in detailed mode (the reference
+/// simulation errors are measured against).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetailedOnly;
+
+impl ModeController for DetailedOnly {
+    fn mode_for_task(&mut self, _start: &TaskStart) -> ExecMode {
+        ExecMode::Detailed
+    }
+}
+
+/// Baseline controller: everything fast-forwarded at one fixed IPC
+/// (TaskSim's original burst mode with a constant rate; used in tests and
+/// as a lower bound on simulation time).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedIpc(pub f64);
+
+impl ModeController for FixedIpc {
+    fn mode_for_task(&mut self, _start: &TaskStart) -> ExecMode {
+        ExecMode::Fast { ipc: self.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detailed_only_always_detailed() {
+        let mut c = DetailedOnly;
+        let start = TaskStart {
+            task: TaskInstanceId(0),
+            type_id: TaskTypeId(0),
+            instructions: 10,
+            worker: WorkerId(0),
+            time: 0,
+            concurrency: 1,
+            total_workers: 1,
+        };
+        assert_eq!(c.mode_for_task(&start), ExecMode::Detailed);
+    }
+
+    #[test]
+    fn fixed_ipc_always_fast() {
+        let mut c = FixedIpc(2.0);
+        let start = TaskStart {
+            task: TaskInstanceId(1),
+            type_id: TaskTypeId(0),
+            instructions: 10,
+            worker: WorkerId(0),
+            time: 5,
+            concurrency: 1,
+            total_workers: 1,
+        };
+        assert_eq!(c.mode_for_task(&start), ExecMode::Fast { ipc: 2.0 });
+    }
+}

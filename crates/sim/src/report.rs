@@ -1,0 +1,149 @@
+//! Per-task reports and whole-simulation results.
+
+use serde::{Deserialize, Serialize};
+use taskpoint_runtime::{TaskInstanceId, TaskTypeId, WorkerId};
+
+use crate::hierarchy::LevelStats;
+
+/// The mode a task instance was simulated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimMode {
+    /// Cycle-level detailed simulation (ROB occupancy analysis + caches).
+    Detailed,
+    /// Burst/fast-forward mode at a prescribed IPC.
+    Fast,
+}
+
+/// Timing record of one completed task instance — the quantity TaskPoint
+/// samples (its IPC) and predicts (its duration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskReport {
+    /// The completed instance.
+    pub task: TaskInstanceId,
+    /// Its task type.
+    pub type_id: TaskTypeId,
+    /// The worker that executed it.
+    pub worker: WorkerId,
+    /// Start cycle.
+    pub start: u64,
+    /// Completion cycle (exclusive; `end > start` always holds).
+    pub end: u64,
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Simulation mode the instance ran in.
+    pub mode: SimMode,
+    /// Number of workers executing tasks concurrently when this task
+    /// started (including itself) — the signal behind the paper's
+    /// thread-count resampling trigger (Fig. 4a).
+    pub concurrency: u32,
+}
+
+impl TaskReport {
+    /// Cycles the task took.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// The task's achieved instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles() as f64
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Total simulated execution time in cycles (completion of the last
+    /// task).
+    pub total_cycles: u64,
+    /// Host wall-clock seconds the simulation took — the numerator /
+    /// denominator of the paper's speedup metric.
+    pub wall_seconds: f64,
+    /// Number of task instances simulated in detailed mode.
+    pub detailed_tasks: u64,
+    /// Number of task instances fast-forwarded.
+    pub fast_tasks: u64,
+    /// Instructions simulated in detailed mode.
+    pub detailed_instructions: u64,
+    /// Instructions covered by fast-forwarding.
+    pub fast_instructions: u64,
+    /// Per-task reports in completion order (empty unless report collection
+    /// was enabled).
+    pub reports: Vec<TaskReport>,
+    /// Coherence invalidations performed.
+    pub invalidations: u64,
+    /// DRAM line fetches.
+    pub dram_accesses: u64,
+    /// Private-level cache statistics (L1, then L2-private if any).
+    pub private_cache: Vec<LevelStats>,
+    /// Shared-level cache statistics.
+    pub shared_cache: Vec<LevelStats>,
+    /// Number of worker threads simulated.
+    pub workers: u32,
+}
+
+impl SimResult {
+    /// Fraction of all simulated instructions that ran in detailed mode —
+    /// the paper's main knob for the speed/accuracy trade-off.
+    pub fn detail_fraction(&self) -> f64 {
+        let total = self.detailed_instructions + self.fast_instructions;
+        if total == 0 {
+            0.0
+        } else {
+            self.detailed_instructions as f64 / total as f64
+        }
+    }
+
+    /// Total simulated instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.detailed_instructions + self.fast_instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(start: u64, end: u64, instructions: u64) -> TaskReport {
+        TaskReport {
+            task: TaskInstanceId(0),
+            type_id: TaskTypeId(0),
+            worker: WorkerId(0),
+            start,
+            end,
+            instructions,
+            mode: SimMode::Detailed,
+            concurrency: 1,
+        }
+    }
+
+    #[test]
+    fn ipc_is_instructions_over_cycles() {
+        let r = report(100, 300, 400);
+        assert_eq!(r.cycles(), 200);
+        assert_eq!(r.ipc(), 2.0);
+    }
+
+    #[test]
+    fn detail_fraction_bounds() {
+        let mut res = SimResult {
+            total_cycles: 0,
+            wall_seconds: 0.0,
+            detailed_tasks: 0,
+            fast_tasks: 0,
+            detailed_instructions: 30,
+            fast_instructions: 70,
+            reports: vec![],
+            invalidations: 0,
+            dram_accesses: 0,
+            private_cache: vec![],
+            shared_cache: vec![],
+            workers: 1,
+        };
+        assert!((res.detail_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(res.total_instructions(), 100);
+        res.detailed_instructions = 0;
+        res.fast_instructions = 0;
+        assert_eq!(res.detail_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Statistics utilities for the TaskPoint reproduction.
+//!
+//! This crate bundles the small amount of statistics the paper's evaluation
+//! relies on:
+//!
+//! * streaming summaries ([`Summary`]) for mean / variance / extrema,
+//! * percentiles and boxplot statistics ([`BoxplotStats`]) used to reproduce
+//!   the IPC-variation figures (Fig. 1 and Fig. 5),
+//! * per-group normalization ([`normalize::normalize_by_group`]) — the paper
+//!   normalizes every task instance's IPC to the mean IPC of its task type,
+//! * error and speedup metrics ([`error`]) for the accuracy evaluation
+//!   (Figs. 6–10),
+//! * a tiny deterministic RNG ([`rng::Xoshiro256pp`]) so workload generation
+//!   and the simulator's noise model are reproducible bit-for-bit without
+//!   depending on the `rand` crate's stream stability.
+//!
+//! # Example
+//!
+//! ```
+//! use taskpoint_stats::{BoxplotStats, Summary};
+//!
+//! let ipcs = [0.98, 1.01, 1.00, 0.99, 1.02, 0.97, 1.05];
+//! let summary: Summary = ipcs.iter().copied().collect();
+//! assert!((summary.mean() - 1.0028).abs() < 1e-3);
+//!
+//! let box_stats = BoxplotStats::from_samples(&ipcs).unwrap();
+//! assert!(box_stats.median >= box_stats.q1 && box_stats.median <= box_stats.q3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod normalize;
+pub mod percentile;
+pub mod rng;
+pub mod summary;
+
+pub use error::{geometric_mean, relative_error_percent, speedup, ErrorSummary};
+pub use normalize::normalize_by_group;
+pub use percentile::{percentile, BoxplotStats};
+pub use summary::Summary;

@@ -1,0 +1,93 @@
+//! Per-group normalization.
+//!
+//! Figures 1 and 5 of the paper normalize the IPC of every task instance to
+//! the *mean IPC of its task type* and then plot the percent deviation. This
+//! module implements that transformation for arbitrary group keys.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Normalizes `(group, value)` samples to percent deviation from their
+/// group mean: `100 * (value / group_mean - 1)`.
+///
+/// Groups whose mean is zero (or that contain no finite values) are skipped.
+/// The output preserves the input order of the surviving samples.
+///
+/// ```
+/// use taskpoint_stats::normalize_by_group;
+///
+/// let samples = [("a", 1.0), ("a", 3.0), ("b", 10.0)];
+/// let devs = normalize_by_group(samples.iter().copied());
+/// // group "a" has mean 2.0 -> deviations -50% and +50%; "b" -> 0%.
+/// assert_eq!(devs, vec![-50.0, 50.0, 0.0]);
+/// ```
+pub fn normalize_by_group<K, I>(samples: I) -> Vec<f64>
+where
+    K: Eq + Hash + Clone,
+    I: IntoIterator<Item = (K, f64)>,
+{
+    let samples: Vec<(K, f64)> = samples.into_iter().collect();
+    let mut sums: HashMap<K, (f64, u64)> = HashMap::new();
+    for (k, v) in &samples {
+        if v.is_finite() {
+            let e = sums.entry(k.clone()).or_insert((0.0, 0));
+            e.0 += *v;
+            e.1 += 1;
+        }
+    }
+    let means: HashMap<K, f64> = sums
+        .into_iter()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(k, (s, n))| (k, s / n as f64))
+        .collect();
+    samples
+        .into_iter()
+        .filter_map(|(k, v)| {
+            let mean = *means.get(&k)?;
+            if !v.is_finite() || mean == 0.0 {
+                None
+            } else {
+                Some(100.0 * (v / mean - 1.0))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_group_centered_on_zero() {
+        let devs = normalize_by_group([(0u32, 2.0), (0, 2.0), (0, 2.0)]);
+        assert_eq!(devs, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn deviations_sum_to_zero_per_group() {
+        let devs = normalize_by_group([(0u32, 1.0), (0, 2.0), (0, 3.0), (1, 5.0), (1, 15.0)]);
+        let total: f64 = devs.iter().sum();
+        assert!(total.abs() < 1e-9);
+        assert_eq!(devs.len(), 5);
+    }
+
+    #[test]
+    fn zero_mean_group_is_dropped() {
+        let devs = normalize_by_group([("z", 0.0), ("z", 0.0), ("ok", 4.0)]);
+        assert_eq!(devs, vec![0.0]);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let devs = normalize_by_group([("a", f64::NAN), ("a", 2.0), ("a", 4.0)]);
+        assert_eq!(devs.len(), 2);
+        // mean over finite values is 3.0
+        assert!((devs[0] - (-100.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let devs = normalize_by_group(Vec::<(u8, f64)>::new());
+        assert!(devs.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Compact binary encoding for concrete instruction streams.
+//!
+//! Procedural traces rarely need to be stored, but golden tests and external
+//! tooling benefit from a stable on-disk format. The encoding is a flat
+//! sequence of records:
+//!
+//! ```text
+//! record := kind:u8 | addr:u64 LE | size:u8        (memory kinds)
+//!         | kind:u8                                 (non-memory kinds)
+//! ```
+//!
+//! Non-memory instructions omit the address/size fields, which shrinks
+//! typical streams by ~2/3.
+
+use crate::inst::{InstKind, Instruction};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended in the middle of a record.
+    Truncated,
+    /// An unknown instruction-kind discriminant was encountered.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction record"),
+            DecodeError::BadKind(k) => write!(f, "unknown instruction kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes an instruction stream into the binary record format.
+pub fn encode<I: IntoIterator<Item = Instruction>>(stream: I) -> Bytes {
+    let mut buf = BytesMut::new();
+    for inst in stream {
+        buf.put_u8(inst.kind as u8);
+        if inst.kind.is_memory() {
+            buf.put_u64_le(inst.addr);
+            buf.put_u8(inst.size);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a byte buffer produced by [`encode`] back into instructions.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] if the buffer ends mid-record and
+/// [`DecodeError::BadKind`] for invalid kind bytes.
+pub fn decode(mut bytes: Bytes) -> Result<Vec<Instruction>, DecodeError> {
+    let mut out = Vec::new();
+    while bytes.has_remaining() {
+        let kind_byte = bytes.get_u8();
+        let kind = InstKind::from_u8(kind_byte).ok_or(DecodeError::BadKind(kind_byte))?;
+        if kind.is_memory() {
+            if bytes.remaining() < 9 {
+                return Err(DecodeError::Truncated);
+            }
+            let addr = bytes.get_u64_le();
+            let size = bytes.get_u8();
+            out.push(Instruction { kind, addr, size });
+        } else {
+            out.push(Instruction::compute(kind));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::InstructionMix;
+    use crate::pattern::AccessPattern;
+    use crate::region::MemRegion;
+    use crate::spec::TraceSpec;
+
+    fn sample_stream() -> Vec<Instruction> {
+        TraceSpec::builder()
+            .seed(2024)
+            .instructions(5_000)
+            .mix(InstructionMix::memory_bound())
+            .pattern(AccessPattern::Random)
+            .footprint(MemRegion::new(0x1000, 1 << 14))
+            .build()
+            .iter()
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let stream = sample_stream();
+        let encoded = encode(stream.iter().copied());
+        let decoded = decode(encoded).unwrap();
+        assert_eq!(stream, decoded);
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        assert_eq!(decode(encode(std::iter::empty())).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncated_memory_record_detected() {
+        let encoded = encode([Instruction::memory(InstKind::Load, 0x1234, 8)]);
+        let cut = encoded.slice(0..encoded.len() - 1);
+        assert_eq!(decode(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_kind_detected() {
+        let bytes = Bytes::from_static(&[0xFF]);
+        assert_eq!(decode(bytes), Err(DecodeError::BadKind(0xFF)));
+    }
+
+    #[test]
+    fn compute_records_are_one_byte() {
+        let encoded = encode([
+            Instruction::compute(InstKind::IntAlu),
+            Instruction::compute(InstKind::Branch),
+        ]);
+        assert_eq!(encoded.len(), 2);
+    }
+
+    #[test]
+    fn memory_records_are_ten_bytes() {
+        let encoded = encode([Instruction::memory(InstKind::Store, u64::MAX, 8)]);
+        assert_eq!(encoded.len(), 10);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::BadKind(42).to_string().contains("42"));
+    }
+}

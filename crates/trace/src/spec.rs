@@ -1,0 +1,415 @@
+//! Trace specifications — the procedural stand-in for recorded task traces.
+
+use crate::inst::Instruction;
+use crate::mix::InstructionMix;
+use crate::pattern::{AccessPattern, AddressStream, ACCESS_SIZE};
+use crate::region::MemRegion;
+use serde::{Deserialize, Serialize};
+use taskpoint_stats::rng::Xoshiro256pp;
+
+/// A complete, self-contained description of one task instance's dynamic
+/// instruction stream.
+///
+/// Two iterations of the same spec produce identical streams; that property
+/// replaces the trace files of the original TaskSim setup. Construct with
+/// [`TraceSpec::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    seed: u64,
+    code_seed: u64,
+    instructions: u64,
+    mix: InstructionMix,
+    pattern: AccessPattern,
+    footprint: MemRegion,
+    shared: MemRegion,
+    branch_mispredict_rate: f64,
+    dependency_rate: f64,
+}
+
+impl TraceSpec {
+    /// Starts building a spec. See [`TraceSpecBuilder`].
+    pub fn builder() -> TraceSpecBuilder {
+        TraceSpecBuilder::default()
+    }
+
+    /// A ready-made spec for tests and examples: balanced mix, sequential
+    /// walk over a seed-derived 64 KiB scratch footprint.
+    pub fn synthetic(seed: u64, instructions: u64) -> Self {
+        let base = 0x1000_0000 + (seed % 4096) * (1 << 16);
+        TraceSpec::builder()
+            .seed(seed)
+            .instructions(instructions)
+            .mix(InstructionMix::balanced())
+            .pattern(AccessPattern::sequential(8))
+            .footprint(MemRegion::new(base, 1 << 16))
+            .build()
+    }
+
+    /// Dynamic instruction count of the stream.
+    ///
+    /// TaskPoint's fast-forward mechanism reads this from the trace to
+    /// compute a task's burst-mode duration (`C_i = I_i / IPC_T`).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The seed identifying this concrete instance (data-dependent
+    /// behaviour: addresses, branch outcomes).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The seed identifying the *code* of this task type. All instances of
+    /// a task type share one code seed, so they execute the identical kind
+    /// sequence (the same machine code) and differ only in data-dependent
+    /// behaviour — which is precisely the regularity TaskPoint exploits.
+    pub fn code_seed(&self) -> u64 {
+        self.code_seed
+    }
+
+    /// The instruction mix of the stream.
+    pub fn mix(&self) -> &InstructionMix {
+        &self.mix
+    }
+
+    /// The access pattern of the stream.
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// The private data footprint of the instance.
+    pub fn footprint(&self) -> MemRegion {
+        self.footprint
+    }
+
+    /// The shared region targeted by atomics (may be empty).
+    pub fn shared(&self) -> MemRegion {
+        self.shared
+    }
+
+    /// Probability that a branch instruction mispredicts. Control-flow
+    /// divergent workloads (the paper singles out freqmine's nested-if task
+    /// bodies) carry higher rates.
+    pub fn branch_mispredict_rate(&self) -> f64 {
+        self.branch_mispredict_rate
+    }
+
+    /// Probability that the next instruction depends on the current one's
+    /// result (serializing their execution). Models ILP: low for unrolled
+    /// numeric kernels, high for pointer-chasing code.
+    pub fn dependency_rate(&self) -> f64 {
+        self.dependency_rate
+    }
+
+    /// Iterates the concrete instruction stream. Each call restarts from the
+    /// beginning and yields the identical sequence.
+    pub fn iter(&self) -> TraceIter {
+        // Pure-compute specs may have an empty footprint; they never emit
+        // memory instructions (enforced in `build`), so no stream is needed.
+        let addresses = (!self.footprint.is_empty())
+            .then(|| AddressStream::new(self.pattern, self.footprint, self.shared, self.seed));
+        TraceIter {
+            remaining: self.instructions,
+            code_rng: Xoshiro256pp::seed_from_u64(self.code_seed),
+            data_rng: Xoshiro256pp::seed_from_u64(self.seed),
+            addresses,
+            mix: self.mix.clone(),
+        }
+    }
+}
+
+/// Builder for [`TraceSpec`]. All fields have sensible defaults except the
+/// footprint, which must be set for specs whose mix contains memory
+/// operations.
+#[derive(Debug, Clone)]
+pub struct TraceSpecBuilder {
+    seed: u64,
+    code_seed: u64,
+    instructions: u64,
+    mix: Option<InstructionMix>,
+    pattern: AccessPattern,
+    footprint: MemRegion,
+    shared: MemRegion,
+    branch_mispredict_rate: f64,
+    dependency_rate: f64,
+}
+
+impl Default for TraceSpecBuilder {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            code_seed: 0,
+            instructions: 0,
+            mix: None,
+            pattern: AccessPattern::default(),
+            footprint: MemRegion::empty(),
+            shared: MemRegion::empty(),
+            branch_mispredict_rate: 0.02,
+            dependency_rate: 0.15,
+        }
+    }
+}
+
+impl TraceSpecBuilder {
+    /// Sets the RNG seed identifying this instance's concrete data
+    /// (addresses, branch outcomes).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the code seed shared by all instances of the task type (the
+    /// kind sequence / static code; default 0).
+    pub fn code_seed(mut self, seed: u64) -> Self {
+        self.code_seed = seed;
+        self
+    }
+
+    /// Sets the dynamic instruction count.
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// Sets the instruction mix (default: [`InstructionMix::balanced`]).
+    pub fn mix(mut self, mix: InstructionMix) -> Self {
+        self.mix = Some(mix);
+        self
+    }
+
+    /// Sets the access pattern (default: sequential, 8-byte stride).
+    pub fn pattern(mut self, pattern: AccessPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Sets the private data footprint.
+    pub fn footprint(mut self, region: MemRegion) -> Self {
+        self.footprint = region;
+        self
+    }
+
+    /// Sets the shared region for atomic operations.
+    pub fn shared(mut self, region: MemRegion) -> Self {
+        self.shared = region;
+        self
+    }
+
+    /// Sets the branch misprediction probability (default 0.02).
+    pub fn branch_mispredict_rate(mut self, rate: f64) -> Self {
+        self.branch_mispredict_rate = rate;
+        self
+    }
+
+    /// Sets the instruction dependency probability (default 0.15).
+    pub fn dependency_rate(mut self, rate: f64) -> Self {
+        self.dependency_rate = rate;
+        self
+    }
+
+    /// Finalizes the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix contains memory instructions but the footprint is
+    /// empty, or the pattern parameters are invalid.
+    pub fn build(self) -> TraceSpec {
+        let mix = self.mix.unwrap_or_default();
+        self.pattern.validate();
+        if self.instructions > 0 && mix.memory_fraction() > 0.0 {
+            assert!(
+                !self.footprint.is_empty(),
+                "trace with memory instructions needs a non-empty footprint"
+            );
+        }
+        assert!(
+            (0.0..=1.0).contains(&self.branch_mispredict_rate),
+            "branch mispredict rate out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.dependency_rate),
+            "dependency rate out of range"
+        );
+        TraceSpec {
+            seed: self.seed,
+            code_seed: self.code_seed,
+            instructions: self.instructions,
+            mix,
+            pattern: self.pattern,
+            footprint: self.footprint,
+            shared: self.shared,
+            branch_mispredict_rate: self.branch_mispredict_rate,
+            dependency_rate: self.dependency_rate,
+        }
+    }
+}
+
+/// Iterator over a [`TraceSpec`]'s concrete instruction stream.
+#[derive(Debug, Clone)]
+pub struct TraceIter {
+    remaining: u64,
+    /// Drives the kind sequence — identical for all instances of a type.
+    code_rng: Xoshiro256pp,
+    /// Drives data-dependent choices (addresses).
+    data_rng: Xoshiro256pp,
+    addresses: Option<AddressStream>,
+    mix: InstructionMix,
+}
+
+impl Iterator for TraceIter {
+    type Item = Instruction;
+
+    fn next(&mut self) -> Option<Instruction> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let kind = self.mix.sample(&mut self.code_rng);
+        Some(if kind.is_memory() {
+            let stream = self
+                .addresses
+                .as_mut()
+                .expect("memory instruction from a spec without footprint");
+            let addr = stream.next_addr(kind, &mut self.data_rng);
+            Instruction::memory(kind, addr, ACCESS_SIZE)
+        } else {
+            Instruction::compute(kind)
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TraceIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::InstKind;
+
+    fn spec(seed: u64, n: u64) -> TraceSpec {
+        TraceSpec::builder()
+            .seed(seed)
+            .instructions(n)
+            .mix(InstructionMix::balanced())
+            .pattern(AccessPattern::strided(64, 2))
+            .footprint(MemRegion::new(0x4000_0000, 1 << 16))
+            .build()
+    }
+
+    #[test]
+    fn yields_exactly_n_instructions() {
+        assert_eq!(spec(1, 0).iter().count(), 0);
+        assert_eq!(spec(1, 1).iter().count(), 1);
+        assert_eq!(spec(1, 12345).iter().count(), 12345);
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let mut it = spec(1, 10).iter();
+        assert_eq!(it.len(), 10);
+        it.next();
+        assert_eq!(it.len(), 9);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let s = spec(99, 5000);
+        let a: Vec<Instruction> = s.iter().collect();
+        let b: Vec<Instruction> = s.iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_data_seeds_change_addresses_not_kinds() {
+        // Same code seed => identical kind sequences (same machine code);
+        // a data-dependent pattern draws different addresses per instance.
+        let mk = |seed| {
+            TraceSpec::builder()
+                .seed(seed)
+                .instructions(1000)
+                .mix(InstructionMix::balanced())
+                .pattern(AccessPattern::Random)
+                .footprint(MemRegion::new(0x4000_0000, 1 << 16))
+                .build()
+        };
+        let a: Vec<Instruction> = mk(1).iter().collect();
+        let b: Vec<Instruction> = mk(2).iter().collect();
+        assert_ne!(a, b, "addresses must differ");
+        let kinds_a: Vec<_> = a.iter().map(|i| i.kind).collect();
+        let kinds_b: Vec<_> = b.iter().map(|i| i.kind).collect();
+        assert_eq!(kinds_a, kinds_b, "kind sequence is the type's code");
+    }
+
+    #[test]
+    fn different_code_seeds_change_kind_sequence() {
+        let mk = |code| {
+            TraceSpec::builder()
+                .code_seed(code)
+                .instructions(1000)
+                .mix(InstructionMix::balanced())
+                .pattern(AccessPattern::sequential(8))
+                .footprint(MemRegion::new(0x4000_0000, 1 << 16))
+                .build()
+        };
+        let a: Vec<_> = mk(1).iter().map(|i| i.kind).collect();
+        let b: Vec<_> = mk(2).iter().map(|i| i.kind).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn memory_instructions_carry_addresses_inside_footprint() {
+        let s = spec(7, 10_000);
+        let region = s.footprint();
+        for inst in s.iter() {
+            if inst.kind.is_memory() {
+                assert!(region.contains(inst.addr));
+                assert_eq!(inst.size, ACCESS_SIZE);
+            } else {
+                assert_eq!(inst.addr, 0);
+                assert_eq!(inst.size, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn observed_mix_matches_spec() {
+        let s = spec(11, 100_000);
+        let loads = s.iter().filter(|i| i.kind == InstKind::Load).count();
+        let expected = s.mix().probability(InstKind::Load);
+        let observed = loads as f64 / 100_000.0;
+        assert!((expected - observed).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty footprint")]
+    fn memory_mix_without_footprint_rejected() {
+        let _ = TraceSpec::builder()
+            .instructions(10)
+            .mix(InstructionMix::memory_bound())
+            .build();
+    }
+
+    #[test]
+    fn pure_compute_spec_needs_no_footprint() {
+        let s = TraceSpec::builder()
+            .instructions(100)
+            .mix(InstructionMix::from_weights(&[
+                (InstKind::IntAlu, 0.8),
+                (InstKind::Branch, 0.2),
+            ]))
+            .build();
+        assert_eq!(s.iter().count(), 100);
+        assert!(s.iter().all(|i| !i.kind.is_memory()));
+    }
+
+    #[test]
+    fn cloned_spec_replays_identically() {
+        let s = spec(123, 500);
+        let s2 = s.clone();
+        assert!(s.iter().eq(s2.iter()));
+    }
+}

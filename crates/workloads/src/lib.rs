@@ -1,0 +1,245 @@
+//! The 19 task-based benchmarks of the TaskPoint evaluation (Table I).
+//!
+//! Each benchmark is a *synthetic workload generator* that reproduces the
+//! structural properties the paper reports and analyzes: the exact task
+//! type and instance counts of Table I, the dependence structure (tile
+//! DAGs, wavefronts, pipelines, reduction trees), the instruction mixes and
+//! memory behaviour of the "Properties" column, and — crucially for the
+//! error analysis — the per-instance size imbalance of the problematic
+//! benchmarks (freqmine's 4-decade spread, dedup's input-dependent
+//! compression, spmv's row imbalance, checkSparseLU's fill-dependent
+//! blocks).
+//!
+//! # Example
+//!
+//! ```
+//! use taskpoint_workloads::{Benchmark, ScaleConfig};
+//!
+//! let program = Benchmark::Cholesky.generate(&ScaleConfig::quick());
+//! assert_eq!(program.num_types(), 4);
+//! assert_eq!(program.num_instances(), 19_600);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod info;
+pub mod kernels;
+pub mod layout;
+pub mod parsec;
+pub mod scale;
+
+pub use info::{BenchClass, WorkloadInfo};
+pub use layout::AddressAllocator;
+pub use scale::ScaleConfig;
+
+use taskpoint_runtime::Program;
+
+/// The 19 benchmarks, in Table I order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// 2d-convolution kernel.
+    Conv2d,
+    /// 3d-stencil kernel.
+    Stencil3d,
+    /// atomic-monte-carlo-dynamics kernel.
+    MonteCarlo,
+    /// dense-matrix-multiplication kernel.
+    Matmul,
+    /// histogram kernel.
+    Histogram,
+    /// n-body kernel.
+    Nbody,
+    /// reduction kernel.
+    Reduction,
+    /// sparse-matrix-vector-multiplication kernel.
+    Spmv,
+    /// vector-operation kernel.
+    Vecop,
+    /// checkSparseLU application.
+    SparseLu,
+    /// cholesky application.
+    Cholesky,
+    /// kmeans application.
+    Kmeans,
+    /// knn application.
+    Knn,
+    /// blackscholes (PARSEC).
+    Blackscholes,
+    /// bodytrack (PARSEC).
+    Bodytrack,
+    /// canneal (PARSEC).
+    Canneal,
+    /// dedup (PARSEC).
+    Dedup,
+    /// freqmine (PARSEC).
+    Freqmine,
+    /// swaptions (PARSEC).
+    Swaptions,
+}
+
+impl Benchmark {
+    /// All 19 benchmarks in Table I order.
+    pub const ALL: [Benchmark; 19] = [
+        Benchmark::Conv2d,
+        Benchmark::Stencil3d,
+        Benchmark::MonteCarlo,
+        Benchmark::Matmul,
+        Benchmark::Histogram,
+        Benchmark::Nbody,
+        Benchmark::Reduction,
+        Benchmark::Spmv,
+        Benchmark::Vecop,
+        Benchmark::SparseLu,
+        Benchmark::Cholesky,
+        Benchmark::Kmeans,
+        Benchmark::Knn,
+        Benchmark::Blackscholes,
+        Benchmark::Bodytrack,
+        Benchmark::Canneal,
+        Benchmark::Dedup,
+        Benchmark::Freqmine,
+        Benchmark::Swaptions,
+    ];
+
+    /// The five benchmarks the paper uses for the Fig. 6 sensitivity
+    /// analysis ("benchmarks and kernels with an error > 5% for at least
+    /// one value of H").
+    pub const SENSITIVITY_SET: [Benchmark; 5] = [
+        Benchmark::Conv2d,
+        Benchmark::Stencil3d,
+        Benchmark::MonteCarlo,
+        Benchmark::Knn,
+        Benchmark::Blackscholes,
+    ];
+
+    /// Table I metadata.
+    pub fn info(self) -> WorkloadInfo {
+        match self {
+            Benchmark::Conv2d => kernels::conv2d::INFO,
+            Benchmark::Stencil3d => kernels::stencil3d::INFO,
+            Benchmark::MonteCarlo => kernels::monte_carlo::INFO,
+            Benchmark::Matmul => kernels::matmul::INFO,
+            Benchmark::Histogram => kernels::histogram::INFO,
+            Benchmark::Nbody => kernels::nbody::INFO,
+            Benchmark::Reduction => kernels::reduction::INFO,
+            Benchmark::Spmv => kernels::spmv::INFO,
+            Benchmark::Vecop => kernels::vecop::INFO,
+            Benchmark::SparseLu => apps::sparselu::INFO,
+            Benchmark::Cholesky => apps::cholesky::INFO,
+            Benchmark::Kmeans => apps::kmeans::INFO,
+            Benchmark::Knn => apps::knn::INFO,
+            Benchmark::Blackscholes => parsec::blackscholes::INFO,
+            Benchmark::Bodytrack => parsec::bodytrack::INFO,
+            Benchmark::Canneal => parsec::canneal::INFO,
+            Benchmark::Dedup => parsec::dedup::INFO,
+            Benchmark::Freqmine => parsec::freqmine::INFO,
+            Benchmark::Swaptions => parsec::swaptions::INFO,
+        }
+    }
+
+    /// Generates the benchmark's task program at the given scale.
+    pub fn generate(self, scale: &ScaleConfig) -> Program {
+        match self {
+            Benchmark::Conv2d => kernels::conv2d::generate(scale),
+            Benchmark::Stencil3d => kernels::stencil3d::generate(scale),
+            Benchmark::MonteCarlo => kernels::monte_carlo::generate(scale),
+            Benchmark::Matmul => kernels::matmul::generate(scale),
+            Benchmark::Histogram => kernels::histogram::generate(scale),
+            Benchmark::Nbody => kernels::nbody::generate(scale),
+            Benchmark::Reduction => kernels::reduction::generate(scale),
+            Benchmark::Spmv => kernels::spmv::generate(scale),
+            Benchmark::Vecop => kernels::vecop::generate(scale),
+            Benchmark::SparseLu => apps::sparselu::generate(scale),
+            Benchmark::Cholesky => apps::cholesky::generate(scale),
+            Benchmark::Kmeans => apps::kmeans::generate(scale),
+            Benchmark::Knn => apps::knn::generate(scale),
+            Benchmark::Blackscholes => parsec::blackscholes::generate(scale),
+            Benchmark::Bodytrack => parsec::bodytrack::generate(scale),
+            Benchmark::Canneal => parsec::canneal::generate(scale),
+            Benchmark::Dedup => parsec::dedup::generate(scale),
+            Benchmark::Freqmine => parsec::freqmine::generate(scale),
+            Benchmark::Swaptions => parsec::swaptions::generate(scale),
+        }
+    }
+
+    /// The paper's benchmark name.
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+
+    /// Looks a benchmark up by its paper name.
+    pub fn by_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name() == name)
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_benchmarks_with_unique_names() {
+        assert_eq!(Benchmark::ALL.len(), 19);
+        let mut names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19);
+    }
+
+    #[test]
+    fn every_benchmark_matches_its_table1_row() {
+        let scale = ScaleConfig::quick();
+        for b in Benchmark::ALL {
+            let info = b.info();
+            let p = b.generate(&scale);
+            assert_eq!(p.num_types(), info.task_types, "{b}: types");
+            assert_eq!(p.num_instances(), info.task_instances, "{b}: instances");
+            assert_eq!(p.name(), info.name, "{b}: name");
+        }
+    }
+
+    #[test]
+    fn table1_instance_totals() {
+        let expected: usize = [
+            16384, 16370, 16384, 17576, 16384, 25000, 16384, 1024, 16400, 22058, 19600, 16337,
+            18400, 24500, 21439, 16384, 15738, 1932, 16384,
+        ]
+        .iter()
+        .sum();
+        let total: usize = Benchmark::ALL.iter().map(|b| b.info().task_instances).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::by_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::by_name("not-a-benchmark"), None);
+    }
+
+    #[test]
+    fn sensitivity_set_is_subset() {
+        for b in Benchmark::SENSITIVITY_SET {
+            assert!(Benchmark::ALL.contains(&b));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let scale = ScaleConfig::quick();
+        let a = Benchmark::Freqmine.generate(&scale);
+        let b = Benchmark::Freqmine.generate(&scale);
+        let sa: Vec<u64> = a.instances().iter().map(|i| i.trace().seed()).collect();
+        let sb: Vec<u64> = b.instances().iter().map(|i| i.trace().seed()).collect();
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the TaskPoint reproduction workspace.
+//!
+//! Re-exports all member crates so the workspace-level `examples/` and
+//! integration `tests/` can reach every layer through one dependency.
+
+pub use taskpoint;
+pub use taskpoint_runtime as runtime;
+pub use taskpoint_stats as stats;
+pub use taskpoint_trace as trace;
+pub use taskpoint_workloads as workloads;
+pub use tasksim as sim;

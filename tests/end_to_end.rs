@@ -1,0 +1,207 @@
+//! Integration tests spanning all crates: workload generation → runtime
+//! scheduling → detailed/sampled simulation → metrics.
+
+use taskpoint::{
+    evaluate, run_reference, run_sampled, SamplingPolicy, TaskPointConfig,
+};
+use taskpoint_repro::workloads::{Benchmark, ScaleConfig};
+use tasksim::{MachineConfig, SimMode, Simulation};
+
+fn quick() -> ScaleConfig {
+    ScaleConfig::quick()
+}
+
+#[test]
+fn every_benchmark_runs_detailed_on_both_machines() {
+    // Smoke coverage of all 19 generators through the full detailed
+    // pipeline at quick scale.
+    for bench in Benchmark::ALL {
+        let program = bench.generate(&quick());
+        for machine in [MachineConfig::high_performance(), MachineConfig::low_power()] {
+            let r = run_reference(&program, machine, 2);
+            assert_eq!(
+                r.detailed_tasks as usize,
+                program.num_instances(),
+                "{bench}: all instances must run detailed"
+            );
+            assert!(r.total_cycles > 0, "{bench}: zero-cycle run");
+        }
+    }
+}
+
+#[test]
+fn sampled_prediction_is_reasonable_across_suite() {
+    // At quick scale the sampled run must stay within a loose band of the
+    // detailed reference for every benchmark (full-scale accuracy is the
+    // subject of the figure harness, not unit tests).
+    for bench in Benchmark::ALL {
+        let program = bench.generate(&quick());
+        let (outcome, _) = evaluate(
+            &program,
+            MachineConfig::high_performance(),
+            4,
+            TaskPointConfig::lazy(),
+            None,
+        );
+        // Quick scale shrinks tasks ~20x, so startup transients weigh far
+        // more than at evaluation scale; the band here is a smoke check
+        // (full-scale accuracy is validated by the figure harness).
+        assert!(
+            outcome.error_percent < 90.0,
+            "{bench}: error {:.1}% out of band",
+            outcome.error_percent
+        );
+    }
+}
+
+#[test]
+fn sampled_run_fast_forwards_most_instances() {
+    let program = Benchmark::Matmul.generate(&quick());
+    let (result, stats) = run_sampled(
+        &program,
+        MachineConfig::high_performance(),
+        8,
+        TaskPointConfig::lazy(),
+    );
+    assert!(
+        stats.fast_tasks as f64 > 0.9 * program.num_instances() as f64,
+        "only {} of {} fast",
+        stats.fast_tasks,
+        program.num_instances()
+    );
+    assert!(result.detail_fraction() < 0.2);
+}
+
+#[test]
+fn periodic_resamples_more_and_simulates_more_detail_than_lazy() {
+    let program = Benchmark::Vecop.generate(&quick());
+    let machine = MachineConfig::high_performance();
+    let (lazy, lazy_stats) =
+        run_sampled(&program, machine.clone(), 8, TaskPointConfig::lazy());
+    let config = TaskPointConfig::periodic().with_policy(SamplingPolicy::Periodic { period: 50 });
+    let (periodic, periodic_stats) = run_sampled(&program, machine, 8, config);
+    assert!(periodic_stats.resamples.len() > lazy_stats.resamples.len());
+    assert!(periodic.detailed_instructions > lazy.detailed_instructions);
+}
+
+#[test]
+fn periodic_equals_lazy_when_period_exceeds_program() {
+    // The paper: "If the number of task instances of a program is too small
+    // ... periodic sampling is equivalent to lazy sampling."
+    let program = Benchmark::Spmv.generate(&quick()); // 1,024 instances
+    let machine = MachineConfig::high_performance();
+    let big_p = TaskPointConfig::periodic()
+        .with_policy(SamplingPolicy::Periodic { period: 1_000_000 });
+    let (periodic, _) = run_sampled(&program, machine.clone(), 8, big_p);
+    let (lazy, _) = run_sampled(&program, machine, 8, TaskPointConfig::lazy());
+    assert_eq!(periodic.total_cycles, lazy.total_cycles);
+    assert_eq!(periodic.detailed_tasks, lazy.detailed_tasks);
+}
+
+#[test]
+fn sampled_and_reference_are_deterministic_end_to_end() {
+    let program = Benchmark::Reduction.generate(&quick());
+    let machine = MachineConfig::low_power();
+    let a = run_reference(&program, machine.clone(), 4);
+    let b = run_reference(&program, machine.clone(), 4);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    let (s1, st1) = run_sampled(&program, machine.clone(), 4, TaskPointConfig::periodic());
+    let (s2, st2) = run_sampled(&program, machine, 4, TaskPointConfig::periodic());
+    assert_eq!(s1.total_cycles, s2.total_cycles);
+    assert_eq!(st1.resamples, st2.resamples);
+    assert_eq!(st1.phase_log, st2.phase_log);
+}
+
+#[test]
+fn schedule_validity_no_task_starts_before_predecessors_end() {
+    let program = Benchmark::Cholesky.generate(&quick());
+    let result = Simulation::builder(&program, MachineConfig::low_power())
+        .workers(8)
+        .collect_reports(true)
+        .build()
+        .run(&mut tasksim::DetailedOnly);
+    let mut end_of = vec![0u64; program.num_instances()];
+    for r in &result.reports {
+        end_of[r.task.index()] = r.end;
+    }
+    for r in &result.reports {
+        for pred in program.graph().predecessors(r.task) {
+            assert!(
+                r.start >= end_of[pred.index()],
+                "task {} started at {} before predecessor {} ended at {}",
+                r.task,
+                r.start,
+                pred,
+                end_of[pred.index()]
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_mode_schedule_is_also_valid() {
+    let program = Benchmark::Stencil3d.generate(&quick());
+    let mut controller = taskpoint::TaskPointController::new(TaskPointConfig::periodic());
+    let result = Simulation::builder(&program, MachineConfig::low_power())
+        .workers(4)
+        .collect_reports(true)
+        .build()
+        .run(&mut controller);
+    let mut end_of = vec![0u64; program.num_instances()];
+    for r in &result.reports {
+        end_of[r.task.index()] = r.end;
+    }
+    let mut detailed = 0u64;
+    let mut fast = 0u64;
+    for r in &result.reports {
+        match r.mode {
+            SimMode::Detailed => detailed += 1,
+            SimMode::Fast => fast += 1,
+        }
+        for pred in program.graph().predecessors(r.task) {
+            assert!(r.start >= end_of[pred.index()]);
+        }
+    }
+    assert!(detailed > 0 && fast > 0, "both modes must appear");
+}
+
+#[test]
+fn more_threads_never_increase_total_work_error_catastrophically() {
+    // Thread-count sensitivity smoke: sampled accuracy holds from 1..=8
+    // threads on one benchmark.
+    let program = Benchmark::Histogram.generate(&quick());
+    for threads in [1u32, 2, 4, 8] {
+        let (outcome, _) = evaluate(
+            &program,
+            MachineConfig::low_power(),
+            threads,
+            TaskPointConfig::periodic(),
+            None,
+        );
+        assert!(
+            outcome.error_percent < 60.0,
+            "{threads} threads: {:.1}%",
+            outcome.error_percent
+        );
+    }
+}
+
+#[test]
+fn noise_model_produces_fig1_style_spread() {
+    use taskpoint_repro::stats::{normalize_by_group, BoxplotStats};
+    use tasksim::{DetailedOnly, NoiseModel};
+    let program = Benchmark::Swaptions.generate(&quick());
+    let result = Simulation::builder(&program, MachineConfig::high_performance())
+        .workers(8)
+        .noise(NoiseModel::native_execution(42))
+        .collect_reports(true)
+        .build()
+        .run(&mut DetailedOnly);
+    let devs = normalize_by_group(
+        result.reports.iter().map(|r| (r.type_id.0, r.ipc())),
+    );
+    let stats = BoxplotStats::from_samples(&devs).unwrap();
+    // Noise must induce nonzero but bounded spread on a regular benchmark.
+    assert!(stats.whisker_halfwidth() > 0.5, "noise too weak: {stats:?}");
+    assert!(stats.whisker_halfwidth() < 25.0, "noise too strong: {stats:?}");
+}

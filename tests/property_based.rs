@@ -1,0 +1,225 @@
+//! Property-based tests (proptest) on core data structures and invariants.
+
+use proptest::prelude::*;
+use taskpoint::SampleHistory;
+use taskpoint_repro::runtime::{Program, RegionAccess, TaskInstanceId};
+use taskpoint_repro::sim::burst_duration;
+use taskpoint_repro::stats::{percentile, BoxplotStats, Summary};
+use taskpoint_repro::trace::{
+    AccessPattern, InstructionMix, MemRegion, TraceSpec,
+};
+
+proptest! {
+    // ---- stats ----
+
+    #[test]
+    fn summary_mean_within_min_max(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s: Summary = xs.iter().copied().collect();
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn percentiles_are_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+                                 a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let pa = percentile(&xs, lo).unwrap();
+        let pb = percentile(&xs, hi).unwrap();
+        prop_assert!(pa <= pb + 1e-9);
+    }
+
+    #[test]
+    fn boxplot_fields_are_ordered(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let b = BoxplotStats::from_samples(&xs).unwrap();
+        prop_assert!(b.min <= b.p5 && b.p5 <= b.q1 && b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3 && b.q3 <= b.p95 && b.p95 <= b.max);
+    }
+
+    // ---- burst arithmetic ----
+
+    #[test]
+    fn burst_duration_bounds(instructions in 0u64..10_000_000, ipc in 0.01f64..8.0) {
+        let d = burst_duration(instructions, ipc);
+        prop_assert!(d >= 1);
+        // d == ceil(I/ipc) (within fp tolerance)
+        let exact = instructions as f64 / ipc;
+        prop_assert!((d as f64) + 1e-6 >= exact);
+        prop_assert!((d as f64) - 1.0 <= exact + 1.0);
+    }
+
+    #[test]
+    fn burst_duration_monotone_in_instructions(i1 in 0u64..1_000_000, delta in 0u64..1_000_000,
+                                               ipc in 0.01f64..8.0) {
+        prop_assert!(burst_duration(i1 + delta, ipc) >= burst_duration(i1, ipc));
+    }
+
+    // ---- sample history ----
+
+    #[test]
+    fn history_mean_is_bounded_by_samples(cap in 1usize..16,
+                                          xs in prop::collection::vec(0.01f64..10.0, 1..64)) {
+        let mut h = SampleHistory::new(cap);
+        for &x in &xs {
+            h.push(x);
+        }
+        let kept: Vec<f64> = xs.iter().rev().take(cap).copied().collect();
+        let lo = kept.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = kept.iter().cloned().fold(0.0f64, f64::max);
+        let mean = h.mean_ipc().unwrap();
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        prop_assert_eq!(h.len(), xs.len().min(cap));
+    }
+
+    // ---- memory regions ----
+
+    #[test]
+    fn region_split_tiles_exactly(base in 0u64..1_000_000, len in 1u64..1_000_000,
+                                  n in 1u64..32) {
+        let r = MemRegion::new(base, len);
+        let parts = r.split(n);
+        prop_assert_eq!(parts.len(), n as usize);
+        prop_assert_eq!(parts[0].base, r.base);
+        prop_assert_eq!(parts.last().unwrap().end(), r.end());
+        let total: u64 = parts.iter().map(|p| p.len).sum();
+        prop_assert_eq!(total, r.len);
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].end(), w[1].base);
+        }
+    }
+
+    // ---- traces ----
+
+    #[test]
+    fn trace_replay_is_identical_and_exact_length(seed in any::<u64>(), n in 0u64..3000) {
+        let spec = TraceSpec::builder()
+            .seed(seed)
+            .instructions(n)
+            .mix(InstructionMix::balanced())
+            .pattern(AccessPattern::Random)
+            .footprint(MemRegion::new(0x10_0000, 1 << 14))
+            .build();
+        let a: Vec<_> = spec.iter().collect();
+        let b: Vec<_> = spec.iter().collect();
+        prop_assert_eq!(a.len() as u64, n);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_addresses_stay_in_footprint(seed in any::<u64>(), n in 1u64..2000,
+                                         base in 1u64..1_000_000u64) {
+        let footprint = MemRegion::new(base * 64, 1 << 13);
+        let spec = TraceSpec::builder()
+            .seed(seed)
+            .instructions(n)
+            .mix(InstructionMix::memory_bound())
+            .pattern(AccessPattern::Gather { hot_probability: 0.7, hot_fraction: 0.25 })
+            .footprint(footprint)
+            .build();
+        for inst in spec.iter() {
+            if inst.kind.is_memory() {
+                prop_assert!(footprint.contains(inst.addr));
+            }
+        }
+    }
+
+    // ---- dependence graph ----
+
+    #[test]
+    fn dependence_graph_edges_point_backwards(tasks in prop::collection::vec(0u8..8, 1..80)) {
+        // Random chains over 8 regions: every predecessor must have a
+        // smaller creation index (acyclicity by construction).
+        let mut b = Program::builder("prop");
+        let ty = b.add_type("t");
+        for (i, &r) in tasks.iter().enumerate() {
+            let region = MemRegion::new(0x1000 * (r as u64 + 1), 0x100);
+            b.add_task(
+                ty,
+                TraceSpec::synthetic(i as u64, 1),
+                vec![RegionAccess::inout(region)],
+            );
+        }
+        let p = b.build();
+        for i in 0..p.num_instances() as u64 {
+            for pred in p.graph().predecessors(TaskInstanceId(i)) {
+                prop_assert!(pred.0 < i);
+            }
+        }
+        // Topological execution must drain the whole graph.
+        let mut rs = p.graph().ready_set();
+        let mut queue: Vec<TaskInstanceId> = p.graph().roots();
+        let mut done = 0;
+        while let Some(t) = queue.pop() {
+            queue.extend(rs.complete(p.graph(), t));
+            done += 1;
+        }
+        prop_assert_eq!(done, p.num_instances());
+        prop_assert!(rs.all_done());
+    }
+
+    #[test]
+    fn inout_chain_graph_is_a_path(n in 1usize..60) {
+        let mut b = Program::builder("chain");
+        let ty = b.add_type("t");
+        let region = MemRegion::new(0x8000, 0x40);
+        for i in 0..n {
+            b.add_task(ty, TraceSpec::synthetic(i as u64, 1), vec![RegionAccess::inout(region)]);
+        }
+        let p = b.build();
+        prop_assert_eq!(p.graph().critical_path_len(), n);
+        prop_assert_eq!(p.graph().edge_count(), n - 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // ---- simulation-level properties (fewer cases; each runs a sim) ----
+
+    #[test]
+    fn burst_sim_time_scales_inversely_with_ipc(tasks in 2u64..20, instrs in 100u64..2000) {
+        use taskpoint_repro::runtime::Program;
+        use tasksim::{FixedIpc, MachineConfig, Simulation};
+        let mut b = Program::builder("scale");
+        let ty = b.add_type("t");
+        for i in 0..tasks {
+            b.add_task(ty, TraceSpec::synthetic(i, instrs), vec![]);
+        }
+        let p = b.build();
+        let run = |ipc: f64| {
+            Simulation::builder(&p, MachineConfig::tiny_test())
+                .workers(1)
+                .build()
+                .run(&mut FixedIpc(ipc))
+                .total_cycles
+        };
+        let slow = run(1.0);
+        let fast = run(2.0);
+        prop_assert_eq!(slow, tasks * instrs);
+        // Halving duration per task (ceil rounding makes it exact here).
+        prop_assert_eq!(fast, tasks * instrs.div_ceil(2));
+    }
+
+    #[test]
+    fn detailed_makespan_decreases_or_holds_with_more_workers(tasks in 8u64..24) {
+        use tasksim::{DetailedOnly, MachineConfig, Simulation};
+        let mut b = Program::builder("scal");
+        let ty = b.add_type("t");
+        for i in 0..tasks {
+            b.add_task(ty, TraceSpec::synthetic(i, 400), vec![]);
+        }
+        let p = b.build();
+        let run = |w: u32| {
+            Simulation::builder(&p, MachineConfig::tiny_test())
+                .workers(w)
+                .build()
+                .run(&mut DetailedOnly)
+                .total_cycles
+        };
+        let one = run(1);
+        let four = run(4);
+        // Independent equal tasks: more workers cannot hurt by more than
+        // contention effects; allow 25% slack for shared-resource delays.
+        prop_assert!(four as f64 <= one as f64 * 1.25);
+    }
+}
