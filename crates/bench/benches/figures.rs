@@ -66,7 +66,12 @@ fn bench_fig7_to_10_cells(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_to_fig10_cells");
     g.sample_size(10);
     for (name, machine, threads, config) in [
-        ("fig7_periodic_hp_8t", MachineConfig::high_performance(), 8u32, TaskPointConfig::periodic()),
+        (
+            "fig7_periodic_hp_8t",
+            MachineConfig::high_performance(),
+            8u32,
+            TaskPointConfig::periodic(),
+        ),
         ("fig8_periodic_lp_4t", MachineConfig::low_power(), 4, TaskPointConfig::periodic()),
         ("fig9_lazy_hp_8t", MachineConfig::high_performance(), 8, TaskPointConfig::lazy()),
         ("fig10_lazy_lp_4t", MachineConfig::low_power(), 4, TaskPointConfig::lazy()),

@@ -33,10 +33,7 @@ fn cache_simulation(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..100_000u64 {
-                acc += matches!(
-                    cache.access(i % 512),
-                    tasksim::cache::AccessOutcome::Hit
-                ) as u64;
+                acc += matches!(cache.access(i % 512), tasksim::cache::AccessOutcome::Hit) as u64;
             }
             acc
         })
@@ -46,10 +43,7 @@ fn cache_simulation(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..100_000u64 {
-                acc += matches!(
-                    cache.access(i % 4096),
-                    tasksim::cache::AccessOutcome::Hit
-                ) as u64;
+                acc += matches!(cache.access(i % 4096), tasksim::cache::AccessOutcome::Hit) as u64;
             }
             acc
         })
@@ -61,11 +55,9 @@ fn workload_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("workload_generation");
     g.sample_size(10);
     for bench in [Benchmark::Cholesky, Benchmark::SparseLu, Benchmark::Dedup] {
-        g.bench_with_input(
-            BenchmarkId::new("generate", bench.name()),
-            &bench,
-            |b, &bench| b.iter(|| bench.generate(&ScaleConfig::quick()).num_instances()),
-        );
+        g.bench_with_input(BenchmarkId::new("generate", bench.name()), &bench, |b, &bench| {
+            b.iter(|| bench.generate(&ScaleConfig::quick()).num_instances())
+        });
     }
     g.finish();
 }

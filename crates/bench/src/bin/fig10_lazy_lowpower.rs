@@ -13,9 +13,5 @@ fn main() {
         &figures::LOW_POWER_THREADS,
         TaskPointConfig::lazy(),
     );
-    emit(
-        "fig10_lazy_lowpower",
-        "Fig. 10: lazy sampling; low-power architecture",
-        &t.render(),
-    );
+    emit("fig10_lazy_lowpower", "Fig. 10: lazy sampling; low-power architecture", &t.render());
 }

@@ -13,9 +13,5 @@ fn main() {
         &figures::HIGH_PERF_THREADS,
         TaskPointConfig::lazy(),
     );
-    emit(
-        "fig9_lazy_highperf",
-        "Fig. 9: lazy sampling; high-performance architecture",
-        &t.render(),
-    );
+    emit("fig9_lazy_highperf", "Fig. 9: lazy sampling; high-performance architecture", &t.render());
 }

@@ -7,10 +7,8 @@ use taskpoint_workloads::{Benchmark, ScaleConfig};
 use tasksim::MachineConfig;
 
 fn main() {
-    let bench = std::env::args()
-        .nth(1)
-        .and_then(|n| Benchmark::by_name(&n))
-        .unwrap_or(Benchmark::Cholesky);
+    let bench =
+        std::env::args().nth(1).and_then(|n| Benchmark::by_name(&n)).unwrap_or(Benchmark::Cholesky);
     let workers: u32 = std::env::args().nth(2).and_then(|w| w.parse().ok()).unwrap_or(8);
     let mut h = Harness::new(ScaleConfig::new());
     let machine = MachineConfig::high_performance();
@@ -23,7 +21,9 @@ fn main() {
         reference.detailed_tasks,
         reference.total_instructions() as f64 / 1e6
     );
-    for (name, cfg) in [("lazy", TaskPointConfig::lazy()), ("periodic", TaskPointConfig::periodic())] {
+    for (name, cfg) in
+        [("lazy", TaskPointConfig::lazy()), ("periodic", TaskPointConfig::periodic())]
+    {
         let cell = h.cell(bench, &machine, workers, cfg);
         println!(
             "  {name:<9} err {:6.2}%  speedup {:8.1}x  detail {:5.2}%  resamples {}",

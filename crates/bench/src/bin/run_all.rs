@@ -43,31 +43,45 @@ fn main() {
     );
 
     let (t7, c7) = figures::error_speedup_figure(
-        &mut h, &hp, &figures::HIGH_PERF_THREADS, TaskPointConfig::periodic());
-    emit("fig7_periodic_highperf", "Fig. 7: periodic sampling; high-performance; P = 250", &t7.render());
+        &mut h,
+        &hp,
+        &figures::HIGH_PERF_THREADS,
+        TaskPointConfig::periodic(),
+    );
+    emit(
+        "fig7_periodic_highperf",
+        "Fig. 7: periodic sampling; high-performance; P = 250",
+        &t7.render(),
+    );
     let (t8, _c8) = figures::error_speedup_figure(
-        &mut h, &lp, &figures::LOW_POWER_THREADS, TaskPointConfig::periodic());
+        &mut h,
+        &lp,
+        &figures::LOW_POWER_THREADS,
+        TaskPointConfig::periodic(),
+    );
     emit("fig8_periodic_lowpower", "Fig. 8: periodic sampling; low-power; P = 250", &t8.render());
     let (t9, c9) = figures::error_speedup_figure(
-        &mut h, &hp, &figures::HIGH_PERF_THREADS, TaskPointConfig::lazy());
+        &mut h,
+        &hp,
+        &figures::HIGH_PERF_THREADS,
+        TaskPointConfig::lazy(),
+    );
     emit("fig9_lazy_highperf", "Fig. 9: lazy sampling; high-performance", &t9.render());
     let (t10, _c10) = figures::error_speedup_figure(
-        &mut h, &lp, &figures::LOW_POWER_THREADS, TaskPointConfig::lazy());
+        &mut h,
+        &lp,
+        &figures::LOW_POWER_THREADS,
+        TaskPointConfig::lazy(),
+    );
     emit("fig10_lazy_lowpower", "Fig. 10: lazy sampling; low-power", &t10.render());
 
     // Headline summary (abstract claim: 64 threads, lazy, avg err 1.8%,
     // max 15.0%, avg speedup 19.1).
-    let lazy64: Vec<(f64, f64)> = c9
-        .iter()
-        .filter(|c| c.threads == 64)
-        .map(|c| (c.error_percent, c.speedup))
-        .collect();
+    let lazy64: Vec<(f64, f64)> =
+        c9.iter().filter(|c| c.threads == 64).map(|c| (c.error_percent, c.speedup)).collect();
     let s = ErrorSummary::from_runs(&lazy64);
-    let periodic64: Vec<(f64, f64)> = c7
-        .iter()
-        .filter(|c| c.threads == 64)
-        .map(|c| (c.error_percent, c.speedup))
-        .collect();
+    let periodic64: Vec<(f64, f64)> =
+        c7.iter().filter(|c| c.threads == 64).map(|c| (c.error_percent, c.speedup)).collect();
     let sp = ErrorSummary::from_runs(&periodic64);
     let summary = format!(
         "lazy @64t:     avg error {:.2}% (paper 1.8%), max error {:.1}% (paper 15.0%), avg speedup {:.1}x (paper 19.1x)\n\

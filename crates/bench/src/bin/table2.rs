@@ -1,8 +1,8 @@
 //! Regenerates Table II: the high-performance and low-power machine
 //! configurations.
 
-use taskpoint_bench::output::emit;
 use taskpoint_bench::figures;
+use taskpoint_bench::output::emit;
 
 fn main() {
     let t = figures::table2();

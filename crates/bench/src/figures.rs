@@ -65,22 +65,14 @@ pub fn error_speedup_figure(
                 resamples: cell.stats.resamples.len(),
             });
         }
-        table.row(
-            [bench.name().to_string()]
-                .into_iter()
-                .chain(errs)
-                .chain(spds),
-        );
+        table.row([bench.name().to_string()].into_iter().chain(errs).chain(spds));
     }
     // Per-thread-count averages (the paper's "average" bar group).
     let mut avg_errs = Vec::new();
     let mut avg_spds = Vec::new();
     for &t in threads {
-        let runs: Vec<(f64, f64)> = cells
-            .iter()
-            .filter(|c| c.threads == t)
-            .map(|c| (c.error_percent, c.speedup))
-            .collect();
+        let runs: Vec<(f64, f64)> =
+            cells.iter().filter(|c| c.threads == t).map(|c| (c.error_percent, c.speedup)).collect();
         let s = ErrorSummary::from_runs(&runs);
         avg_errs.push(num(s.mean_error_percent, 2));
         avg_spds.push(num(s.mean_speedup, 1));
@@ -94,15 +86,23 @@ pub fn error_speedup_figure(
 /// enables the system-noise model (the "native execution" stand-in of
 /// Fig. 1).
 pub fn variation_figure(h: &mut Harness, machine: &MachineConfig, noise: bool) -> Table {
-    let mut table =
-        Table::new(["benchmark", "p5%", "q1%", "median%", "q3%", "p95%", "min%", "max%", "within±5%"]);
+    let mut table = Table::new([
+        "benchmark",
+        "p5%",
+        "q1%",
+        "median%",
+        "q3%",
+        "p95%",
+        "min%",
+        "max%",
+        "within±5%",
+    ]);
     for bench in Benchmark::ALL {
         let program = h.program(bench).clone();
-        let mut builder = Simulation::builder(&program, machine.clone())
-            .workers(8)
-            .collect_reports(true);
+        let mut builder =
+            Simulation::builder(&program, machine.clone()).workers(8).collect_reports(true);
         if noise {
-            builder = builder.noise(NoiseModel::native_execution(0xF16_1));
+            builder = builder.noise(NoiseModel::native_execution(0xF161));
         }
         let result = builder.build().run(&mut DetailedOnly);
         let samples: Vec<(u32, f64)> = result
@@ -112,8 +112,8 @@ pub fn variation_figure(h: &mut Harness, machine: &MachineConfig, noise: bool) -
             .map(|r| (r.type_id.0, r.ipc()))
             .collect();
         let deviations = normalize_by_group(samples);
-        let stats = BoxplotStats::from_samples(&deviations)
-            .expect("benchmark produced no IPC samples");
+        let stats =
+            BoxplotStats::from_samples(&deviations).expect("benchmark produced no IPC samples");
         table.row([
             bench.name().to_string(),
             num(stats.p5, 1),
@@ -149,9 +149,7 @@ pub fn sensitivity_sweep(h: &mut Harness, part: SweepPart) -> Table {
         SweepPart::Warmup => (
             "W",
             (0..=10u64)
-                .map(|w| {
-                    (w.to_string(), TaskPointConfig::lazy().with_warmup(w).with_history(10))
-                })
+                .map(|w| (w.to_string(), TaskPointConfig::lazy().with_warmup(w).with_history(10)))
                 .collect(),
         ),
         SweepPart::History => (
@@ -193,14 +191,8 @@ pub fn sensitivity_sweep(h: &mut Harness, part: SweepPart) -> Table {
 /// simulation wall times at 1 and 64 threads.
 pub fn table1(h: &mut Harness) -> Table {
     let machine = MachineConfig::high_performance();
-    let mut table = Table::new([
-        "benchmark",
-        "types",
-        "instances",
-        "sim 1t [s]",
-        "sim 64t [s]",
-        "property",
-    ]);
+    let mut table =
+        Table::new(["benchmark", "types", "instances", "sim 1t [s]", "sim 64t [s]", "property"]);
     for bench in Benchmark::ALL {
         let info = bench.info();
         let r1 = h.reference(bench, &machine, 1);
@@ -258,11 +250,7 @@ pub fn table2() -> Table {
             .unwrap_or_else(|| "none".to_string())
     };
     for level in ["L1", "L2", "L3"] {
-        table.row([
-            format!("{level} cache"),
-            cache_desc(&hp, level),
-            cache_desc(&lp, level),
-        ]);
+        table.row([format!("{level} cache"), cache_desc(&hp, level), cache_desc(&lp, level)]);
     }
     table
 }

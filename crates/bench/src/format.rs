@@ -54,7 +54,12 @@ impl Table {
                 // Right-align numeric-looking cells, left-align text.
                 let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-')
                     && cell.chars().all(|c| {
-                        c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'x' || c == '%'
+                        c.is_ascii_digit()
+                            || c == '.'
+                            || c == '-'
+                            || c == '+'
+                            || c == 'x'
+                            || c == '%'
                     });
                 if numeric {
                     line.push_str(&format!("{cell:>width$}", width = widths[i]));

@@ -88,8 +88,7 @@ impl Harness {
         let key = (bench, machine.name.clone(), workers);
         if !self.references.contains_key(&key) {
             let scale = self.scale;
-            let program =
-                self.programs.entry(bench).or_insert_with(|| bench.generate(&scale));
+            let program = self.programs.entry(bench).or_insert_with(|| bench.generate(&scale));
             let result = taskpoint::run_reference(program, machine.clone(), workers);
             self.references.insert(key.clone(), result);
         }

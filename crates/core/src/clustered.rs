@@ -48,11 +48,7 @@ impl ClusteredController {
     /// Panics if `granularity == 0` or the config is invalid.
     pub fn new(config: TaskPointConfig, granularity: u32) -> Self {
         assert!(granularity > 0, "granularity must be positive");
-        Self {
-            inner: TaskPointController::new(config),
-            granularity,
-            virtual_ids: HashMap::new(),
-        }
+        Self { inner: TaskPointController::new(config), granularity, virtual_ids: HashMap::new() }
     }
 
     /// The size class of an instance with `instructions` dynamic
@@ -175,12 +171,12 @@ mod tests {
         let reference = crate::simulate::run_reference(&p, machine.clone(), 4);
         let (plain, _) =
             crate::simulate::run_sampled(&p, machine.clone(), 4, TaskPointConfig::lazy());
-        let (clustered, _, clusters) =
-            run_clustered(&p, machine, 4, TaskPointConfig::lazy(), 1);
+        let (clustered, _, clusters) = run_clustered(&p, machine, 4, TaskPointConfig::lazy(), 1);
         let err = |predicted: u64| {
-            100.0 * ((predicted as f64 - reference.total_cycles as f64)
-                / reference.total_cycles as f64)
-                .abs()
+            100.0
+                * ((predicted as f64 - reference.total_cycles as f64)
+                    / reference.total_cycles as f64)
+                    .abs()
         };
         assert!(clusters >= 2, "bimodal sizes must form >= 2 clusters");
         let plain_err = err(plain.total_cycles);

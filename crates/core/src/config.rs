@@ -96,10 +96,7 @@ impl TaskPointConfig {
         if let SamplingPolicy::Periodic { period } = self.policy {
             assert!(period > 0, "sampling period P must be positive");
         }
-        assert!(
-            self.concurrency_change_ratio > 1.0,
-            "concurrency change ratio must exceed 1"
-        );
+        assert!(self.concurrency_change_ratio > 1.0, "concurrency change ratio must exceed 1");
     }
 }
 
@@ -155,8 +152,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "P must be positive")]
     fn zero_period_rejected() {
-        TaskPointConfig::periodic()
-            .with_policy(SamplingPolicy::Periodic { period: 0 })
-            .validate();
+        TaskPointConfig::periodic().with_policy(SamplingPolicy::Periodic { period: 0 }).validate();
     }
 }

@@ -222,8 +222,7 @@ impl ModeController for TaskPointController {
         self.ensure_workers(start.total_workers);
         let h = self.config.history_size;
         let is_new_type = !self.types.contains_key(&start.type_id);
-        let histories =
-            self.types.entry(start.type_id).or_insert_with(|| TypeHistories::new(h));
+        let histories = self.types.entry(start.type_id).or_insert_with(|| TypeHistories::new(h));
         histories.seen += 1;
 
         // Track the smoothed concurrency level at every task start.
@@ -244,8 +243,7 @@ impl ModeController for TaskPointController {
             return ExecMode::Detailed;
         }
         let ratio = self.config.concurrency_change_ratio;
-        if self.conc_ewma > self.sampled_conc * ratio
-            || self.conc_ewma < self.sampled_conc / ratio
+        if self.conc_ewma > self.sampled_conc * ratio || self.conc_ewma < self.sampled_conc / ratio
         {
             // Sustained parallelism change (e.g. a new program phase):
             // contention differs, so the samples no longer represent
@@ -298,11 +296,7 @@ impl ModeController for TaskPointController {
                     Phase::Sampling => {
                         let was_full = histories.valid.is_full();
                         histories.valid.push(ipc);
-                        *self
-                            .stats
-                            .valid_samples
-                            .entry(report.type_id.0)
-                            .or_insert(0) += 1;
+                        *self.stats.valid_samples.entry(report.type_id.0).or_insert(0) += 1;
                         if was_full {
                             self.since_unfilled[w] += 1;
                         } else {
@@ -350,7 +344,14 @@ mod tests {
         }
     }
 
-    fn report(task: u64, type_id: u32, worker: u32, start_t: u64, end: u64, mode: SimMode) -> TaskReport {
+    fn report(
+        task: u64,
+        type_id: u32,
+        worker: u32,
+        start_t: u64,
+        end: u64,
+        mode: SimMode,
+    ) -> TaskReport {
         TaskReport {
             task: TaskInstanceId(task),
             type_id: TaskTypeId(type_id),
@@ -367,8 +368,7 @@ mod tests {
     /// type until it fast-forwards.
     fn drive_to_fast(ctrl: &mut TaskPointController) -> u64 {
         let mut t = 0u64;
-        let mut task = 0u64;
-        for _ in 0..100 {
+        for task in 0..100u64 {
             let s = start(task, 0, 0, t, 1, 1);
             match ctrl.mode_for_task(&s) {
                 ExecMode::Detailed => {
@@ -377,7 +377,6 @@ mod tests {
                 ExecMode::Fast { .. } => return task,
             }
             t += 500;
-            task += 1;
         }
         panic!("never reached fast-forward");
     }
@@ -467,8 +466,8 @@ mod tests {
 
     #[test]
     fn periodic_policy_resamples_after_p_fast_instances() {
-        let config = TaskPointConfig::periodic()
-            .with_policy(SamplingPolicy::Periodic { period: 10 });
+        let config =
+            TaskPointConfig::periodic().with_policy(SamplingPolicy::Periodic { period: 10 });
         let mut ctrl = TaskPointController::new(config);
         drive_to_fast(&mut ctrl);
         let mut fast = 0;

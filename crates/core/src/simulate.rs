@@ -22,10 +22,7 @@ use crate::metrics::ExperimentOutcome;
 /// assert_eq!(result.detailed_tasks as usize, program.num_instances());
 /// ```
 pub fn run_reference(program: &Program, machine: MachineConfig, workers: u32) -> SimResult {
-    Simulation::builder(program, machine)
-        .workers(workers)
-        .build()
-        .run(&mut DetailedOnly)
+    Simulation::builder(program, machine).workers(workers).build().run(&mut DetailedOnly)
 }
 
 /// Runs a TaskPoint sampled simulation; returns the simulation result and
@@ -37,10 +34,8 @@ pub fn run_sampled(
     config: TaskPointConfig,
 ) -> (SimResult, SamplingStats) {
     let mut controller = TaskPointController::new(config);
-    let result = Simulation::builder(program, machine)
-        .workers(workers)
-        .build()
-        .run(&mut controller);
+    let result =
+        Simulation::builder(program, machine).workers(workers).build().run(&mut controller);
     (result, controller.into_stats())
 }
 
@@ -97,15 +92,10 @@ mod tests {
         let p = uniform_program(400);
         let machine = MachineConfig::high_performance();
         let reference = run_reference(&p, machine.clone(), 4);
-        let (outcome, stats) =
-            evaluate(&p, machine, 4, TaskPointConfig::lazy(), Some(&reference));
+        let (outcome, stats) = evaluate(&p, machine, 4, TaskPointConfig::lazy(), Some(&reference));
         // Identical-shape tasks: the per-type mean IPC predicts every
         // instance almost perfectly.
-        assert!(
-            outcome.error_percent < 3.0,
-            "uniform workload error {}%",
-            outcome.error_percent
-        );
+        assert!(outcome.error_percent < 3.0, "uniform workload error {}%", outcome.error_percent);
         assert!(stats.fast_tasks > 300, "most tasks fast-forwarded");
         assert!(outcome.detail_fraction < 0.25);
     }

@@ -176,12 +176,7 @@ impl DependenceGraph {
         let mut max = 0;
         for i in 0..self.len() {
             let id = TaskInstanceId(i as u64);
-            let d = self
-                .predecessors(id)
-                .iter()
-                .map(|p| depth[p.index()] + 1)
-                .max()
-                .unwrap_or(1);
+            let d = self.predecessors(id).iter().map(|p| depth[p.index()] + 1).max().unwrap_or(1);
             depth[i] = d;
             max = max.max(d);
         }
@@ -267,29 +262,23 @@ mod tests {
 
     #[test]
     fn raw_dependence() {
-        let g = graph(&[
-            vec![RegionAccess::output(region(1))],
-            vec![RegionAccess::input(region(1))],
-        ]);
+        let g =
+            graph(&[vec![RegionAccess::output(region(1))], vec![RegionAccess::input(region(1))]]);
         assert_eq!(g.predecessors(TaskInstanceId(1)), &[TaskInstanceId(0)]);
         assert_eq!(g.successors(TaskInstanceId(0)), &[TaskInstanceId(1)]);
     }
 
     #[test]
     fn war_dependence() {
-        let g = graph(&[
-            vec![RegionAccess::input(region(1))],
-            vec![RegionAccess::output(region(1))],
-        ]);
+        let g =
+            graph(&[vec![RegionAccess::input(region(1))], vec![RegionAccess::output(region(1))]]);
         assert_eq!(g.predecessors(TaskInstanceId(1)), &[TaskInstanceId(0)]);
     }
 
     #[test]
     fn waw_dependence() {
-        let g = graph(&[
-            vec![RegionAccess::output(region(1))],
-            vec![RegionAccess::output(region(1))],
-        ]);
+        let g =
+            graph(&[vec![RegionAccess::output(region(1))], vec![RegionAccess::output(region(1))]]);
         assert_eq!(g.predecessors(TaskInstanceId(1)), &[TaskInstanceId(0)]);
     }
 
@@ -311,10 +300,8 @@ mod tests {
 
     #[test]
     fn disjoint_regions_are_independent() {
-        let g = graph(&[
-            vec![RegionAccess::output(region(1))],
-            vec![RegionAccess::output(region(2))],
-        ]);
+        let g =
+            graph(&[vec![RegionAccess::output(region(1))], vec![RegionAccess::output(region(2))]]);
         assert!(g.predecessors(TaskInstanceId(1)).is_empty());
         assert_eq!(g.roots(), vec![TaskInstanceId(0), TaskInstanceId(1)]);
     }
@@ -332,10 +319,7 @@ mod tests {
 
     #[test]
     fn task_reading_and_writing_same_region_has_no_self_dep() {
-        let g = graph(&[vec![
-            RegionAccess::input(region(1)),
-            RegionAccess::output(region(1)),
-        ]]);
+        let g = graph(&[vec![RegionAccess::input(region(1)), RegionAccess::output(region(1))]]);
         assert!(g.predecessors(TaskInstanceId(0)).is_empty());
     }
 
@@ -388,10 +372,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "before its inputs")]
     fn premature_completion_panics() {
-        let g = graph(&[
-            vec![RegionAccess::output(region(1))],
-            vec![RegionAccess::input(region(1))],
-        ]);
+        let g =
+            graph(&[vec![RegionAccess::output(region(1))], vec![RegionAccess::input(region(1))]]);
         let mut rs = g.ready_set();
         rs.complete(&g, TaskInstanceId(1));
     }

@@ -127,10 +127,7 @@ impl ProgramBuilder {
         trace: TraceSpec,
         accesses: Vec<RegionAccess>,
     ) -> TaskInstanceId {
-        assert!(
-            (type_id.0 as usize) < self.types.len(),
-            "undeclared task type {type_id}"
-        );
+        assert!((type_id.0 as usize) < self.types.len(), "undeclared task type {type_id}");
         let id = TaskInstanceId(self.instances.len() as u64);
         self.graph.add_task(id, &accesses);
         self.instances.push(TaskInstance::new(id, type_id, trace, accesses));
@@ -156,12 +153,7 @@ impl ProgramBuilder {
             graph: self.graph.build(),
         };
         for (i, count) in program.instances_per_type().iter().enumerate() {
-            assert!(
-                *count > 0,
-                "task type {} ({}) has no instances",
-                i,
-                program.types[i].name()
-            );
+            assert!(*count > 0, "task type {} ({}) has no instances", i, program.types[i].name());
         }
         program
     }

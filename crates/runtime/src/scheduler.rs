@@ -137,20 +137,12 @@ impl LocalityScheduler {
             .instances()
             .iter()
             .map(|inst| {
-                let key = inst
-                    .accesses()
-                    .first()
-                    .map(|a| a.region.base)
-                    .unwrap_or(inst.id().0);
+                let key = inst.accesses().first().map(|a| a.region.base).unwrap_or(inst.id().0);
                 let mut st = key ^ 0x5851_F42D_4C95_7F2D;
                 (taskpoint_stats::rng::splitmix64(&mut st) % workers as u64) as u32
             })
             .collect();
-        Self {
-            queues: (0..workers).map(|_| VecDeque::new()).collect(),
-            affinity,
-            ready: 0,
-        }
+        Self { queues: (0..workers).map(|_| VecDeque::new()).collect(), affinity, ready: 0 }
     }
 }
 
@@ -164,10 +156,7 @@ impl Scheduler for LocalityScheduler {
     fn pick(&mut self, worker: WorkerId) -> Option<TaskInstanceId> {
         let own = worker.index() % self.queues.len();
         let picked = self.queues[own].pop_front().or_else(|| {
-            self.queues
-                .iter_mut()
-                .find(|q| !q.is_empty())
-                .and_then(VecDeque::pop_front)
+            self.queues.iter_mut().find(|q| !q.is_empty()).and_then(VecDeque::pop_front)
         });
         if picked.is_some() {
             self.ready -= 1;
@@ -223,11 +212,7 @@ mod tests {
         for i in 0..8u64 {
             // Two tasks per tile: same region => same affinity worker.
             let r = MemRegion::new(0x1000 * (i / 2 + 1), 0x100);
-            let mode = if i % 2 == 0 {
-                RegionAccess::output(r)
-            } else {
-                RegionAccess::input(r)
-            };
+            let mode = if i % 2 == 0 { RegionAccess::output(r) } else { RegionAccess::input(r) };
             b.add_task(ty, TraceSpec::synthetic(0, 1), vec![mode]);
         }
         b.build()

@@ -42,7 +42,7 @@ impl SetAssocCache {
     pub fn new(size_bytes: u64, associativity: u32, line_size: u32) -> Self {
         assert!(line_size.is_power_of_two(), "line size must be a power of two");
         let lines = size_bytes / line_size as u64;
-        assert!(lines > 0 && lines % associativity as u64 == 0, "bad geometry");
+        assert!(lines > 0 && lines.is_multiple_of(associativity as u64), "bad geometry");
         let num_sets = lines / associativity as u64;
         assert!(num_sets.is_power_of_two(), "set count {num_sets} must be a power of two");
         Self {
@@ -261,8 +261,8 @@ mod tests {
 
     #[test]
     fn working_set_larger_than_cache_thrashes() {
-        let mut c = small(); // 8 lines
-        // Cyclic walk over 16 lines with LRU => 0% hit rate.
+        // Cyclic walk over 16 lines (cache holds 8) with LRU => 0% hit rate.
+        let mut c = small();
         for _ in 0..10 {
             for line in 0..16u64 {
                 c.access(line);

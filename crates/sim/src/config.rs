@@ -274,7 +274,7 @@ impl MachineConfig {
             assert!(c.associativity > 0, "{}: zero associativity", c.name);
             let lines = c.size_bytes / self.line_size as u64;
             assert!(
-                lines % c.associativity as u64 == 0,
+                lines.is_multiple_of(c.associativity as u64),
                 "{}: lines not divisible by associativity",
                 c.name
             );

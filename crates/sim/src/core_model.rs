@@ -192,8 +192,7 @@ impl RobCore {
             InstKind::Branch => {
                 // Branch outcomes are data-dependent: per-instance stream.
                 if data_rng.next_f64() < params.branch_mispredict_rate {
-                    self.serial_until =
-                        self.serial_until.max(complete + self.mispredict_penalty);
+                    self.serial_until = self.serial_until.max(complete + self.mispredict_penalty);
                 }
             }
             InstKind::Fence => {
@@ -274,7 +273,14 @@ mod tests {
         let n = 1000u64;
         let mut last = 0;
         for _ in 0..n {
-            last = core.execute(0, &Instruction::compute(InstKind::IntAlu), params, &mut mem, &mut rng, &mut crng);
+            last = core.execute(
+                0,
+                &Instruction::compute(InstKind::IntAlu),
+                params,
+                &mut mem,
+                &mut rng,
+                &mut crng,
+            );
         }
         // Every instruction waits for the previous one: ~1 cycle each.
         let ipc = n as f64 / last as f64;
@@ -327,10 +333,7 @@ mod tests {
         };
         let wide = run(&m.core);
         let narrow = run(&few_cfg);
-        assert!(
-            narrow > wide * 3,
-            "1 MSHR must be much slower than 10: {narrow} vs {wide}"
-        );
+        assert!(narrow > wide * 3, "1 MSHR must be much slower than 10: {narrow} vs {wide}");
     }
 
     #[test]
@@ -345,7 +348,14 @@ mod tests {
             core.reset(0);
             let mut last = 0;
             for _ in 0..2000 {
-                last = core.execute(0, &Instruction::compute(InstKind::Branch), p, &mut mem, &mut rng, &mut crng);
+                last = core.execute(
+                    0,
+                    &Instruction::compute(InstKind::Branch),
+                    p,
+                    &mut mem,
+                    &mut rng,
+                    &mut crng,
+                );
             }
             last
         };
@@ -361,7 +371,14 @@ mod tests {
         let mut crng = Xoshiro256pp::seed_from_u64(106);
         core.reset(1_000_000);
         assert_eq!(core.dispatch_cycle(), 1_000_000);
-        let c = core.execute(0, &Instruction::compute(InstKind::IntAlu), NO_EVENTS, &mut mem, &mut rng, &mut crng);
+        let c = core.execute(
+            0,
+            &Instruction::compute(InstKind::IntAlu),
+            NO_EVENTS,
+            &mut mem,
+            &mut rng,
+            &mut crng,
+        );
         assert!(c >= 1_000_000);
         assert_eq!(core.last_commit(), c);
     }
@@ -392,10 +409,7 @@ mod tests {
         };
         let big_rob = run(&m.core);
         let small_rob = run(&small);
-        assert!(
-            small_rob >= big_rob,
-            "smaller ROB cannot be faster: {small_rob} vs {big_rob}"
-        );
+        assert!(small_rob >= big_rob, "smaller ROB cannot be faster: {small_rob} vs {big_rob}");
     }
 
     #[test]

@@ -314,10 +314,7 @@ impl<'p> Engine<'p> {
                 break;
             };
             let widx = w as usize;
-            let start = self.workers[widx]
-                .local_time
-                .max(now)
-                .max(self.ready_at[task.index()]);
+            let start = self.workers[widx].local_time.max(now).max(self.ready_at[task.index()]);
             let inst = self.program.instance(task);
             self.running_count += 1;
             let ctx = TaskStart {
@@ -436,6 +433,11 @@ struct RunStats {
 }
 
 /// What a worker is currently doing.
+///
+/// `Detailed` dwarfs `Burst` (it carries the trace iterator and two RNGs),
+/// but there is exactly one `Running` per worker, so boxing it would only
+/// add a pointer chase on the hot path.
+#[allow(clippy::large_enum_variant)]
 enum Running {
     Detailed {
         task: TaskInstanceId,
@@ -633,7 +635,8 @@ mod tests {
     #[test]
     fn reports_collected_only_on_request() {
         let p = independent_program(4, 100);
-        let without = Simulation::builder(&p, MachineConfig::tiny_test()).build().run(&mut DetailedOnly);
+        let without =
+            Simulation::builder(&p, MachineConfig::tiny_test()).build().run(&mut DetailedOnly);
         assert!(without.reports.is_empty());
         let with = Simulation::builder(&p, MachineConfig::tiny_test())
             .collect_reports(true)
@@ -676,11 +679,8 @@ mod tests {
         let a = noisy(1);
         let b = noisy(1);
         assert_eq!(a.total_cycles, b.total_cycles, "noise is seeded");
-        let durations_differ = a
-            .reports
-            .iter()
-            .zip(clean.reports.iter())
-            .any(|(x, y)| x.cycles() != y.cycles());
+        let durations_differ =
+            a.reports.iter().zip(clean.reports.iter()).any(|(x, y)| x.cycles() != y.cycles());
         assert!(durations_differ, "noise must perturb at least one task");
     }
 

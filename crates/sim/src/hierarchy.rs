@@ -231,8 +231,7 @@ impl MemorySystem {
         }
         // Coherence penalty: one round trip through the first shared point
         // (or DRAM latency when there is none).
-        let coherence_penalty =
-            shared_latency.first().copied().unwrap_or(config.memory.latency);
+        let coherence_penalty = shared_latency.first().copied().unwrap_or(config.memory.latency);
         Self {
             private,
             shared,
@@ -488,7 +487,7 @@ mod tests {
         let mut m = mem(1);
         // tiny L1: 1024B/64B = 16 lines, 2-way, 8 sets. Lines 0, 8, 16 map
         // to set 0 (line addr % 8).
-        m.access(0, 0 * 64, false, 0);
+        m.access(0, 0, false, 0);
         m.access(0, 8 * 64, false, 200);
         m.access(0, 16 * 64, false, 400); // evicts line 0 from L1
         let r = m.access(0, 0, false, 600);

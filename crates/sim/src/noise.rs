@@ -67,19 +67,16 @@ mod tests {
 
     #[test]
     fn outliers_skew_the_tail_upward() {
-        let heavy = NoiseModel {
-            sigma: 0.0,
-            outlier_probability: 1.0,
-            outlier_magnitude: 0.5,
-            seed: 3,
-        };
+        let heavy =
+            NoiseModel { sigma: 0.0, outlier_probability: 1.0, outlier_magnitude: 0.5, seed: 3 };
         let s: Summary = (0..1000).map(|i| heavy.factor(i)).collect();
         assert!(s.mean() > 1.2, "all-outlier model inflates durations: {}", s.mean());
     }
 
     #[test]
     fn zero_noise_is_identity() {
-        let silent = NoiseModel { sigma: 0.0, outlier_probability: 0.0, outlier_magnitude: 0.0, seed: 0 };
+        let silent =
+            NoiseModel { sigma: 0.0, outlier_probability: 0.0, outlier_magnitude: 0.0, seed: 0 };
         for i in 0..100 {
             assert_eq!(silent.factor(i), 1.0);
         }

@@ -55,16 +55,25 @@ pub struct Xoshiro256pp {
 }
 
 impl Xoshiro256pp {
+    /// Creates a generator from an explicit 256-bit state, exactly as the
+    /// reference C implementation is initialized. Mainly useful for
+    /// checking this implementation against the published test vectors;
+    /// prefer [`seed_from_u64`](Self::seed_from_u64) for well-mixed states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zeros (the one invalid xoshiro state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0, 0, 0, 0], "xoshiro256++ state must not be all zero");
+        Self { s }
+    }
+
     /// Seeds the full 256-bit state from a single `u64` via SplitMix64,
     /// as recommended by the xoshiro authors.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         // All-zero state is invalid; SplitMix64 cannot produce four zeros
         // from any seed, but guard anyway.
         if s == [0, 0, 0, 0] {
@@ -76,10 +85,7 @@ impl Xoshiro256pp {
 
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

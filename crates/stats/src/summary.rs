@@ -35,14 +35,7 @@ impl Default for Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Self {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            sum: 0.0,
-        }
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
     }
 
     /// Adds one sample.
@@ -236,7 +229,7 @@ mod tests {
 
     #[test]
     fn cv_of_constant_sequence_is_zero() {
-        let s: Summary = std::iter::repeat(4.2).take(10).collect();
+        let s: Summary = std::iter::repeat_n(4.2, 10).collect();
         assert!(s.cv().abs() < 1e-12);
     }
 

@@ -1,0 +1,102 @@
+//! Determinism regression tests pinning `taskpoint_stats::rng` to the
+//! published reference test vectors.
+//!
+//! Every workload in this repository is generated procedurally from these
+//! generators, so their output must stay bit-for-bit identical across
+//! platforms, architectures and compiler versions — otherwise "the same
+//! benchmark" would silently mean different programs on different machines
+//! and no error/speedup figure would be comparable. If any test in this
+//! file fails, the generators changed behavior and every recorded result
+//! in `results/` is invalidated.
+
+use taskpoint_stats::rng::{mix_seed, splitmix64, Xoshiro256pp};
+
+/// First outputs of the public-domain SplitMix64 reference (Steele et al.,
+/// as distributed by Vigna) for initial state 0. These exact values appear
+/// in the test suites of many independent implementations.
+#[test]
+fn splitmix64_matches_published_vector_seed_zero() {
+    let expected: [u64; 5] = [
+        0xe220_a839_7b1d_cdaf,
+        0x6e78_9e6a_a1b9_65f4,
+        0x06c4_5d18_8009_454f,
+        0xf88b_b8a8_724c_81ec,
+        0x1b39_896a_51a8_749b,
+    ];
+    let mut state = 0u64;
+    for (i, &want) in expected.iter().enumerate() {
+        assert_eq!(splitmix64(&mut state), want, "splitmix64 output {i}");
+    }
+}
+
+/// SplitMix64 single-step check for a nonzero seed (vector used by the
+/// `rand_core` test suite).
+#[test]
+fn splitmix64_matches_published_vector_seed_1234567() {
+    let mut state = 1_234_567u64;
+    assert_eq!(splitmix64(&mut state), 6_457_827_717_110_365_317);
+}
+
+/// First ten outputs of the xoshiro256++ reference C implementation for
+/// state `[1, 2, 3, 4]` — the vector shipped with `rand_xoshiro`.
+#[test]
+fn xoshiro256pp_matches_published_vector() {
+    let expected: [u64; 10] = [
+        41_943_041,
+        58_720_359,
+        3_588_806_011_781_223,
+        3_591_011_842_654_386,
+        9_228_616_714_210_784_205,
+        9_973_669_472_204_895_162,
+        14_011_001_112_246_962_877,
+        12_406_186_145_184_390_807,
+        15_849_039_046_786_891_736,
+        10_450_023_813_501_588_000,
+    ];
+    let mut rng = Xoshiro256pp::from_state([1, 2, 3, 4]);
+    for (i, &want) in expected.iter().enumerate() {
+        assert_eq!(rng.next_u64(), want, "xoshiro256++ output {i}");
+    }
+}
+
+/// The composition this crate actually uses: SplitMix64 expands the `u64`
+/// seed into the 256-bit state, then xoshiro256++ generates. The expected
+/// values follow from the two published algorithms above; pinning them
+/// guards the seeding path itself.
+#[test]
+fn seed_from_u64_composition_is_pinned() {
+    let expected: [u64; 6] = [
+        5_987_356_902_031_041_503,
+        7_051_070_477_665_621_255,
+        6_633_766_593_972_829_180,
+        211_316_841_551_650_330,
+        9_136_120_204_379_184_874,
+        379_361_710_973_160_858,
+    ];
+    let mut rng = Xoshiro256pp::seed_from_u64(0);
+    for (i, &want) in expected.iter().enumerate() {
+        assert_eq!(rng.next_u64(), want, "seed_from_u64(0) output {i}");
+    }
+}
+
+/// `mix_seed` feeds every per-instance trace seed; its outputs are part of
+/// the reproducibility contract even though it is this crate's own
+/// construction (pinned values computed once and frozen).
+#[test]
+fn mix_seed_outputs_are_pinned() {
+    assert_eq!(mix_seed(&[]), 3_246_858_695_411_730_098);
+    assert_eq!(mix_seed(&[0]), 17_864_507_281_744_500_190);
+    assert_eq!(mix_seed(&[1, 2, 3]), 15_050_480_356_514_305_467);
+}
+
+/// Derived distributions ride on `next_u64`; spot-check that the floating
+/// point path is also identical (same bits, not just "close").
+#[test]
+fn f64_path_is_bit_identical() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0);
+    // 5987356902031041503 >> 11 = 2923514112319844 as 53-bit mantissa.
+    assert_eq!(
+        rng.next_f64().to_bits(),
+        (2_923_514_112_319_844f64 / 9_007_199_254_740_992f64).to_bits()
+    );
+}

@@ -296,9 +296,7 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(5);
         let hot_end = region.base + (region.len as f64 * 0.01) as u64;
         let n = 20_000;
-        let hot_hits = (0..n)
-            .filter(|_| s.next_addr(InstKind::Load, &mut rng) < hot_end)
-            .count();
+        let hot_hits = (0..n).filter(|_| s.next_addr(InstKind::Load, &mut rng) < hot_end).count();
         let frac = hot_hits as f64 / n as f64;
         // 90% targeted + ~1% of the cold accesses landing in the hot range.
         assert!(frac > 0.85, "hot fraction {frac}");
@@ -341,7 +339,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty footprint")]
     fn empty_footprint_rejected() {
-        let _ = AddressStream::new(AccessPattern::Random, MemRegion::empty(), MemRegion::empty(), 0);
+        let _ =
+            AddressStream::new(AccessPattern::Random, MemRegion::empty(), MemRegion::empty(), 0);
     }
 
     #[test]

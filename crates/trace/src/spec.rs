@@ -226,10 +226,7 @@ impl TraceSpecBuilder {
             (0.0..=1.0).contains(&self.branch_mispredict_rate),
             "branch mispredict rate out of range"
         );
-        assert!(
-            (0.0..=1.0).contains(&self.dependency_rate),
-            "dependency rate out of range"
-        );
+        assert!((0.0..=1.0).contains(&self.dependency_rate), "dependency rate out of range");
         TraceSpec {
             seed: self.seed,
             code_seed: self.code_seed,
@@ -266,10 +263,8 @@ impl Iterator for TraceIter {
         self.remaining -= 1;
         let kind = self.mix.sample(&mut self.code_rng);
         Some(if kind.is_memory() {
-            let stream = self
-                .addresses
-                .as_mut()
-                .expect("memory instruction from a spec without footprint");
+            let stream =
+                self.addresses.as_mut().expect("memory instruction from a spec without footprint");
             let addr = stream.next_addr(kind, &mut self.data_rng);
             Instruction::memory(kind, addr, ACCESS_SIZE)
         } else {
@@ -387,20 +382,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty footprint")]
     fn memory_mix_without_footprint_rejected() {
-        let _ = TraceSpec::builder()
-            .instructions(10)
-            .mix(InstructionMix::memory_bound())
-            .build();
+        let _ = TraceSpec::builder().instructions(10).mix(InstructionMix::memory_bound()).build();
     }
 
     #[test]
     fn pure_compute_spec_needs_no_footprint() {
         let s = TraceSpec::builder()
             .instructions(100)
-            .mix(InstructionMix::from_weights(&[
-                (InstKind::IntAlu, 0.8),
-                (InstKind::Branch, 0.2),
-            ]))
+            .mix(InstructionMix::from_weights(&[(InstKind::IntAlu, 0.8), (InstKind::Branch, 0.2)]))
             .build();
         assert_eq!(s.iter().count(), 100);
         assert!(s.iter().all(|i| !i.kind.is_memory()));

@@ -298,10 +298,7 @@ pub mod sparselu {
                 b.add_task(
                     copy_ty,
                     t,
-                    vec![
-                        RegionAccess::input(blocks[i * N + j]),
-                        RegionAccess::output(copy),
-                    ],
+                    vec![RegionAccess::input(blocks[i * N + j]), RegionAccess::output(copy)],
                 );
                 copies[i * N + j] = Some(copy);
                 let cell = alloc.alloc_lines(64);
@@ -390,11 +387,11 @@ pub mod cholesky {
         let mut srng = Xoshiro256pp::seed_from_u64(0xC401E);
         let mut counters = [0u64; 4];
         let mk = |scale: &ScaleConfig,
-                      ty: u32,
-                      c: &mut [u64; 4],
-                      base: f64,
-                      fp: MemRegion,
-                      srng: &mut Xoshiro256pp| {
+                  ty: u32,
+                  c: &mut [u64; 4],
+                  base: f64,
+                  fp: MemRegion,
+                  srng: &mut Xoshiro256pp| {
             let jit = 1.0 + (srng.next_f64() - 0.5) * 0.03;
             let s = scale.instance_seed(INFO.name, ty, c[ty as usize]);
             c[ty as usize] += 1;
@@ -415,21 +412,13 @@ pub mod cholesky {
             for i in (k + 1)..N {
                 let ik = tiles[i * N + k];
                 let t = mk(scale, 1, &mut counters, 1350.0, ik, &mut srng);
-                b.add_task(
-                    trsm_ty,
-                    t,
-                    vec![RegionAccess::input(kk), RegionAccess::inout(ik)],
-                );
+                b.add_task(trsm_ty, t, vec![RegionAccess::input(kk), RegionAccess::inout(ik)]);
             }
             for i in (k + 1)..N {
                 let ik = tiles[i * N + k];
                 let ii = tiles[i * N + i];
                 let t = mk(scale, 2, &mut counters, 1300.0, ii, &mut srng);
-                b.add_task(
-                    syrk_ty,
-                    t,
-                    vec![RegionAccess::input(ik), RegionAccess::inout(ii)],
-                );
+                b.add_task(syrk_ty, t, vec![RegionAccess::input(ik), RegionAccess::inout(ii)]);
                 for j in (k + 1)..i {
                     let jk = tiles[j * N + k];
                     let ij = tiles[i * N + j];
@@ -512,11 +501,7 @@ pub mod kmeans {
                 .build();
             // Only the first BLOCKS loads own a block outright; extras are
             // chunked readers of the same input (in-only, no deps created).
-            let acc = if i < BLOCKS {
-                vec![RegionAccess::output(points[i])]
-            } else {
-                vec![]
-            };
+            let acc = if i < BLOCKS { vec![RegionAccess::output(points[i])] } else { vec![] };
             b.add_task(init_pts_ty, t, acc);
         }
 
@@ -552,10 +537,7 @@ pub mod kmeans {
                 b.add_task(
                     partial_ty,
                     t,
-                    vec![
-                        RegionAccess::input(labels[bl]),
-                        RegionAccess::output(partials[bl]),
-                    ],
+                    vec![RegionAccess::input(labels[bl]), RegionAccess::output(partials[bl])],
                 );
             }
             let mut acc = vec![RegionAccess::inout(centroids)];
@@ -613,7 +595,7 @@ pub mod knn {
         let mut dist_idx = 0u64;
         for q in 0..QUERIES {
             let mut scratch = Vec::with_capacity(BLOCKS);
-            for bl in 0..BLOCKS {
+            for &block in train.iter() {
                 let out = alloc.alloc_lines(4 * 1024);
                 let jit = 1.0 + (srng.next_f64() - 0.5) * 0.04;
                 let t = TraceSpec::builder()
@@ -621,15 +603,11 @@ pub mod knn {
                     .instructions(scale.instructions(1250.0 * jit))
                     .mix(InstructionMix::balanced())
                     .pattern(AccessPattern::sequential(16))
-                    .footprint(train[bl])
+                    .footprint(block)
                     .branch_mispredict_rate(0.012)
                     .dependency_rate(0.12)
                     .build();
-                b.add_task(
-                    dist_ty,
-                    t,
-                    vec![RegionAccess::output(out)],
-                );
+                b.add_task(dist_ty, t, vec![RegionAccess::output(out)]);
                 scratch.push(out);
                 dist_idx += 1;
             }
@@ -696,6 +674,7 @@ mod tests {
         assert_eq!(per_type[1], n * (n - 1) / 2); // trsm
         assert_eq!(per_type[2], n * (n - 1) / 2); // syrk
         assert_eq!(per_type[3], n * (n - 1) * (n - 2) / 6); // gemm
+
         // potrf(k+1) transitively depends on potrf(k): critical path spans k.
         assert!(p.graph().critical_path_len() >= n);
     }

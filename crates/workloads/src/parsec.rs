@@ -98,8 +98,15 @@ pub mod bodytrack {
     /// Generates the workload.
     pub fn generate(scale: &ScaleConfig) -> Program {
         let mut b = Program::builder(INFO.name);
-        let names =
-            ["edge_detect", "gauss_smooth", "gradient", "likelihood", "resample", "update_model", "anneal_step"];
+        let names = [
+            "edge_detect",
+            "gauss_smooth",
+            "gradient",
+            "likelihood",
+            "resample",
+            "update_model",
+            "anneal_step",
+        ];
         let types: Vec<_> = names.iter().map(|n| b.add_type(*n)).collect();
         let mut alloc = AddressAllocator::new();
         let model_state = alloc.alloc_lines(64 * 1024);
@@ -285,11 +292,7 @@ pub mod dedup {
                 .pattern(AccessPattern::Random)
                 .footprint(seg)
                 .build();
-            b.add_task(
-                hash_ty,
-                t,
-                vec![RegionAccess::input(seg), RegionAccess::output(hashed)],
-            );
+            b.add_task(hash_ty, t, vec![RegionAccess::input(seg), RegionAccess::output(hashed)]);
             // compress: the dominant, input-dependent stage. Size spread is
             // uniform over [350, 2510] — a 7.2x ratio matching the paper's
             // 3.5M..25.1M instruction range scaled down.
@@ -389,11 +392,7 @@ pub mod freqmine {
                 .branch_mispredict_rate(0.05)
                 .dependency_rate(0.30)
                 .build();
-            b.add_task(
-                insert_ty,
-                t,
-                vec![RegionAccess::input(header), RegionAccess::inout(tree)],
-            );
+            b.add_task(insert_ty, t, vec![RegionAccess::input(header), RegionAccess::inout(tree)]);
         }
         // sort_items (25)
         let mut sort_outs = Vec::new();
@@ -406,11 +405,7 @@ pub mod freqmine {
                 .pattern(AccessPattern::Random)
                 .footprint(out)
                 .build();
-            b.add_task(
-                sort_ty,
-                t,
-                vec![RegionAccess::input(tree), RegionAccess::output(out)],
-            );
+            b.add_task(sort_ty, t, vec![RegionAccess::input(tree), RegionAccess::output(out)]);
             sort_outs.push(out);
         }
         // build_tree (25) — refine the tree from sorted batches.
@@ -455,11 +450,7 @@ pub mod freqmine {
                 .branch_mispredict_rate(0.08)
                 .dependency_rate(0.35)
                 .build();
-            b.add_task(
-                mine_ty,
-                t,
-                vec![RegionAccess::input(tree), RegionAccess::output(out)],
-            );
+            b.add_task(mine_ty, t, vec![RegionAccess::input(tree), RegionAccess::output(out)]);
             mine_outs.push(out);
         }
         // prune (25)
@@ -578,8 +569,7 @@ mod tests {
         check(dedup::INFO, &p);
         let per_type = p.instructions_per_type();
         let total: u64 = per_type.iter().sum();
-        let compress_idx =
-            p.types().iter().position(|t| t.name() == "compress").unwrap();
+        let compress_idx = p.types().iter().position(|t| t.name() == "compress").unwrap();
         let share = per_type[compress_idx] as f64 / total as f64;
         assert!(share > 0.99, "compress share {share}");
         // 7x size spread inside the dominant type.

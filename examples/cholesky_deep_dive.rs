@@ -10,9 +10,9 @@
 //! cargo run --release --example cholesky_deep_dive
 //! ```
 
-use taskpoint::{run_reference, run_sampled, TaskPointConfig};
+use taskpoint_repro::sim::MachineConfig;
+use taskpoint_repro::taskpoint::{run_reference, run_sampled, TaskPointConfig};
 use taskpoint_repro::workloads::{Benchmark, ScaleConfig};
-use tasksim::MachineConfig;
 
 fn main() {
     let program = Benchmark::Cholesky.generate(&ScaleConfig::new());
@@ -50,8 +50,7 @@ fn main() {
     );
 
     println!("\n== TaskPoint sampled run (periodic, P=250) ==");
-    let (sampled, stats) =
-        run_sampled(&program, machine, workers, TaskPointConfig::periodic());
+    let (sampled, stats) = run_sampled(&program, machine, workers, TaskPointConfig::periodic());
     println!(
         "  {} cycles, {:.2}s host time, {:.2}% of instructions in detail",
         sampled.total_cycles,
@@ -64,8 +63,7 @@ fn main() {
     }
     println!("  resamples: {}", stats.resamples.len());
     println!("  valid samples measured per type:");
-    let mut per_type: Vec<(u32, u64)> =
-        stats.valid_samples.iter().map(|(&t, &n)| (t, n)).collect();
+    let mut per_type: Vec<(u32, u64)> = stats.valid_samples.iter().map(|(&t, &n)| (t, n)).collect();
     per_type.sort_unstable();
     for (ty, n) in per_type {
         println!("    {:<6} {n}", program.types()[ty as usize].name());
@@ -75,8 +73,5 @@ fn main() {
         * ((sampled.total_cycles as f64 - reference.total_cycles as f64)
             / reference.total_cycles as f64)
             .abs();
-    println!(
-        "\nerror {error:.2}%  speedup {:.1}x",
-        reference.wall_seconds / sampled.wall_seconds
-    );
+    println!("\nerror {error:.2}%  speedup {:.1}x", reference.wall_seconds / sampled.wall_seconds);
 }

@@ -10,11 +10,11 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use taskpoint::{run_reference, run_sampled, TaskPointConfig};
 use taskpoint_repro::runtime::{Program, RegionAccess};
+use taskpoint_repro::sim::MachineConfig;
+use taskpoint_repro::taskpoint::{run_reference, run_sampled, TaskPointConfig};
 use taskpoint_repro::trace::{AccessPattern, InstructionMix, TraceSpec};
 use taskpoint_repro::workloads::AddressAllocator;
-use tasksim::MachineConfig;
 
 fn main() {
     const FRAMES: u64 = 300;

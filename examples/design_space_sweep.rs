@@ -11,9 +11,9 @@
 //! cargo run --release --example design_space_sweep
 //! ```
 
-use taskpoint::{run_sampled, TaskPointConfig};
+use taskpoint_repro::sim::MachineConfig;
+use taskpoint_repro::taskpoint::{run_sampled, TaskPointConfig};
 use taskpoint_repro::workloads::{Benchmark, ScaleConfig};
-use tasksim::MachineConfig;
 
 fn main() {
     let program = Benchmark::Cholesky.generate(&ScaleConfig::new());

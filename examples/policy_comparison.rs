@@ -10,9 +10,9 @@
 //! cargo run --release --example policy_comparison
 //! ```
 
-use taskpoint::{evaluate, run_reference, SamplingPolicy, TaskPointConfig};
+use taskpoint_repro::sim::MachineConfig;
+use taskpoint_repro::taskpoint::{evaluate, run_reference, SamplingPolicy, TaskPointConfig};
 use taskpoint_repro::workloads::{Benchmark, ScaleConfig};
-use tasksim::MachineConfig;
 
 fn main() {
     let program = Benchmark::Nbody.generate(&ScaleConfig::new());
@@ -26,7 +26,10 @@ fn main() {
         reference.total_cycles,
         reference.wall_seconds
     );
-    println!("{:<10} {:>8} {:>10} {:>10} {:>10}", "policy", "error%", "speedup", "detail%", "resamples");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10}",
+        "policy", "error%", "speedup", "detail%", "resamples"
+    );
 
     let mut configs: Vec<(String, TaskPointConfig)> = [10u64, 50, 250, 1000]
         .into_iter()

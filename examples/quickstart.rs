@@ -8,9 +8,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use taskpoint::{run_reference, run_sampled, TaskPointConfig};
+use taskpoint_repro::sim::MachineConfig;
+use taskpoint_repro::taskpoint::{run_reference, run_sampled, TaskPointConfig};
 use taskpoint_repro::workloads::{Benchmark, ScaleConfig};
-use tasksim::MachineConfig;
 
 fn main() {
     // 1. Generate a task-based program (1,024 row-block tasks, Table I).

@@ -1,11 +1,11 @@
 //! Integration tests spanning all crates: workload generation → runtime
 //! scheduling → detailed/sampled simulation → metrics.
 
-use taskpoint::{
+use taskpoint_repro::sim::{MachineConfig, SimMode, Simulation};
+use taskpoint_repro::taskpoint::{
     evaluate, run_reference, run_sampled, SamplingPolicy, TaskPointConfig,
 };
 use taskpoint_repro::workloads::{Benchmark, ScaleConfig};
-use tasksim::{MachineConfig, SimMode, Simulation};
 
 fn quick() -> ScaleConfig {
     ScaleConfig::quick()
@@ -36,13 +36,8 @@ fn sampled_prediction_is_reasonable_across_suite() {
     // subject of the figure harness, not unit tests).
     for bench in Benchmark::ALL {
         let program = bench.generate(&quick());
-        let (outcome, _) = evaluate(
-            &program,
-            MachineConfig::high_performance(),
-            4,
-            TaskPointConfig::lazy(),
-            None,
-        );
+        let (outcome, _) =
+            evaluate(&program, MachineConfig::high_performance(), 4, TaskPointConfig::lazy(), None);
         // Quick scale shrinks tasks ~20x, so startup transients weigh far
         // more than at evaluation scale; the band here is a smoke check
         // (full-scale accuracy is validated by the figure harness).
@@ -57,12 +52,8 @@ fn sampled_prediction_is_reasonable_across_suite() {
 #[test]
 fn sampled_run_fast_forwards_most_instances() {
     let program = Benchmark::Matmul.generate(&quick());
-    let (result, stats) = run_sampled(
-        &program,
-        MachineConfig::high_performance(),
-        8,
-        TaskPointConfig::lazy(),
-    );
+    let (result, stats) =
+        run_sampled(&program, MachineConfig::high_performance(), 8, TaskPointConfig::lazy());
     assert!(
         stats.fast_tasks as f64 > 0.9 * program.num_instances() as f64,
         "only {} of {} fast",
@@ -76,8 +67,7 @@ fn sampled_run_fast_forwards_most_instances() {
 fn periodic_resamples_more_and_simulates_more_detail_than_lazy() {
     let program = Benchmark::Vecop.generate(&quick());
     let machine = MachineConfig::high_performance();
-    let (lazy, lazy_stats) =
-        run_sampled(&program, machine.clone(), 8, TaskPointConfig::lazy());
+    let (lazy, lazy_stats) = run_sampled(&program, machine.clone(), 8, TaskPointConfig::lazy());
     let config = TaskPointConfig::periodic().with_policy(SamplingPolicy::Periodic { period: 50 });
     let (periodic, periodic_stats) = run_sampled(&program, machine, 8, config);
     assert!(periodic_stats.resamples.len() > lazy_stats.resamples.len());
@@ -90,8 +80,8 @@ fn periodic_equals_lazy_when_period_exceeds_program() {
     // ... periodic sampling is equivalent to lazy sampling."
     let program = Benchmark::Spmv.generate(&quick()); // 1,024 instances
     let machine = MachineConfig::high_performance();
-    let big_p = TaskPointConfig::periodic()
-        .with_policy(SamplingPolicy::Periodic { period: 1_000_000 });
+    let big_p =
+        TaskPointConfig::periodic().with_policy(SamplingPolicy::Periodic { period: 1_000_000 });
     let (periodic, _) = run_sampled(&program, machine.clone(), 8, big_p);
     let (lazy, _) = run_sampled(&program, machine, 8, TaskPointConfig::lazy());
     assert_eq!(periodic.total_cycles, lazy.total_cycles);
@@ -119,7 +109,7 @@ fn schedule_validity_no_task_starts_before_predecessors_end() {
         .workers(8)
         .collect_reports(true)
         .build()
-        .run(&mut tasksim::DetailedOnly);
+        .run(&mut taskpoint_repro::sim::DetailedOnly);
     let mut end_of = vec![0u64; program.num_instances()];
     for r in &result.reports {
         end_of[r.task.index()] = r.end;
@@ -141,7 +131,8 @@ fn schedule_validity_no_task_starts_before_predecessors_end() {
 #[test]
 fn mixed_mode_schedule_is_also_valid() {
     let program = Benchmark::Stencil3d.generate(&quick());
-    let mut controller = taskpoint::TaskPointController::new(TaskPointConfig::periodic());
+    let mut controller =
+        taskpoint_repro::taskpoint::TaskPointController::new(TaskPointConfig::periodic());
     let result = Simulation::builder(&program, MachineConfig::low_power())
         .workers(4)
         .collect_reports(true)
@@ -178,18 +169,14 @@ fn more_threads_never_increase_total_work_error_catastrophically() {
             TaskPointConfig::periodic(),
             None,
         );
-        assert!(
-            outcome.error_percent < 60.0,
-            "{threads} threads: {:.1}%",
-            outcome.error_percent
-        );
+        assert!(outcome.error_percent < 60.0, "{threads} threads: {:.1}%", outcome.error_percent);
     }
 }
 
 #[test]
 fn noise_model_produces_fig1_style_spread() {
+    use taskpoint_repro::sim::{DetailedOnly, NoiseModel};
     use taskpoint_repro::stats::{normalize_by_group, BoxplotStats};
-    use tasksim::{DetailedOnly, NoiseModel};
     let program = Benchmark::Swaptions.generate(&quick());
     let result = Simulation::builder(&program, MachineConfig::high_performance())
         .workers(8)
@@ -197,9 +184,7 @@ fn noise_model_produces_fig1_style_spread() {
         .collect_reports(true)
         .build()
         .run(&mut DetailedOnly);
-    let devs = normalize_by_group(
-        result.reports.iter().map(|r| (r.type_id.0, r.ipc())),
-    );
+    let devs = normalize_by_group(result.reports.iter().map(|r| (r.type_id.0, r.ipc())));
     let stats = BoxplotStats::from_samples(&devs).unwrap();
     // Noise must induce nonzero but bounded spread on a regular benchmark.
     assert!(stats.whisker_halfwidth() > 0.5, "noise too weak: {stats:?}");

@@ -1,13 +1,11 @@
 //! Property-based tests (proptest) on core data structures and invariants.
 
 use proptest::prelude::*;
-use taskpoint::SampleHistory;
 use taskpoint_repro::runtime::{Program, RegionAccess, TaskInstanceId};
 use taskpoint_repro::sim::burst_duration;
 use taskpoint_repro::stats::{percentile, BoxplotStats, Summary};
-use taskpoint_repro::trace::{
-    AccessPattern, InstructionMix, MemRegion, TraceSpec,
-};
+use taskpoint_repro::taskpoint::SampleHistory;
+use taskpoint_repro::trace::{AccessPattern, InstructionMix, MemRegion, TraceSpec};
 
 proptest! {
     // ---- stats ----
@@ -179,7 +177,7 @@ proptest! {
     #[test]
     fn burst_sim_time_scales_inversely_with_ipc(tasks in 2u64..20, instrs in 100u64..2000) {
         use taskpoint_repro::runtime::Program;
-        use tasksim::{FixedIpc, MachineConfig, Simulation};
+        use taskpoint_repro::sim::{FixedIpc, MachineConfig, Simulation};
         let mut b = Program::builder("scale");
         let ty = b.add_type("t");
         for i in 0..tasks {
@@ -202,7 +200,7 @@ proptest! {
 
     #[test]
     fn detailed_makespan_decreases_or_holds_with_more_workers(tasks in 8u64..24) {
-        use tasksim::{DetailedOnly, MachineConfig, Simulation};
+        use taskpoint_repro::sim::{DetailedOnly, MachineConfig, Simulation};
         let mut b = Program::builder("scal");
         let ty = b.add_type("t");
         for i in 0..tasks {

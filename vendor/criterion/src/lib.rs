@@ -1,0 +1,220 @@
+//! Minimal stand-in for `criterion` so `cargo bench`/`cargo test --benches`
+//! work offline.
+//!
+//! Mirrors the API subset the workspace benches use: `Criterion`,
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!`/`criterion_main!` macros. Instead of criterion's
+//! statistical machinery it times a fixed number of wall-clock samples and
+//! prints the mean — enough to exercise every bench code path and give a
+//! rough number.
+//!
+//! Under `cargo test` (criterion's `--test` mode passes the `--test` flag),
+//! each benchmark body runs exactly once so test runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Run each benchmark once without timing (set in `cargo test` mode).
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_only }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Registers a stand-alone benchmark (group of one).
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut g = self.benchmark_group(name.clone());
+        g.bench_function("", f);
+        g.finish();
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.function.is_empty(), self.parameter.is_empty()) {
+            (false, false) => write!(f, "{}/{}", self.function, self.parameter),
+            (false, true) => write!(f, "{}", self.function),
+            _ => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function: s.to_string(), parameter: String::new() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function: s, parameter: String::new() }
+    }
+}
+
+/// Units processed per iteration, used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, &mut |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Consumes nothing in this stub; reports were already
+    /// printed per benchmark.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let samples = if self.criterion.smoke_only { 1 } else { self.sample_size };
+        let mut total = Duration::ZERO;
+        let mut iters_total: u64 = 0;
+        for _ in 0..samples {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            total += b.elapsed;
+            iters_total += b.iters;
+        }
+        let label = if id.to_string().is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if self.criterion.smoke_only {
+            println!("bench {label}: ok (smoke)");
+            return;
+        }
+        let mean = if iters_total > 0 { total / iters_total as u32 } else { Duration::ZERO };
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                let rate = n as f64 / mean.as_secs_f64();
+                println!("bench {label}: {mean:?}/iter ({rate:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                let rate = n as f64 / mean.as_secs_f64() / (1 << 20) as f64;
+                println!("bench {label}: {mean:?}/iter ({rate:.1} MiB/s)");
+            }
+            _ => println!("bench {label}: {mean:?}/iter"),
+        }
+    }
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,14 @@
+//! Minimal stand-in for `serde` so the workspace builds offline.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the type and macro
+//! namespaces, exactly as the real crate does with the `derive` feature.
+//! The traits are empty markers: nothing in this workspace serializes
+//! values yet, it only derives the traits so downstream tooling can.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! No-op stand-in for `serde_derive` so the workspace builds offline.
+//!
+//! The derives accept the same attribute namespace as the real macros but
+//! expand to nothing: no code in this workspace serializes values yet, so
+//! the marker-trait impls are not needed either. Swapping in the real
+//! `serde_derive` requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
