@@ -10,9 +10,10 @@ use taskpoint_bench::{figures, Harness, SweepPart};
 use taskpoint_workloads::ScaleConfig;
 use tasksim::MachineConfig;
 
-/// Smoke scale: tiny instruction counts, structure intact.
+/// Smoke scale: tiny instruction counts, structure intact. In-memory
+/// campaign so iterations measure simulation, not store hits.
 fn harness() -> Harness {
-    Harness::new(ScaleConfig { instr_factor: 0.02, ..ScaleConfig::new() })
+    Harness::in_memory(ScaleConfig { instr_factor: 0.02, ..ScaleConfig::new() })
 }
 
 fn bench_tables(c: &mut Criterion) {
@@ -29,8 +30,8 @@ fn bench_fig_variation(c: &mut Criterion) {
     // iteration (the full 19-benchmark sweep is the binary's job).
     g.bench_function("variation_pipeline_smoke", |b| {
         b.iter(|| {
-            let mut h = harness();
-            let program = h.program(taskpoint_workloads::Benchmark::Spmv).clone();
+            let h = harness();
+            let program = h.program(taskpoint_workloads::Benchmark::Spmv);
             let result = tasksim::Simulation::builder(&program, MachineConfig::high_performance())
                 .workers(8)
                 .collect_reports(true)
@@ -47,7 +48,7 @@ fn bench_fig6_sensitivity(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("period_sweep_one_bench", |b| {
         b.iter(|| {
-            let mut h = harness();
+            let h = harness();
             let machine = MachineConfig::high_performance();
             let cell = h.cell(
                 taskpoint_workloads::Benchmark::Blackscholes,
@@ -78,7 +79,7 @@ fn bench_fig7_to_10_cells(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut h = harness();
+                let h = harness();
                 let cell =
                     h.cell(taskpoint_workloads::Benchmark::Cholesky, &machine, threads, config);
                 cell.outcome.error_percent

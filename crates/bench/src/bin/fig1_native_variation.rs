@@ -6,8 +6,8 @@ use taskpoint_bench::{figures, Harness};
 use tasksim::MachineConfig;
 
 fn main() {
-    let mut h = Harness::from_env();
-    let t = figures::variation_figure(&mut h, &MachineConfig::high_performance(), true);
+    let h = Harness::from_env();
+    let t = figures::variation_figure(&h, &MachineConfig::high_performance(), true);
     emit(
         "fig1_native_variation",
         "Fig. 1: IPC variation across task instances, native execution (noise model), 8 threads",

@@ -6,8 +6,8 @@ use taskpoint_bench::{figures, Harness};
 use tasksim::MachineConfig;
 
 fn main() {
-    let mut h = Harness::from_env();
-    let t = figures::variation_figure(&mut h, &MachineConfig::high_performance(), false);
+    let h = Harness::from_env();
+    let t = figures::variation_figure(&h, &MachineConfig::high_performance(), false);
     emit(
         "fig5_sim_variation",
         "Fig. 5: IPC variation across task instances, simulation, 8 threads",

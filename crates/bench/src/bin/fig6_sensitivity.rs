@@ -20,9 +20,9 @@ fn main() {
             (SweepPart::Period, "fig6c_period", "Fig. 6c: period sweep (P)"),
         ],
     };
-    let mut h = Harness::from_env();
+    let h = Harness::from_env();
     for (part, name, heading) in parts {
-        let t = figures::sensitivity_sweep(&mut h, part);
+        let t = figures::sensitivity_sweep(&h, part);
         emit(name, heading, &t.render());
     }
 }

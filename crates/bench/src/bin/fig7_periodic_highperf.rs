@@ -6,9 +6,9 @@ use taskpoint_bench::{figures, Harness};
 use tasksim::MachineConfig;
 
 fn main() {
-    let mut h = Harness::from_env();
+    let h = Harness::from_env();
     let (t, _) = figures::error_speedup_figure(
-        &mut h,
+        &h,
         &MachineConfig::high_performance(),
         &figures::HIGH_PERF_THREADS,
         TaskPointConfig::periodic(),

@@ -10,7 +10,7 @@ fn main() {
     let bench =
         std::env::args().nth(1).and_then(|n| Benchmark::by_name(&n)).unwrap_or(Benchmark::Cholesky);
     let workers: u32 = std::env::args().nth(2).and_then(|w| w.parse().ok()).unwrap_or(8);
-    let mut h = Harness::new(ScaleConfig::new());
+    let h = Harness::new(ScaleConfig::new());
     let machine = MachineConfig::high_performance();
     let t0 = std::time::Instant::now();
     let reference = h.reference(bench, &machine, workers);
@@ -26,19 +26,19 @@ fn main() {
     {
         let cell = h.cell(bench, &machine, workers, cfg);
         println!(
-            "  {name:<9} err {:6.2}%  speedup {:8.1}x  detail {:5.2}%  resamples {}",
+            "  {name:<9} err {:6.2}%  speedup {:8.1}x  detail {:5.2}%  resamples {}{}",
             cell.outcome.error_percent,
             cell.outcome.speedup,
             100.0 * cell.outcome.detail_fraction,
-            cell.stats.resamples.len()
+            cell.metrics.resamples,
+            if cell.cached { "  (cached)" } else { "" }
         );
-        use taskpoint::ResampleCause::*;
         println!(
             "            causes: policy {} newtype {} conc {} empty {}",
-            cell.stats.resamples_by(Policy),
-            cell.stats.resamples_by(NewTaskType),
-            cell.stats.resamples_by(ConcurrencyChange),
-            cell.stats.resamples_by(EmptyHistories)
+            cell.metrics.resamples_policy,
+            cell.metrics.resamples_new_type,
+            cell.metrics.resamples_concurrency,
+            cell.metrics.resamples_empty
         );
     }
     println!("total probe time {:.1}s", t0.elapsed().as_secs_f64());

@@ -1,6 +1,9 @@
-//! Runs the complete evaluation: every table and figure of the paper, with
-//! references shared across figures. Writes each artefact to
-//! `results/<name>.txt` and prints a closing summary.
+//! Runs the complete evaluation: every table and figure of the paper,
+//! through the campaign subsystem — references shared across figures,
+//! cells fanned out over the executor, results cached content-addressed
+//! under `results/campaign/` (a re-run after an interruption resumes from
+//! the cells that completed). Writes each artefact to `results/<name>.txt`
+//! and prints a closing summary.
 
 use taskpoint::TaskPointConfig;
 use taskpoint_bench::output::emit;
@@ -10,40 +13,40 @@ use tasksim::MachineConfig;
 
 fn main() {
     let started = std::time::Instant::now();
-    let mut h = Harness::from_env();
+    let h = Harness::from_env();
     let hp = MachineConfig::high_performance();
     let lp = MachineConfig::low_power();
 
     emit("table2", "Table II: architectural parameters", &figures::table2().render());
-    emit("table1", "Table I: task-based parallel benchmarks", &figures::table1(&mut h).render());
+    emit("table1", "Table I: task-based parallel benchmarks", &figures::table1(&h).render());
     emit(
         "fig1_native_variation",
         "Fig. 1: IPC variation, native execution (noise model), 8 threads",
-        &figures::variation_figure(&mut h, &hp, true).render(),
+        &figures::variation_figure(&h, &hp, true).render(),
     );
     emit(
         "fig5_sim_variation",
         "Fig. 5: IPC variation, simulation, 8 threads",
-        &figures::variation_figure(&mut h, &hp, false).render(),
+        &figures::variation_figure(&h, &hp, false).render(),
     );
     emit(
         "fig6a_warmup",
         "Fig. 6a: warmup sweep (W)",
-        &figures::sensitivity_sweep(&mut h, SweepPart::Warmup).render(),
+        &figures::sensitivity_sweep(&h, SweepPart::Warmup).render(),
     );
     emit(
         "fig6b_history",
         "Fig. 6b: history sweep (H)",
-        &figures::sensitivity_sweep(&mut h, SweepPart::History).render(),
+        &figures::sensitivity_sweep(&h, SweepPart::History).render(),
     );
     emit(
         "fig6c_period",
         "Fig. 6c: period sweep (P)",
-        &figures::sensitivity_sweep(&mut h, SweepPart::Period).render(),
+        &figures::sensitivity_sweep(&h, SweepPart::Period).render(),
     );
 
     let (t7, c7) = figures::error_speedup_figure(
-        &mut h,
+        &h,
         &hp,
         &figures::HIGH_PERF_THREADS,
         TaskPointConfig::periodic(),
@@ -54,21 +57,21 @@ fn main() {
         &t7.render(),
     );
     let (t8, _c8) = figures::error_speedup_figure(
-        &mut h,
+        &h,
         &lp,
         &figures::LOW_POWER_THREADS,
         TaskPointConfig::periodic(),
     );
     emit("fig8_periodic_lowpower", "Fig. 8: periodic sampling; low-power; P = 250", &t8.render());
     let (t9, c9) = figures::error_speedup_figure(
-        &mut h,
+        &h,
         &hp,
         &figures::HIGH_PERF_THREADS,
         TaskPointConfig::lazy(),
     );
     emit("fig9_lazy_highperf", "Fig. 9: lazy sampling; high-performance", &t9.render());
     let (t10, _c10) = figures::error_speedup_figure(
-        &mut h,
+        &h,
         &lp,
         &figures::LOW_POWER_THREADS,
         TaskPointConfig::lazy(),
@@ -86,6 +89,7 @@ fn main() {
     let summary = format!(
         "lazy @64t:     avg error {:.2}% (paper 1.8%), max error {:.1}% (paper 15.0%), avg speedup {:.1}x (paper 19.1x)\n\
          periodic @64t: avg error {:.2}%, max error {:.1}%, avg speedup {:.1}x (paper 15.8x)\n\
+         executor workers: {}   cached cells in store: {}\n\
          total evaluation wall time: {:.0}s",
         s.mean_error_percent,
         s.max_error_percent,
@@ -93,6 +97,8 @@ fn main() {
         sp.mean_error_percent,
         sp.max_error_percent,
         sp.mean_speedup,
+        h.campaign().executor().workers(),
+        h.campaign().store().len(),
         started.elapsed().as_secs_f64()
     );
     emit("summary", "Headline comparison against the paper", &summary);

@@ -5,7 +5,7 @@ use taskpoint_bench::output::emit;
 use taskpoint_bench::{figures, Harness};
 
 fn main() {
-    let mut h = Harness::from_env();
-    let t = figures::table1(&mut h);
+    let h = Harness::from_env();
+    let t = figures::table1(&h);
     emit("table1", "Table I: task-based parallel benchmarks", &t.render());
 }

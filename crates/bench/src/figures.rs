@@ -1,21 +1,21 @@
 //! Reusable generators for every table and figure of the paper.
 //!
-//! Each function returns a formatted [`Table`] plus machine-readable rows,
-//! so the per-figure binaries and the `run_all` driver share one
-//! implementation.
+//! Each function builds its cell list through the campaign sweep helpers,
+//! runs the whole batch across the campaign executor (parallel, cached,
+//! deterministic), and formats the outcomes into a [`Table`] plus
+//! machine-readable rows — so the per-figure binaries, the `run_all`
+//! driver and the `campaign` CLI all hit the same cache entries.
 
-use taskpoint::{SamplingPolicy, TaskPointConfig};
-use taskpoint_stats::{normalize_by_group, BoxplotStats, ErrorSummary};
+use taskpoint::TaskPointConfig;
+use taskpoint_campaign::{sensitivity_configs, CellOutcome, FIG1_NOISE_SEED, SENSITIVITY_THREADS};
+use taskpoint_stats::ErrorSummary;
 use taskpoint_workloads::Benchmark;
-use tasksim::{DetailedOnly, MachineConfig, NoiseModel, Simulation};
+use tasksim::MachineConfig;
 
 use crate::format::{num, Table};
 use crate::harness::Harness;
 
-/// Threads used by the high-performance-machine figures (7 and 9).
-pub const HIGH_PERF_THREADS: [u32; 4] = [8, 16, 32, 64];
-/// Threads used by the low-power-machine figures (8 and 10).
-pub const LOW_POWER_THREADS: [u32; 4] = [1, 2, 4, 8];
+pub use taskpoint_campaign::{SweepPart, HIGH_PERF_THREADS, LOW_POWER_THREADS};
 
 /// One (benchmark, threads) cell of an error/speedup figure.
 #[derive(Debug, Clone)]
@@ -34,14 +34,32 @@ pub struct FigureCell {
     pub resamples: usize,
 }
 
+impl FigureCell {
+    fn from_outcome(bench: Benchmark, threads: u32, outcome: &CellOutcome) -> Self {
+        let m = outcome.record.metrics.as_eval().expect("error/speedup cell");
+        FigureCell {
+            bench,
+            threads,
+            error_percent: m.error_percent,
+            speedup: outcome.timing.speedup.unwrap_or(0.0),
+            detail_fraction: m.detail_fraction,
+            resamples: m.resamples as usize,
+        }
+    }
+}
+
 /// Runs one error/speedup figure (the layout of Figs. 7–10): every
-/// benchmark × every thread count under `config` on `machine`.
+/// benchmark × every thread count under `config` on `machine`, as one
+/// parallel campaign batch.
 pub fn error_speedup_figure(
-    h: &mut Harness,
+    h: &Harness,
     machine: &MachineConfig,
     threads: &[u32],
     config: TaskPointConfig,
 ) -> (Table, Vec<FigureCell>) {
+    let specs = taskpoint_campaign::error_speedup_specs(*h.scale(), machine, threads, config);
+    let report = h.run(&specs);
+
     let mut cells = Vec::new();
     let mut table = Table::new(
         ["benchmark".to_string()]
@@ -49,21 +67,17 @@ pub fn error_speedup_figure(
             .chain(threads.iter().map(|t| format!("err%@{t}t")))
             .chain(threads.iter().map(|t| format!("spdup@{t}t"))),
     );
+    // Specs are bench-major (campaign emission order); chunk per benchmark.
+    let mut outcomes = report.outcomes.iter();
     for bench in Benchmark::ALL {
         let mut errs = Vec::new();
         let mut spds = Vec::new();
         for &t in threads {
-            let cell = h.cell(bench, machine, t, config);
-            errs.push(num(cell.outcome.error_percent, 2));
-            spds.push(num(cell.outcome.speedup, 1));
-            cells.push(FigureCell {
-                bench,
-                threads: t,
-                error_percent: cell.outcome.error_percent,
-                speedup: cell.outcome.speedup,
-                detail_fraction: cell.outcome.detail_fraction,
-                resamples: cell.stats.resamples.len(),
-            });
+            let outcome = outcomes.next().expect("one outcome per spec");
+            let cell = FigureCell::from_outcome(bench, t, outcome);
+            errs.push(num(cell.error_percent, 2));
+            spds.push(num(cell.speedup, 1));
+            cells.push(cell);
         }
         table.row([bench.name().to_string()].into_iter().chain(errs).chain(spds));
     }
@@ -85,7 +99,13 @@ pub fn error_speedup_figure(
 /// normalized IPC boxplots of a detailed 8-thread simulation. `noise`
 /// enables the system-noise model (the "native execution" stand-in of
 /// Fig. 1).
-pub fn variation_figure(h: &mut Harness, machine: &MachineConfig, noise: bool) -> Table {
+pub fn variation_figure(h: &Harness, machine: &MachineConfig, noise: bool) -> Table {
+    // Shared generator (also behind the CLI's fig1/fig5 sweeps) so both
+    // entry points hash to the same cache entries.
+    let specs =
+        taskpoint_campaign::variation_specs(*h.scale(), machine, noise.then_some(FIG1_NOISE_SEED));
+    let report = h.run(&specs);
+
     let mut table = Table::new([
         "benchmark",
         "p5%",
@@ -97,23 +117,8 @@ pub fn variation_figure(h: &mut Harness, machine: &MachineConfig, noise: bool) -
         "max%",
         "within±5%",
     ]);
-    for bench in Benchmark::ALL {
-        let program = h.program(bench).clone();
-        let mut builder =
-            Simulation::builder(&program, machine.clone()).workers(8).collect_reports(true);
-        if noise {
-            builder = builder.noise(NoiseModel::native_execution(0xF161));
-        }
-        let result = builder.build().run(&mut DetailedOnly);
-        let samples: Vec<(u32, f64)> = result
-            .reports
-            .iter()
-            .filter(|r| r.instructions > 0)
-            .map(|r| (r.type_id.0, r.ipc()))
-            .collect();
-        let deviations = normalize_by_group(samples);
-        let stats =
-            BoxplotStats::from_samples(&deviations).expect("benchmark produced no IPC samples");
+    for (bench, outcome) in Benchmark::ALL.into_iter().zip(&report.outcomes) {
+        let stats = outcome.record.metrics.as_variation().expect("variation cell");
         table.row([
             bench.name().to_string(),
             num(stats.p5, 1),
@@ -129,58 +134,29 @@ pub fn variation_figure(h: &mut Harness, machine: &MachineConfig, noise: bool) -
     table
 }
 
-/// Which parameter Fig. 6 sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SweepPart {
-    /// Fig. 6a: warmup size W (H=10, P=∞).
-    Warmup,
-    /// Fig. 6b: history size H (W=2, P=∞).
-    History,
-    /// Fig. 6c: sampling period P (W=2, H=4).
-    Period,
-}
-
 /// Runs one part of the Fig. 6 sensitivity analysis: error and speedup
 /// averaged over 32- and 64-thread simulations of the sensitivity set.
-pub fn sensitivity_sweep(h: &mut Harness, part: SweepPart) -> Table {
-    let machine = MachineConfig::high_performance();
-    let threads = [32u32, 64];
-    let (label, configs): (&str, Vec<(String, TaskPointConfig)>) = match part {
-        SweepPart::Warmup => (
-            "W",
-            (0..=10u64)
-                .map(|w| (w.to_string(), TaskPointConfig::lazy().with_warmup(w).with_history(10)))
-                .collect(),
-        ),
-        SweepPart::History => (
-            "H",
-            (1..=10usize)
-                .map(|hh| (hh.to_string(), TaskPointConfig::lazy().with_history(hh)))
-                .collect(),
-        ),
-        SweepPart::Period => (
-            "P",
-            [10u64, 25, 50, 100, 250, 500, 1000]
-                .into_iter()
-                .map(|p| {
-                    (
-                        p.to_string(),
-                        TaskPointConfig::periodic()
-                            .with_policy(SamplingPolicy::Periodic { period: p }),
-                    )
-                })
-                .collect(),
-        ),
+/// The whole parameter sweep runs as a single campaign batch.
+pub fn sensitivity_sweep(h: &Harness, part: SweepPart) -> Table {
+    let label = match part {
+        SweepPart::Warmup => "W",
+        SweepPart::History => "H",
+        SweepPart::Period => "P",
     };
+    let configs = sensitivity_configs(part);
+    let specs = taskpoint_campaign::sensitivity_specs(*h.scale(), part);
+    let report = h.run(&specs);
+
     let mut table = Table::new([label, "avg error %", "avg speedup"]);
-    for (name, config) in configs {
-        let mut runs = Vec::new();
-        for bench in Benchmark::SENSITIVITY_SET {
-            for &t in &threads {
-                let cell = h.cell(bench, &machine, t, config);
-                runs.push((cell.outcome.error_percent, cell.outcome.speedup));
-            }
-        }
+    let per_config = Benchmark::SENSITIVITY_SET.len() * SENSITIVITY_THREADS.len();
+    for ((name, _), chunk) in configs.into_iter().zip(report.outcomes.chunks(per_config)) {
+        let runs: Vec<(f64, f64)> = chunk
+            .iter()
+            .map(|o| {
+                let m = o.record.metrics.as_eval().expect("sensitivity cell");
+                (m.error_percent, o.timing.speedup.unwrap_or(0.0))
+            })
+            .collect();
         let s = ErrorSummary::from_runs(&runs);
         table.row([name, num(s.mean_error_percent, 2), num(s.mean_speedup, 1)]);
     }
@@ -189,20 +165,21 @@ pub fn sensitivity_sweep(h: &mut Harness, part: SweepPart) -> Table {
 
 /// Generates Table I: the benchmark inventory with *measured* detailed
 /// simulation wall times at 1 and 64 threads.
-pub fn table1(h: &mut Harness) -> Table {
-    let machine = MachineConfig::high_performance();
+pub fn table1(h: &Harness) -> Table {
+    let specs = taskpoint_campaign::table1_specs(*h.scale());
+    let report = h.run(&specs);
+
     let mut table =
         Table::new(["benchmark", "types", "instances", "sim 1t [s]", "sim 64t [s]", "property"]);
-    for bench in Benchmark::ALL {
+    // Specs are bench-major with threads [1, 64] per benchmark.
+    for (bench, pair) in Benchmark::ALL.into_iter().zip(report.outcomes.chunks(2)) {
         let info = bench.info();
-        let r1 = h.reference(bench, &machine, 1);
-        let r64 = h.reference(bench, &machine, 64);
         table.row([
             info.name.to_string(),
             info.task_types.to_string(),
             info.task_instances.to_string(),
-            num(r1.wall_seconds, 2),
-            num(r64.wall_seconds, 2),
+            num(pair[0].timing.wall_seconds, 2),
+            num(pair[1].timing.wall_seconds, 2),
             info.property.to_string(),
         ]);
     }
@@ -272,10 +249,10 @@ mod tests {
 
     #[test]
     fn error_speedup_layout() {
-        // One tiny cell sweep to validate plumbing (quick scale, 1 bench
-        // would need filtering; run 2 threads over the suite is too slow
-        // for unit tests, so restrict to the smallest benchmark by hand).
-        let mut h = Harness::new(ScaleConfig::quick());
+        // One tiny cell through the campaign plumbing (quick scale; the
+        // full figure matrix belongs to the figure binaries, not unit
+        // tests).
+        let h = Harness::in_memory(ScaleConfig::quick());
         let machine = MachineConfig::low_power();
         let cell = h.cell(Benchmark::Spmv, &machine, 2, TaskPointConfig::lazy());
         assert!(cell.outcome.error_percent >= 0.0);

@@ -1,69 +1,63 @@
-//! Shared experiment infrastructure.
+//! Shared experiment infrastructure, built on the campaign subsystem.
+//!
+//! [`Harness`] is a thin facade over a [`Campaign`]: it pins the workload
+//! scale and exposes the single-cell conveniences the figure binaries and
+//! examples use. All caching — generated programs, detailed references,
+//! and on-disk content-addressed results — lives in the campaign layer,
+//! so a figure regenerated here and a sweep run by the `campaign` CLI
+//! share the same cache entries.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use taskpoint::{ExperimentOutcome, SamplingStats, TaskPointConfig};
+use taskpoint::{ExperimentOutcome, TaskPointConfig};
+use taskpoint_campaign::{Campaign, CampaignReport, CellSpec, EvalMetrics};
 use taskpoint_runtime::Program;
 use taskpoint_workloads::{Benchmark, ScaleConfig};
 use tasksim::{MachineConfig, SimResult};
 
-/// How big the runs are.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RunScale {
-    /// Full evaluation scale (the crate's Table-I-shaped workloads).
-    Full,
-    /// Heavily reduced instruction counts for smoke tests and CI.
-    Quick,
-}
-
-impl RunScale {
-    /// Reads the scale from the command line (`--quick`) or the
-    /// `TASKPOINT_SCALE` environment variable (`quick`/`full`).
-    pub fn from_env_and_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        if args.iter().any(|a| a == "--quick") {
-            return RunScale::Quick;
-        }
-        match std::env::var("TASKPOINT_SCALE").as_deref() {
-            Ok("quick") => RunScale::Quick,
-            _ => RunScale::Full,
-        }
-    }
-
-    /// The workload scale configuration.
-    pub fn scale_config(self) -> ScaleConfig {
-        match self {
-            RunScale::Full => ScaleConfig::new(),
-            RunScale::Quick => ScaleConfig::quick(),
-        }
-    }
-}
+pub use taskpoint_campaign::{RunScale, UnknownScaleError};
 
 /// One experiment cell: a sampled run compared against its reference.
 #[derive(Debug, Clone)]
 pub struct Cell {
     /// Error/speedup outcome.
     pub outcome: ExperimentOutcome,
-    /// Controller telemetry.
-    pub stats: SamplingStats,
+    /// The campaign's deterministic metrics (resample counts, task and
+    /// instruction counters).
+    pub metrics: EvalMetrics,
+    /// Whether the cell came from the content-addressed store.
+    pub cached: bool,
 }
 
-/// Caches programs and detailed references across experiment cells.
+/// Caches programs and detailed references across experiment cells, and
+/// fans batched sweeps out over the campaign executor.
 pub struct Harness {
     scale: ScaleConfig,
-    programs: HashMap<Benchmark, Program>,
-    references: HashMap<(Benchmark, String, u32), SimResult>,
+    campaign: Campaign,
 }
 
 impl Harness {
-    /// Creates a harness at the given workload scale.
+    /// Creates a harness at the given workload scale, backed by the
+    /// default persistent store (`results/campaign`).
     pub fn new(scale: ScaleConfig) -> Self {
-        Self { scale, programs: HashMap::new(), references: HashMap::new() }
+        Self { scale, campaign: Campaign::open_default() }
     }
 
-    /// Creates a harness from CLI/env scale selection.
+    /// A harness without persistence — in-memory sharing only. The right
+    /// constructor for unit tests.
+    pub fn in_memory(scale: ScaleConfig) -> Self {
+        Self { scale, campaign: Campaign::in_memory() }
+    }
+
+    /// A harness over an explicit campaign.
+    pub fn with_campaign(scale: ScaleConfig, campaign: Campaign) -> Self {
+        Self { scale, campaign }
+    }
+
+    /// Creates a harness from CLI/env scale selection, exiting with a
+    /// diagnostic on an unrecognized `TASKPOINT_SCALE` value.
     pub fn from_env() -> Self {
-        Self::new(RunScale::from_env_and_args().scale_config())
+        Self::new(RunScale::from_env_or_exit().scale_config())
     }
 
     /// The workload scale in use.
@@ -71,44 +65,49 @@ impl Harness {
         &self.scale
     }
 
+    /// The underlying campaign (for batched sweeps).
+    pub fn campaign(&self) -> &Campaign {
+        &self.campaign
+    }
+
+    /// Runs a batch of cells across the executor, outcomes in spec order.
+    pub fn run(&self, specs: &[CellSpec]) -> CampaignReport {
+        self.campaign.run(specs)
+    }
+
     /// Returns (generating on first use) the benchmark's program.
-    pub fn program(&mut self, bench: Benchmark) -> &Program {
-        let scale = self.scale;
-        self.programs.entry(bench).or_insert_with(|| bench.generate(&scale))
+    pub fn program(&self, bench: Benchmark) -> Arc<Program> {
+        self.campaign.program(bench, &self.scale)
     }
 
     /// Returns (running on first use) the full-detail reference for the
-    /// cell. The cached copy drops per-task reports to bound memory.
+    /// cell. The shared copy drops per-task reports to bound memory.
     pub fn reference(
-        &mut self,
+        &self,
         bench: Benchmark,
         machine: &MachineConfig,
         workers: u32,
-    ) -> SimResult {
-        let key = (bench, machine.name.clone(), workers);
-        if !self.references.contains_key(&key) {
-            let scale = self.scale;
-            let program = self.programs.entry(bench).or_insert_with(|| bench.generate(&scale));
-            let result = taskpoint::run_reference(program, machine.clone(), workers);
-            self.references.insert(key.clone(), result);
-        }
-        self.references[&key].clone()
+    ) -> Arc<SimResult> {
+        self.campaign.reference(bench, self.scale, machine.clone(), workers)
     }
 
     /// Runs one sampled cell against its (cached) reference.
     pub fn cell(
-        &mut self,
+        &self,
         bench: Benchmark,
         machine: &MachineConfig,
         workers: u32,
         config: TaskPointConfig,
     ) -> Cell {
-        let reference = self.reference(bench, machine, workers);
-        let scale = self.scale;
-        let program = self.programs.entry(bench).or_insert_with(|| bench.generate(&scale));
-        let (outcome, stats) =
-            taskpoint::evaluate(program, machine.clone(), workers, config, Some(&reference));
-        Cell { outcome, stats }
+        let spec = CellSpec::sampled(bench, self.scale, machine.clone(), workers, config);
+        let outcome = self.campaign.run_one(&spec);
+        let metrics =
+            outcome.record.metrics.as_eval().expect("sampled cell produces eval metrics").clone();
+        Cell {
+            outcome: outcome.experiment_outcome().expect("sampled cell has an outcome"),
+            metrics,
+            cached: outcome.cached,
+        }
     }
 }
 
@@ -117,22 +116,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn harness_caches_programs_and_references() {
-        let mut h = Harness::new(ScaleConfig::quick());
+    fn harness_shares_programs_and_references() {
+        let h = Harness::in_memory(ScaleConfig::quick());
         let machine = MachineConfig::low_power();
         let r1 = h.reference(Benchmark::Spmv, &machine, 2);
         let r2 = h.reference(Benchmark::Spmv, &machine, 2);
         assert_eq!(r1.total_cycles, r2.total_cycles);
-        assert_eq!(h.references.len(), 1);
-        assert_eq!(h.programs.len(), 1);
+        assert!(Arc::ptr_eq(&r1, &r2), "reference computed once and shared");
+        let p1 = h.program(Benchmark::Spmv);
+        let p2 = h.program(Benchmark::Spmv);
+        assert!(Arc::ptr_eq(&p1, &p2), "program generated once and shared");
     }
 
     #[test]
     fn cell_produces_outcome() {
-        let mut h = Harness::new(ScaleConfig::quick());
+        let h = Harness::in_memory(ScaleConfig::quick());
         let machine = MachineConfig::low_power();
         let cell = h.cell(Benchmark::Spmv, &machine, 2, TaskPointConfig::lazy());
         assert!(cell.outcome.error_percent.is_finite());
         assert!(cell.outcome.speedup > 0.0);
+        assert!(!cell.cached);
+        assert_eq!(cell.metrics.predicted_cycles, cell.outcome.predicted_cycles);
+    }
+
+    #[test]
+    fn cell_reuses_the_harness_reference() {
+        let h = Harness::in_memory(ScaleConfig::quick());
+        let machine = MachineConfig::low_power();
+        let reference = h.reference(Benchmark::Spmv, &machine, 2);
+        let cell = h.cell(Benchmark::Spmv, &machine, 2, TaskPointConfig::lazy());
+        assert_eq!(cell.outcome.reference_cycles, reference.total_cycles);
     }
 }

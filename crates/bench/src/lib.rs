@@ -1,9 +1,11 @@
 //! Evaluation harness for the TaskPoint reproduction.
 //!
-//! One binary per table/figure of the paper (see `src/bin/`), plus the
-//! [`Harness`] that caches generated programs and detailed reference
-//! simulations so that sweeps sharing a (benchmark, machine, threads) cell
-//! do not repeat the expensive full-detail run.
+//! One binary per table/figure of the paper (see `src/bin/`), built on the
+//! [`taskpoint_campaign`] subsystem: every figure assembles its cell list,
+//! fans it out across the campaign's deterministic work-stealing executor,
+//! and shares the content-addressed result store with the `campaign` CLI —
+//! so sweeps sharing a (benchmark, machine, threads) cell never repeat an
+//! expensive full-detail run, within a process or across processes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,75 @@
+//! Computes the workspace *code fingerprint* baked into the binary as
+//! `TASKPOINT_CODE_FINGERPRINT`.
+//!
+//! The content-addressed result store keys cached cells by their spec hash
+//! *and* this fingerprint, so editing any crate that can change simulation
+//! output (trace generation, runtime scheduling, the simulator, the
+//! sampling controller, the workload generators, the stats kernels, or the
+//! campaign layer itself) silently invalidates every cached result instead
+//! of serving stale ones.
+
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a over a byte stream, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs")
+            || path.file_name().is_some_and(|n| n == "Cargo.toml")
+        {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").unwrap());
+    let crates_root = manifest.parent().expect("crates/ parent").to_path_buf();
+
+    // Every crate whose code can influence a simulation result.
+    let watched = ["core", "runtime", "trace", "stats", "workloads", "sim", "campaign"];
+    let mut files = Vec::new();
+    for name in watched {
+        let dir = crates_root.join(name);
+        println!("cargo:rerun-if-changed={}", dir.display());
+        collect_rs_files(&dir, &mut files);
+    }
+    files.sort();
+
+    let mut h = Fnv::new();
+    let mut buf = Vec::new();
+    for path in &files {
+        // Hash the path relative to crates/ so the fingerprint is stable
+        // across checkouts at different absolute locations.
+        let rel = path.strip_prefix(&crates_root).unwrap_or(path);
+        h.write(rel.to_string_lossy().as_bytes());
+        h.write(&[0]);
+        buf.clear();
+        if let Ok(mut f) = fs::File::open(path) {
+            let _ = f.read_to_end(&mut buf);
+        }
+        h.write(&buf);
+        h.write(&[0xFF]);
+    }
+    println!("cargo:rustc-env=TASKPOINT_CODE_FINGERPRINT={:016x}", h.0);
+}

@@ -1,0 +1,229 @@
+//! The campaign driver: specs in, ordered outcomes out.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use taskpoint_runtime::Program;
+use taskpoint_workloads::{Benchmark, ScaleConfig};
+use tasksim::{MachineConfig, SimResult};
+
+use crate::context::Context;
+use crate::executor::Executor;
+use crate::record::CellOutcome;
+use crate::spec::CellSpec;
+use crate::store::ResultStore;
+
+/// A sweep-execution engine: a result store, a worker pool and the shared
+/// in-memory caches, bundled.
+#[derive(Debug)]
+pub struct Campaign {
+    store: ResultStore,
+    executor: Executor,
+    ctx: Context,
+}
+
+/// The outcome of one [`Campaign::run`].
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-cell outcomes, in spec order.
+    pub outcomes: Vec<CellOutcome>,
+    /// Cells actually simulated by this run.
+    pub computed: usize,
+    /// Cells served from the store.
+    pub cached: usize,
+    /// Wall time of the whole batch in seconds.
+    pub wall_seconds: f64,
+}
+
+impl Campaign {
+    /// Creates a campaign over an explicit store and executor.
+    pub fn new(store: ResultStore, executor: Executor) -> Self {
+        Self { store, executor, ctx: Context::new() }
+    }
+
+    /// The standard configuration: persistent store at the default root,
+    /// executor sized from the environment.
+    pub fn open_default() -> Self {
+        Self::new(ResultStore::open_default(), Executor::from_env())
+    }
+
+    /// A campaign with no persistence — in-memory sharing only. The right
+    /// choice for test binaries that want reference reuse without
+    /// touching `results/`.
+    pub fn in_memory() -> Self {
+        Self::new(ResultStore::disabled(), Executor::from_env())
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// The underlying executor.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Runs every cell, fanning out across the executor's workers, and
+    /// returns outcomes **in spec order** — byte-identical output
+    /// regardless of worker count.
+    pub fn run(&self, specs: &[CellSpec]) -> CampaignReport {
+        let started = std::time::Instant::now();
+        let outcomes = self.executor.run(specs, |_, spec| self.ctx.compute(&self.store, spec));
+        let cached = outcomes.iter().filter(|o| o.cached).count();
+        CampaignReport {
+            computed: outcomes.len() - cached,
+            cached,
+            outcomes,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Runs a single cell (a one-element campaign).
+    pub fn run_one(&self, spec: &CellSpec) -> CellOutcome {
+        self.ctx.compute(&self.store, spec)
+    }
+
+    /// The benchmark's program (generated once per scale and shared).
+    pub fn program(&self, bench: Benchmark, scale: &ScaleConfig) -> Arc<Program> {
+        self.ctx.program(bench, scale)
+    }
+
+    /// The full-detail reference for a cell (computed or cache-loaded
+    /// once, then shared; reports stripped).
+    pub fn reference(
+        &self,
+        bench: Benchmark,
+        scale: ScaleConfig,
+        machine: MachineConfig,
+        workers: u32,
+    ) -> Arc<SimResult> {
+        self.ctx.reference(&self.store, bench, scale, machine, workers)
+    }
+}
+
+impl CampaignReport {
+    /// The canonical JSONL artefact: one record per line, spec order,
+    /// newline-terminated. These bytes are the determinism guarantee.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&o.record.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The advisory timing sidecar: one line per cell, spec order. Not
+    /// deterministic (host wall clock) and therefore emitted separately.
+    pub fn timings_jsonl(&self) -> String {
+        use crate::json::{Object, Value};
+        let mut out = String::new();
+        for o in &self.outcomes {
+            let mut t = Object::new();
+            t.set("cell", Value::Str(o.record.cell.clone()));
+            t.set("cached", Value::Bool(o.cached));
+            t.set("wall_seconds", Value::Num(o.timing.wall_seconds));
+            if let Some(w) = o.timing.reference_wall_seconds {
+                t.set("reference_wall_seconds", Value::Num(w));
+            }
+            if let Some(s) = o.timing.speedup {
+                t.set("speedup", Value::Num(s));
+            }
+            out.push_str(&Value::Obj(t).to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the canonical JSONL (and the timing sidecar next to it, as
+    /// `<stem>.timings.jsonl`).
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.jsonl())?;
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("campaign");
+        let sidecar = path.with_file_name(format!("{stem}.timings.jsonl"));
+        std::fs::write(sidecar, self.timings_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskpoint::TaskPointConfig;
+
+    fn tiny_specs() -> Vec<CellSpec> {
+        let scale = ScaleConfig::quick();
+        let machine = MachineConfig::tiny_test();
+        vec![
+            CellSpec::reference(Benchmark::Spmv, scale, machine.clone(), 2),
+            CellSpec::sampled(Benchmark::Spmv, scale, machine.clone(), 2, TaskPointConfig::lazy()),
+            CellSpec::sampled(Benchmark::Spmv, scale, machine, 2, TaskPointConfig::periodic()),
+        ]
+    }
+
+    #[test]
+    fn outcomes_come_back_in_spec_order() {
+        let campaign = Campaign::new(ResultStore::disabled(), Executor::new(4));
+        let specs = tiny_specs();
+        let report = campaign.run(&specs);
+        assert_eq!(report.outcomes.len(), specs.len());
+        for (spec, outcome) in specs.iter().zip(&report.outcomes) {
+            assert_eq!(outcome.record.cell, spec.hash_hex());
+        }
+        assert_eq!(report.computed, 3);
+        assert_eq!(report.cached, 0);
+        // Three lines, kinds in order.
+        let jsonl = report.jsonl();
+        let kinds: Vec<&str> = jsonl
+            .lines()
+            .map(|l| if l.contains("\"kind\":\"reference\"") { "r" } else { "s" })
+            .collect();
+        assert_eq!(kinds, vec!["r", "s", "s"]);
+    }
+
+    #[test]
+    fn sampled_cells_share_one_reference_with_the_reference_cell() {
+        // All three cells need the same detailed run; the context must
+        // compute it exactly once even under a parallel executor. Equality
+        // of reference_cycles across records is the observable.
+        let campaign = Campaign::new(ResultStore::disabled(), Executor::new(3));
+        let report = campaign.run(&tiny_specs());
+        let ref_cycles = report.outcomes[0].record.metrics.as_reference().unwrap().total_cycles;
+        for o in &report.outcomes[1..] {
+            assert_eq!(o.record.metrics.as_eval().unwrap().reference_cycles, ref_cycles);
+        }
+    }
+
+    #[test]
+    fn duplicate_specs_in_one_batch_simulate_once() {
+        // Sweep::All genuinely contains coinciding cells (e.g. a Fig. 6
+        // history config equal to lazy()); they must dedup against the
+        // in-flight guard, not race or re-simulate.
+        let scale = ScaleConfig::quick();
+        let machine = MachineConfig::tiny_test();
+        let spec = CellSpec::sampled(Benchmark::Spmv, scale, machine, 2, TaskPointConfig::lazy());
+        let specs = vec![spec.clone(), spec.clone(), spec];
+        let campaign = Campaign::new(ResultStore::disabled(), Executor::new(3));
+        let report = campaign.run(&specs);
+        assert_eq!(report.computed, 1, "one simulation for three identical specs");
+        assert_eq!(report.cached, 2);
+        let jsonl = report.jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], lines[1]);
+        assert_eq!(lines[1], lines[2]);
+    }
+
+    #[test]
+    fn timings_sidecar_has_one_line_per_cell() {
+        let campaign = Campaign::new(ResultStore::disabled(), Executor::new(2));
+        let report = campaign.run(&tiny_specs());
+        assert_eq!(report.timings_jsonl().lines().count(), 3);
+        for line in report.timings_jsonl().lines() {
+            assert!(line.contains("\"wall_seconds\":"));
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Shared computation context: programs and detailed references computed
+//! once per process and shared across cells (and across executor threads).
+//!
+//! Generated programs and full-detail reference runs are the expensive
+//! shared inputs of a sweep: every sampled cell of Figs. 7–10 compares
+//! against the reference of its `(benchmark, machine, threads)` cell, and
+//! several figures share benchmarks. The context keys both by content
+//! (program: benchmark + scale; reference: the reference cell's hash) and
+//! guards each slot with a [`OnceLock`], so under a parallel executor only
+//! one worker computes a given unit while the others block on it —
+//! never duplicating a multi-second detailed run.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use taskpoint::{run_clustered, run_reference, run_sampled, ExperimentOutcome, ResampleCause};
+use taskpoint_runtime::Program;
+use taskpoint_stats::{normalize_by_group, BoxplotStats};
+use taskpoint_workloads::{Benchmark, ScaleConfig};
+use tasksim::{DetailedOnly, NoiseModel, SimResult, Simulation};
+
+use crate::record::{
+    CellMetrics, CellOutcome, CellRecord, CellTiming, EvalMetrics, RefMetrics, StoredCell,
+    VariationMetrics,
+};
+use crate::spec::{CellKind, CellSpec};
+use crate::store::ResultStore;
+
+/// Program cache key: benchmark + scale (by bit pattern).
+type ProgramKey = (Benchmark, u64, u64);
+
+fn program_key(bench: Benchmark, scale: &ScaleConfig) -> ProgramKey {
+    (bench, scale.instr_factor.to_bits(), scale.seed)
+}
+
+/// A computed (or cache-loaded) reference unit.
+#[derive(Debug, Clone)]
+pub struct ReferenceEntry {
+    /// The reference result (reports stripped; cache-loaded entries are
+    /// reconstructed summaries carrying cycles, counts and wall time).
+    pub result: Arc<SimResult>,
+    /// The persisted form.
+    pub stored: StoredCell,
+    /// Whether it came from the store.
+    pub cached: bool,
+}
+
+/// Shared per-process computation state.
+///
+/// Every expensive unit — program, reference, and each non-reference cell
+/// — sits behind a per-key [`OnceLock`], so duplicate specs in one batch
+/// (e.g. a Fig. 6 config that coincides with a Fig. 7/9 cell inside
+/// `Sweep::All`) are simulated once and never race on the store.
+#[derive(Debug, Default)]
+pub struct Context {
+    programs: Mutex<HashMap<ProgramKey, Arc<OnceLock<Arc<Program>>>>>,
+    references: Mutex<HashMap<String, Arc<OnceLock<ReferenceEntry>>>>,
+    cells: Mutex<HashMap<String, Arc<OnceLock<StoredCell>>>>,
+}
+
+fn strip_reports(mut result: SimResult) -> SimResult {
+    result.reports = Vec::new();
+    result
+}
+
+/// Rebuilds a summary `SimResult` from a cached reference record — enough
+/// for [`ExperimentOutcome::compare`] (cycles + wall time) and for callers
+/// inspecting task counts.
+fn reference_result_from_stored(stored: &StoredCell, workers: u32) -> SimResult {
+    let m = stored.record.metrics.as_reference().expect("reference record");
+    SimResult {
+        total_cycles: m.total_cycles,
+        wall_seconds: stored.timing.wall_seconds,
+        detailed_tasks: m.detailed_tasks,
+        fast_tasks: 0,
+        detailed_instructions: m.instructions,
+        fast_instructions: 0,
+        reports: Vec::new(),
+        invalidations: 0,
+        dram_accesses: 0,
+        private_cache: Vec::new(),
+        shared_cache: Vec::new(),
+        workers,
+    }
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (generating on first use) the benchmark's program at the
+    /// given scale.
+    pub fn program(&self, bench: Benchmark, scale: &ScaleConfig) -> Arc<Program> {
+        let slot = {
+            let mut map = self.programs.lock().expect("program map poisoned");
+            map.entry(program_key(bench, scale)).or_default().clone()
+        };
+        slot.get_or_init(|| Arc::new(bench.generate(scale))).clone()
+    }
+
+    /// Returns (computing or cache-loading on first use) the reference
+    /// entry for a reference cell spec.
+    pub fn reference_entry(&self, store: &ResultStore, spec: &CellSpec) -> ReferenceEntry {
+        self.reference_entry_flagged(store, spec).0
+    }
+
+    /// Like [`Context::reference_entry`], additionally reporting whether
+    /// *this call* ran the simulation (false when another thread computed
+    /// it, or it came from the store).
+    fn reference_entry_flagged(
+        &self,
+        store: &ResultStore,
+        spec: &CellSpec,
+    ) -> (ReferenceEntry, bool) {
+        debug_assert!(matches!(spec.kind, CellKind::Reference));
+        let hash = spec.hash_hex();
+        let slot = {
+            let mut map = self.references.lock().expect("reference map poisoned");
+            map.entry(hash.clone()).or_default().clone()
+        };
+        let mut ran_sim = false;
+        let entry = slot.get_or_init(|| {
+            if let Some(stored) = store.load(&hash) {
+                let result = Arc::new(reference_result_from_stored(&stored, spec.workers));
+                return ReferenceEntry { result, stored, cached: true };
+            }
+            ran_sim = true;
+            let program = self.program(spec.bench, &spec.scale);
+            let result = strip_reports(run_reference(&program, spec.machine.clone(), spec.workers));
+            let stored = StoredCell {
+                record: CellRecord {
+                    cell: hash.clone(),
+                    bench: spec.bench.name().to_string(),
+                    machine: spec.machine.name.clone(),
+                    workers: spec.workers,
+                    scale: spec.scale,
+                    kind: spec.kind.tag().to_string(),
+                    metrics: CellMetrics::Reference(RefMetrics {
+                        total_cycles: result.total_cycles,
+                        detailed_tasks: result.detailed_tasks,
+                        instructions: result.total_instructions(),
+                    }),
+                },
+                timing: CellTiming {
+                    wall_seconds: result.wall_seconds,
+                    reference_wall_seconds: None,
+                    speedup: None,
+                },
+            };
+            store.save(&hash, &stored);
+            ReferenceEntry { result: Arc::new(result), stored, cached: false }
+        });
+        (entry.clone(), ran_sim)
+    }
+
+    /// Convenience: the reference `SimResult` for a cell (shared, reports
+    /// stripped).
+    pub fn reference(
+        &self,
+        store: &ResultStore,
+        bench: Benchmark,
+        scale: ScaleConfig,
+        machine: tasksim::MachineConfig,
+        workers: u32,
+    ) -> Arc<SimResult> {
+        let spec = CellSpec::reference(bench, scale, machine, workers);
+        self.reference_entry(store, &spec).result
+    }
+
+    /// Computes (or loads) one cell. `cached` in the returned outcome is
+    /// true whenever this call did not itself simulate — served from the
+    /// store, or deduplicated against a concurrent/earlier identical spec.
+    pub fn compute(&self, store: &ResultStore, spec: &CellSpec) -> CellOutcome {
+        let hash = spec.hash_hex();
+        if let CellKind::Reference = spec.kind {
+            let (entry, ran_sim) = self.reference_entry_flagged(store, spec);
+            return CellOutcome {
+                spec: spec.clone(),
+                record: entry.stored.record.clone(),
+                timing: entry.stored.timing.clone(),
+                cached: !ran_sim,
+            };
+        }
+        let slot = {
+            let mut map = self.cells.lock().expect("cell map poisoned");
+            map.entry(hash.clone()).or_default().clone()
+        };
+        let mut ran_sim = false;
+        let stored = slot.get_or_init(|| {
+            if let Some(stored) = store.load(&hash) {
+                return stored;
+            }
+            ran_sim = true;
+            let stored = self.simulate_cell(store, spec, &hash);
+            store.save(&hash, &stored);
+            stored
+        });
+        CellOutcome {
+            spec: spec.clone(),
+            record: stored.record.clone(),
+            timing: stored.timing.clone(),
+            cached: !ran_sim,
+        }
+    }
+
+    /// Runs the simulation behind one non-reference cell.
+    fn simulate_cell(&self, store: &ResultStore, spec: &CellSpec, hash: &str) -> StoredCell {
+        match &spec.kind {
+            CellKind::Reference => unreachable!("reference cells go through reference_entry"),
+            CellKind::Sampled { config } => {
+                let program = self.program(spec.bench, &spec.scale);
+                let reference = self
+                    .reference_entry(store, &spec.reference_spec().expect("sampled has reference"));
+                let (sampled, stats) =
+                    run_sampled(&program, spec.machine.clone(), spec.workers, *config);
+                let outcome = ExperimentOutcome::compare(&sampled, &reference.result);
+                self.eval_stored(spec, hash, &sampled, &outcome, &stats, None)
+            }
+            CellKind::Clustered { config, granularity } => {
+                let program = self.program(spec.bench, &spec.scale);
+                let reference = self.reference_entry(
+                    store,
+                    &spec.reference_spec().expect("clustered has reference"),
+                );
+                let (sampled, stats, clusters) = run_clustered(
+                    &program,
+                    spec.machine.clone(),
+                    spec.workers,
+                    *config,
+                    *granularity,
+                );
+                let outcome = ExperimentOutcome::compare(&sampled, &reference.result);
+                self.eval_stored(spec, hash, &sampled, &outcome, &stats, Some(clusters as u64))
+            }
+            CellKind::Variation { noise_seed } => {
+                let program = self.program(spec.bench, &spec.scale);
+                let mut builder = Simulation::builder(&program, spec.machine.clone())
+                    .workers(spec.workers)
+                    .collect_reports(true);
+                if let Some(seed) = noise_seed {
+                    builder = builder.noise(NoiseModel::native_execution(*seed));
+                }
+                let result = builder.build().run(&mut DetailedOnly);
+                let samples: Vec<(u32, f64)> = result
+                    .reports
+                    .iter()
+                    .filter(|r| r.instructions > 0)
+                    .map(|r| (r.type_id.0, r.ipc()))
+                    .collect();
+                let deviations = normalize_by_group(samples);
+                let stats = BoxplotStats::from_samples(&deviations)
+                    .expect("variation cell produced no IPC samples");
+                StoredCell {
+                    record: CellRecord {
+                        cell: hash.to_string(),
+                        bench: spec.bench.name().to_string(),
+                        machine: spec.machine.name.clone(),
+                        workers: spec.workers,
+                        scale: spec.scale,
+                        kind: spec.kind.tag().to_string(),
+                        metrics: CellMetrics::Variation(VariationMetrics::from_boxplot(&stats)),
+                    },
+                    timing: CellTiming {
+                        wall_seconds: result.wall_seconds,
+                        reference_wall_seconds: None,
+                        speedup: None,
+                    },
+                }
+            }
+        }
+    }
+
+    fn eval_stored(
+        &self,
+        spec: &CellSpec,
+        hash: &str,
+        sampled: &SimResult,
+        outcome: &ExperimentOutcome,
+        stats: &taskpoint::SamplingStats,
+        clusters: Option<u64>,
+    ) -> StoredCell {
+        StoredCell {
+            record: CellRecord {
+                cell: hash.to_string(),
+                bench: spec.bench.name().to_string(),
+                machine: spec.machine.name.clone(),
+                workers: spec.workers,
+                scale: spec.scale,
+                kind: spec.kind.tag().to_string(),
+                metrics: CellMetrics::Eval(EvalMetrics {
+                    error_percent: outcome.error_percent,
+                    predicted_cycles: outcome.predicted_cycles,
+                    reference_cycles: outcome.reference_cycles,
+                    detail_fraction: outcome.detail_fraction,
+                    detailed_tasks: sampled.detailed_tasks,
+                    fast_tasks: sampled.fast_tasks,
+                    detailed_instructions: sampled.detailed_instructions,
+                    fast_instructions: sampled.fast_instructions,
+                    resamples: stats.resamples.len() as u64,
+                    resamples_policy: stats.resamples_by(ResampleCause::Policy) as u64,
+                    resamples_new_type: stats.resamples_by(ResampleCause::NewTaskType) as u64,
+                    resamples_concurrency: stats.resamples_by(ResampleCause::ConcurrencyChange)
+                        as u64,
+                    resamples_empty: stats.resamples_by(ResampleCause::EmptyHistories) as u64,
+                    clusters,
+                }),
+            },
+            timing: CellTiming {
+                wall_seconds: outcome.sampled_wall_seconds,
+                reference_wall_seconds: Some(outcome.reference_wall_seconds),
+                speedup: Some(outcome.speedup),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskpoint::TaskPointConfig;
+    use tasksim::MachineConfig;
+
+    fn quick() -> ScaleConfig {
+        ScaleConfig::quick()
+    }
+
+    #[test]
+    fn programs_are_shared() {
+        let ctx = Context::new();
+        let a = ctx.program(Benchmark::Spmv, &quick());
+        let b = ctx.program(Benchmark::Spmv, &quick());
+        assert!(Arc::ptr_eq(&a, &b));
+        let other_scale = ScaleConfig { seed: 1, ..quick() };
+        let c = ctx.program(Benchmark::Spmv, &other_scale);
+        assert!(!Arc::ptr_eq(&a, &c), "different scale, different program");
+    }
+
+    #[test]
+    fn references_are_shared_and_report_free() {
+        let ctx = Context::new();
+        let store = ResultStore::disabled();
+        let machine = MachineConfig::tiny_test();
+        let a = ctx.reference(&store, Benchmark::Spmv, quick(), machine.clone(), 2);
+        let b = ctx.reference(&store, Benchmark::Spmv, quick(), machine, 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.reports.is_empty());
+        assert!(a.total_cycles > 0);
+    }
+
+    #[test]
+    fn sampled_cell_reuses_in_memory_reference() {
+        let ctx = Context::new();
+        let store = ResultStore::disabled();
+        let machine = MachineConfig::tiny_test();
+        let reference = ctx.reference(&store, Benchmark::Spmv, quick(), machine.clone(), 2);
+        let spec = CellSpec::sampled(Benchmark::Spmv, quick(), machine, 2, TaskPointConfig::lazy());
+        let outcome = ctx.compute(&store, &spec);
+        assert!(!outcome.cached);
+        let m = outcome.record.metrics.as_eval().unwrap();
+        assert_eq!(m.reference_cycles, reference.total_cycles);
+        assert!(m.error_percent.is_finite());
+        assert_eq!(
+            m.resamples,
+            m.resamples_policy + m.resamples_new_type + m.resamples_concurrency + m.resamples_empty
+        );
+    }
+
+    #[test]
+    fn stored_reference_round_trips_through_stub() {
+        let ctx = Context::new();
+        let store = ResultStore::disabled();
+        let machine = MachineConfig::tiny_test();
+        let spec = CellSpec::reference(Benchmark::Reduction, quick(), machine.clone(), 2);
+        let entry = ctx.reference_entry(&store, &spec);
+        let stub = reference_result_from_stored(&entry.stored, spec.workers);
+        assert_eq!(stub.total_cycles, entry.result.total_cycles);
+        assert_eq!(stub.detailed_tasks, entry.result.detailed_tasks);
+        assert_eq!(stub.workers, 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Stable content hashing for cell specs.
+//!
+//! Cache keys must be identical across runs, platforms and — critically —
+//! across *code versions that do not change simulation behaviour of the
+//! hashed inputs*, so [`std::hash::Hash`]/`DefaultHasher` (randomized, and
+//! free to change between Rust releases) is unusable here. This module
+//! implements 128-bit FNV-1a over an explicit canonical byte encoding:
+//! every field is written through a typed `write_*` method with a
+//! one-byte tag, so two different field sequences can never collide by
+//! concatenation ambiguity.
+
+/// 128-bit FNV-1a hasher with typed, tagged field encoding.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u128,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl StableHasher {
+    /// Creates a hasher at the FNV-128 offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV128_OFFSET }
+    }
+
+    fn write_byte(&mut self, b: u8) {
+        self.state ^= b as u128;
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
+
+    /// Feeds raw bytes (no tag); prefer the typed writers.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+
+    /// Feeds a `u64` (tag + big-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_byte(0x01);
+        self.write_bytes(&v.to_be_bytes());
+    }
+
+    /// Feeds a `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_byte(0x02);
+        self.write_bytes(&v.to_be_bytes());
+    }
+
+    /// Feeds an `f64` by its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_byte(0x03);
+        self.write_bytes(&v.to_bits().to_be_bytes());
+    }
+
+    /// Feeds a boolean.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_byte(0x04);
+        self.write_byte(v as u8);
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_byte(0x05);
+        self.write_bytes(&(s.len() as u64).to_be_bytes());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds an optional `u64` (distinct encodings for `None` / `Some`).
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.write_byte(0x06),
+            Some(x) => {
+                self.write_byte(0x07);
+                self.write_bytes(&x.to_be_bytes());
+            }
+        }
+    }
+
+    /// Finishes the hash as 32 lowercase hex characters.
+    pub fn finish_hex(&self) -> String {
+        format!("{:032x}", self.state)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hash_is_offset_basis() {
+        assert_eq!(StableHasher::new().finish_hex(), format!("{FNV128_OFFSET:032x}"));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_sensitive() {
+        let mut a = StableHasher::new();
+        a.write_str("spmv");
+        a.write_u32(8);
+        let mut b = StableHasher::new();
+        b.write_str("spmv");
+        b.write_u32(8);
+        assert_eq!(a.finish_hex(), b.finish_hex());
+        let mut c = StableHasher::new();
+        c.write_str("spmv");
+        c.write_u32(9);
+        assert_ne!(a.finish_hex(), c.finish_hex());
+    }
+
+    #[test]
+    fn field_types_are_disambiguated() {
+        // A string "A" and a one-byte integer must not collide, nor must
+        // None collide with any empty encoding.
+        let mut s = StableHasher::new();
+        s.write_str("");
+        let mut n = StableHasher::new();
+        n.write_opt_u64(None);
+        assert_ne!(s.finish_hex(), n.finish_hex());
+        let mut u = StableHasher::new();
+        u.write_u64(0);
+        let mut o = StableHasher::new();
+        o.write_opt_u64(Some(0));
+        assert_ne!(u.finish_hex(), o.finish_hex());
+    }
+
+    #[test]
+    fn concatenation_is_unambiguous() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish_hex(), b.finish_hex());
+    }
+
+    #[test]
+    fn f64_hashes_by_bit_pattern() {
+        let mut a = StableHasher::new();
+        a.write_f64(0.05);
+        let mut b = StableHasher::new();
+        b.write_f64(0.05);
+        assert_eq!(a.finish_hex(), b.finish_hex());
+        let mut c = StableHasher::new();
+        c.write_f64(0.050000001);
+        assert_ne!(a.finish_hex(), c.finish_hex());
+    }
+
+    #[test]
+    fn pinned_reference_vector() {
+        // Pin the encoding so accidental format changes (which would
+        // silently orphan every cached result) fail a test instead.
+        let mut h = StableHasher::new();
+        h.write_str("cell");
+        h.write_u32(4);
+        h.write_u64(0x7A5C_901E);
+        h.write_f64(1.0);
+        h.write_bool(true);
+        h.write_opt_u64(Some(250));
+        assert_eq!(h.finish_hex(), "525f7e0051c3c93aef35b9aa871d001d");
+    }
+}

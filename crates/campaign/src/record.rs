@@ -1,0 +1,547 @@
+//! Result records: what a campaign stores, caches and emits per cell.
+//!
+//! A record is split in two on purpose:
+//!
+//! * [`CellRecord`] — the *canonical* part. Every field is a deterministic
+//!   function of the cell spec (cycle counts, task/instruction counts,
+//!   cycle-derived error percentages, boxplot statistics). Its canonical
+//!   JSON encoding is byte-identical across runs, platforms and executor
+//!   worker counts; the determinism guarantee and the JSONL artefacts are
+//!   stated over these bytes.
+//! * [`CellTiming`] — the *advisory* part. Host wall-clock seconds and the
+//!   wall-clock speedup derived from them. Inherently noisy, therefore kept
+//!   out of the canonical bytes; cached timings are the measurements of the
+//!   run that originally computed the cell.
+
+use taskpoint::ExperimentOutcome;
+use taskpoint_stats::BoxplotStats;
+use taskpoint_workloads::ScaleConfig;
+
+use crate::json::{Object, ParseError, Value};
+use crate::spec::CellSpec;
+
+/// Deterministic metrics of a reference (full-detail) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefMetrics {
+    /// Simulated execution time in cycles.
+    pub total_cycles: u64,
+    /// Task instances simulated (all of them, in detail).
+    pub detailed_tasks: u64,
+    /// Dynamic instructions simulated.
+    pub instructions: u64,
+}
+
+/// Deterministic metrics of a sampled (or clustered) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalMetrics {
+    /// Absolute percent error of predicted vs reference cycles.
+    pub error_percent: f64,
+    /// Predicted total cycles (sampled run).
+    pub predicted_cycles: u64,
+    /// Reference total cycles.
+    pub reference_cycles: u64,
+    /// Fraction of instructions simulated in detail.
+    pub detail_fraction: f64,
+    /// Instances simulated in detail.
+    pub detailed_tasks: u64,
+    /// Instances fast-forwarded.
+    pub fast_tasks: u64,
+    /// Instructions simulated in detail.
+    pub detailed_instructions: u64,
+    /// Instructions fast-forwarded.
+    pub fast_instructions: u64,
+    /// Total resamples triggered.
+    pub resamples: u64,
+    /// Resamples triggered by the periodic policy.
+    pub resamples_policy: u64,
+    /// Resamples triggered by new task types.
+    pub resamples_new_type: u64,
+    /// Resamples triggered by concurrency changes.
+    pub resamples_concurrency: u64,
+    /// Resamples triggered by empty histories.
+    pub resamples_empty: u64,
+    /// `(type, size-class)` clusters formed (clustered cells only).
+    pub clusters: Option<u64>,
+}
+
+/// Deterministic metrics of a variation cell: per-type-normalized IPC
+/// deviation boxplot (percent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationMetrics {
+    /// 5th percentile.
+    pub p5: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Smallest deviation.
+    pub min: f64,
+    /// Largest deviation.
+    pub max: f64,
+    /// Number of task-instance samples.
+    pub samples: u64,
+}
+
+impl VariationMetrics {
+    /// Builds from boxplot statistics.
+    pub fn from_boxplot(b: &BoxplotStats) -> Self {
+        Self {
+            p5: b.p5,
+            q1: b.q1,
+            median: b.median,
+            q3: b.q3,
+            p95: b.p95,
+            min: b.min,
+            max: b.max,
+            samples: b.count as u64,
+        }
+    }
+
+    /// The larger of |p5| and |p95| — the paper's "within ±5%" criterion.
+    pub fn whisker_halfwidth(&self) -> f64 {
+        self.p95.abs().max(self.p5.abs())
+    }
+}
+
+/// Kind-specific deterministic metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellMetrics {
+    /// Metrics of a reference cell.
+    Reference(RefMetrics),
+    /// Metrics of a sampled or clustered cell.
+    Eval(EvalMetrics),
+    /// Metrics of a variation cell.
+    Variation(VariationMetrics),
+}
+
+impl CellMetrics {
+    /// The eval metrics, if this is a sampled/clustered cell.
+    pub fn as_eval(&self) -> Option<&EvalMetrics> {
+        match self {
+            CellMetrics::Eval(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The variation metrics, if this is a variation cell.
+    pub fn as_variation(&self) -> Option<&VariationMetrics> {
+        match self {
+            CellMetrics::Variation(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The reference metrics, if this is a reference cell.
+    pub fn as_reference(&self) -> Option<&RefMetrics> {
+        match self {
+            CellMetrics::Reference(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// The canonical (deterministic) record of one computed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// The cell's content hash (32 hex chars).
+    pub cell: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Machine name.
+    pub machine: String,
+    /// Simulated worker threads.
+    pub workers: u32,
+    /// Workload scale.
+    pub scale: ScaleConfig,
+    /// Kind tag (`reference`/`sampled`/`clustered`/`variation`).
+    pub kind: String,
+    /// Deterministic metrics.
+    pub metrics: CellMetrics,
+}
+
+/// The advisory (wall-clock) side of a computed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// Host seconds of this cell's own simulation.
+    pub wall_seconds: f64,
+    /// Host seconds of the reference run it was compared against (sampled
+    /// and clustered cells only).
+    pub reference_wall_seconds: Option<f64>,
+    /// Wall-clock speedup over the reference (sampled/clustered only).
+    pub speedup: Option<f64>,
+}
+
+/// A computed (or cache-loaded) cell: spec + record + timing.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The spec that produced this outcome.
+    pub spec: CellSpec,
+    /// Canonical record.
+    pub record: CellRecord,
+    /// Advisory timing (from the run that originally computed the cell).
+    pub timing: CellTiming,
+    /// Whether the result was served from the store without simulating.
+    pub cached: bool,
+}
+
+impl CellOutcome {
+    /// Reconstructs the evaluation outcome the bench layer works with.
+    /// Returns `None` for reference/variation cells.
+    pub fn experiment_outcome(&self) -> Option<ExperimentOutcome> {
+        let m = self.record.metrics.as_eval()?;
+        Some(ExperimentOutcome {
+            error_percent: m.error_percent,
+            speedup: self.timing.speedup.unwrap_or(0.0),
+            predicted_cycles: m.predicted_cycles,
+            reference_cycles: m.reference_cycles,
+            sampled_wall_seconds: self.timing.wall_seconds,
+            reference_wall_seconds: self.timing.reference_wall_seconds.unwrap_or(0.0),
+            detail_fraction: m.detail_fraction,
+        })
+    }
+}
+
+fn scale_json(scale: &ScaleConfig) -> Value {
+    let mut o = Object::new();
+    o.set("instr_factor", Value::Num(scale.instr_factor));
+    o.set("seed", Value::Num(scale.seed as f64));
+    Value::Obj(o)
+}
+
+fn metrics_json(metrics: &CellMetrics) -> Value {
+    let mut o = Object::new();
+    match metrics {
+        CellMetrics::Reference(m) => {
+            o.set("total_cycles", Value::Num(m.total_cycles as f64));
+            o.set("detailed_tasks", Value::Num(m.detailed_tasks as f64));
+            o.set("instructions", Value::Num(m.instructions as f64));
+        }
+        CellMetrics::Eval(m) => {
+            o.set("error_percent", Value::Num(m.error_percent));
+            o.set("predicted_cycles", Value::Num(m.predicted_cycles as f64));
+            o.set("reference_cycles", Value::Num(m.reference_cycles as f64));
+            o.set("detail_fraction", Value::Num(m.detail_fraction));
+            o.set("detailed_tasks", Value::Num(m.detailed_tasks as f64));
+            o.set("fast_tasks", Value::Num(m.fast_tasks as f64));
+            o.set("detailed_instructions", Value::Num(m.detailed_instructions as f64));
+            o.set("fast_instructions", Value::Num(m.fast_instructions as f64));
+            o.set("resamples", Value::Num(m.resamples as f64));
+            o.set("resamples_policy", Value::Num(m.resamples_policy as f64));
+            o.set("resamples_new_type", Value::Num(m.resamples_new_type as f64));
+            o.set("resamples_concurrency", Value::Num(m.resamples_concurrency as f64));
+            o.set("resamples_empty", Value::Num(m.resamples_empty as f64));
+            if let Some(c) = m.clusters {
+                o.set("clusters", Value::Num(c as f64));
+            }
+        }
+        CellMetrics::Variation(m) => {
+            o.set("p5", Value::Num(m.p5));
+            o.set("q1", Value::Num(m.q1));
+            o.set("median", Value::Num(m.median));
+            o.set("q3", Value::Num(m.q3));
+            o.set("p95", Value::Num(m.p95));
+            o.set("min", Value::Num(m.min));
+            o.set("max", Value::Num(m.max));
+            o.set("samples", Value::Num(m.samples as f64));
+        }
+    }
+    Value::Obj(o)
+}
+
+impl CellRecord {
+    /// The canonical JSON encoding — the bytes the determinism guarantee
+    /// covers (and one line of the emitted JSONL artefact).
+    pub fn to_json(&self) -> String {
+        let mut o = Object::new();
+        o.set("cell", Value::Str(self.cell.clone()));
+        o.set("bench", Value::Str(self.bench.clone()));
+        o.set("machine", Value::Str(self.machine.clone()));
+        o.set("workers", Value::Num(self.workers as f64));
+        o.set("scale", scale_json(&self.scale));
+        o.set("kind", Value::Str(self.kind.clone()));
+        o.set("metrics", metrics_json(&self.metrics));
+        Value::Obj(o).to_json()
+    }
+}
+
+/// A corrupt or incompatible store entry.
+#[derive(Debug)]
+pub enum RecordError {
+    /// The JSON did not parse.
+    Parse(ParseError),
+    /// The JSON parsed but is missing or mistypes a field.
+    Shape(String),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Parse(e) => write!(f, "{e}"),
+            RecordError::Shape(s) => write!(f, "malformed record: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+fn shape(field: &str) -> RecordError {
+    RecordError::Shape(format!("missing or mistyped field {field:?}"))
+}
+
+fn parse_metrics(kind: &str, o: &Object) -> Result<CellMetrics, RecordError> {
+    match kind {
+        "reference" => Ok(CellMetrics::Reference(RefMetrics {
+            total_cycles: o.u64("total_cycles").ok_or_else(|| shape("total_cycles"))?,
+            detailed_tasks: o.u64("detailed_tasks").ok_or_else(|| shape("detailed_tasks"))?,
+            instructions: o.u64("instructions").ok_or_else(|| shape("instructions"))?,
+        })),
+        "sampled" | "clustered" => Ok(CellMetrics::Eval(EvalMetrics {
+            error_percent: o.num("error_percent").ok_or_else(|| shape("error_percent"))?,
+            predicted_cycles: o.u64("predicted_cycles").ok_or_else(|| shape("predicted_cycles"))?,
+            reference_cycles: o.u64("reference_cycles").ok_or_else(|| shape("reference_cycles"))?,
+            detail_fraction: o.num("detail_fraction").ok_or_else(|| shape("detail_fraction"))?,
+            detailed_tasks: o.u64("detailed_tasks").ok_or_else(|| shape("detailed_tasks"))?,
+            fast_tasks: o.u64("fast_tasks").ok_or_else(|| shape("fast_tasks"))?,
+            detailed_instructions: o
+                .u64("detailed_instructions")
+                .ok_or_else(|| shape("detailed_instructions"))?,
+            fast_instructions: o
+                .u64("fast_instructions")
+                .ok_or_else(|| shape("fast_instructions"))?,
+            resamples: o.u64("resamples").ok_or_else(|| shape("resamples"))?,
+            resamples_policy: o.u64("resamples_policy").ok_or_else(|| shape("resamples_policy"))?,
+            resamples_new_type: o
+                .u64("resamples_new_type")
+                .ok_or_else(|| shape("resamples_new_type"))?,
+            resamples_concurrency: o
+                .u64("resamples_concurrency")
+                .ok_or_else(|| shape("resamples_concurrency"))?,
+            resamples_empty: o.u64("resamples_empty").ok_or_else(|| shape("resamples_empty"))?,
+            clusters: o.u64("clusters"),
+        })),
+        "variation" => Ok(CellMetrics::Variation(VariationMetrics {
+            p5: o.num("p5").ok_or_else(|| shape("p5"))?,
+            q1: o.num("q1").ok_or_else(|| shape("q1"))?,
+            median: o.num("median").ok_or_else(|| shape("median"))?,
+            q3: o.num("q3").ok_or_else(|| shape("q3"))?,
+            p95: o.num("p95").ok_or_else(|| shape("p95"))?,
+            min: o.num("min").ok_or_else(|| shape("min"))?,
+            max: o.num("max").ok_or_else(|| shape("max"))?,
+            samples: o.u64("samples").ok_or_else(|| shape("samples"))?,
+        })),
+        other => Err(RecordError::Shape(format!("unknown kind {other:?}"))),
+    }
+}
+
+/// One store entry: record + timing, as persisted in a cache file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredCell {
+    /// Canonical record.
+    pub record: CellRecord,
+    /// Timing measured by the run that computed the cell.
+    pub timing: CellTiming,
+}
+
+impl StoredCell {
+    /// Serializes the store-file content.
+    pub fn to_json(&self) -> String {
+        let record =
+            Value::parse(&self.record.to_json()).expect("canonical record encodes valid JSON");
+        let mut timing = Object::new();
+        timing.set("wall_seconds", Value::Num(self.timing.wall_seconds));
+        if let Some(w) = self.timing.reference_wall_seconds {
+            timing.set("reference_wall_seconds", Value::Num(w));
+        }
+        if let Some(s) = self.timing.speedup {
+            timing.set("speedup", Value::Num(s));
+        }
+        let mut o = Object::new();
+        o.set("record", record);
+        o.set("timing", Value::Obj(timing));
+        Value::Obj(o).to_json()
+    }
+
+    /// Parses a store-file content.
+    pub fn from_json(text: &str) -> Result<Self, RecordError> {
+        let v = Value::parse(text).map_err(RecordError::Parse)?;
+        let Value::Obj(top) = v else {
+            return Err(RecordError::Shape("top level is not an object".to_string()));
+        };
+        let r = top.obj("record").ok_or_else(|| shape("record"))?;
+        let scale = r.obj("scale").ok_or_else(|| shape("scale"))?;
+        let kind = r.str("kind").ok_or_else(|| shape("kind"))?.to_string();
+        let metrics_obj = r.obj("metrics").ok_or_else(|| shape("metrics"))?;
+        let record = CellRecord {
+            cell: r.str("cell").ok_or_else(|| shape("cell"))?.to_string(),
+            bench: r.str("bench").ok_or_else(|| shape("bench"))?.to_string(),
+            machine: r.str("machine").ok_or_else(|| shape("machine"))?.to_string(),
+            workers: r.u64("workers").ok_or_else(|| shape("workers"))? as u32,
+            scale: ScaleConfig {
+                instr_factor: scale.num("instr_factor").ok_or_else(|| shape("instr_factor"))?,
+                seed: scale.u64("seed").ok_or_else(|| shape("seed"))?,
+            },
+            metrics: parse_metrics(&kind, metrics_obj)?,
+            kind,
+        };
+        let t = top.obj("timing").ok_or_else(|| shape("timing"))?;
+        let timing = CellTiming {
+            wall_seconds: t.num("wall_seconds").ok_or_else(|| shape("wall_seconds"))?,
+            reference_wall_seconds: t.num("reference_wall_seconds"),
+            speedup: t.num("speedup"),
+        };
+        Ok(StoredCell { record, timing })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_record() -> CellRecord {
+        CellRecord {
+            cell: "ab".repeat(16),
+            bench: "spmv".to_string(),
+            machine: "low-power".to_string(),
+            workers: 4,
+            scale: ScaleConfig::quick(),
+            kind: "sampled".to_string(),
+            metrics: CellMetrics::Eval(EvalMetrics {
+                error_percent: 3.25,
+                predicted_cycles: 1020,
+                reference_cycles: 1000,
+                detail_fraction: 0.125,
+                detailed_tasks: 47,
+                fast_tasks: 977,
+                detailed_instructions: 400,
+                fast_instructions: 600,
+                resamples: 3,
+                resamples_policy: 1,
+                resamples_new_type: 1,
+                resamples_concurrency: 1,
+                resamples_empty: 0,
+                clusters: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn record_json_is_canonical_and_parses_back() {
+        let r = eval_record();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"cell\":\"abab"));
+        assert!(a.contains("\"error_percent\":3.25"));
+        assert!(!a.contains(' '), "canonical form has no whitespace");
+    }
+
+    #[test]
+    fn stored_cell_round_trips() {
+        let stored = StoredCell {
+            record: eval_record(),
+            timing: CellTiming {
+                wall_seconds: 0.05,
+                reference_wall_seconds: Some(0.93),
+                speedup: Some(18.6),
+            },
+        };
+        let text = stored.to_json();
+        let back = StoredCell::from_json(&text).unwrap();
+        assert_eq!(back, stored);
+    }
+
+    #[test]
+    fn reference_and_variation_round_trip() {
+        for (kind, metrics) in [
+            (
+                "reference",
+                CellMetrics::Reference(RefMetrics {
+                    total_cycles: 8_536_967,
+                    detailed_tasks: 1024,
+                    instructions: 9_700_000,
+                }),
+            ),
+            (
+                "variation",
+                CellMetrics::Variation(VariationMetrics {
+                    p5: -4.5,
+                    q1: -1.0,
+                    median: 0.0,
+                    q3: 1.0,
+                    p95: 4.5,
+                    min: -9.0,
+                    max: 8.0,
+                    samples: 16384,
+                }),
+            ),
+        ] {
+            let stored = StoredCell {
+                record: CellRecord { kind: kind.to_string(), metrics, ..eval_record() },
+                timing: CellTiming {
+                    wall_seconds: 1.5,
+                    reference_wall_seconds: None,
+                    speedup: None,
+                },
+            };
+            let back = StoredCell::from_json(&stored.to_json()).unwrap();
+            assert_eq!(back, stored, "{kind}");
+        }
+    }
+
+    #[test]
+    fn variation_whisker_halfwidth() {
+        let m = VariationMetrics {
+            p5: -6.0,
+            q1: 0.0,
+            median: 0.0,
+            q3: 0.0,
+            p95: 4.0,
+            min: -7.0,
+            max: 5.0,
+            samples: 3,
+        };
+        assert_eq!(m.whisker_halfwidth(), 6.0);
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected_not_panicked() {
+        assert!(StoredCell::from_json("not json").is_err());
+        assert!(StoredCell::from_json("{}").is_err());
+        assert!(StoredCell::from_json("{\"record\":{},\"timing\":{}}").is_err());
+        let mut good = StoredCell {
+            record: eval_record(),
+            timing: CellTiming { wall_seconds: 1.0, reference_wall_seconds: None, speedup: None },
+        }
+        .to_json();
+        good = good.replace("\"error_percent\":3.25", "\"error_percent\":\"three\"");
+        assert!(StoredCell::from_json(&good).is_err());
+    }
+
+    #[test]
+    fn experiment_outcome_reconstruction() {
+        let outcome = CellOutcome {
+            spec: crate::spec::CellSpec::sampled(
+                taskpoint_workloads::Benchmark::Spmv,
+                ScaleConfig::quick(),
+                tasksim::MachineConfig::low_power(),
+                4,
+                taskpoint::TaskPointConfig::lazy(),
+            ),
+            record: eval_record(),
+            timing: CellTiming {
+                wall_seconds: 0.5,
+                reference_wall_seconds: Some(10.0),
+                speedup: Some(20.0),
+            },
+            cached: false,
+        };
+        let o = outcome.experiment_outcome().unwrap();
+        assert_eq!(o.predicted_cycles, 1020);
+        assert_eq!(o.speedup, 20.0);
+        assert_eq!(o.reference_wall_seconds, 10.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Named sweeps: the paper's evaluation matrix as cell-spec generators.
+//!
+//! Each sweep is the cell list behind one table or figure (or the CI smoke
+//! set). The bench crate's figure binaries and the `campaign` CLI both
+//! build their specs here, so a figure regenerated interactively and a
+//! sweep run by the CLI hit the same cache entries.
+
+use taskpoint::{SamplingPolicy, TaskPointConfig};
+use taskpoint_workloads::{Benchmark, ScaleConfig};
+use tasksim::MachineConfig;
+
+use crate::spec::CellSpec;
+
+/// Threads used by the high-performance-machine figures (7 and 9).
+pub const HIGH_PERF_THREADS: [u32; 4] = [8, 16, 32, 64];
+/// Threads used by the low-power-machine figures (8 and 10).
+pub const LOW_POWER_THREADS: [u32; 4] = [1, 2, 4, 8];
+/// Threads used by the Fig. 6 sensitivity analysis.
+pub const SENSITIVITY_THREADS: [u32; 2] = [32, 64];
+/// Noise seed of the Fig. 1 "native execution" stand-in.
+pub const FIG1_NOISE_SEED: u64 = 0xF161;
+
+/// Which parameter Fig. 6 sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepPart {
+    /// Fig. 6a: warmup size W (H=10, P=∞).
+    Warmup,
+    /// Fig. 6b: history size H (W=2, P=∞).
+    History,
+    /// Fig. 6c: sampling period P (W=2, H=4).
+    Period,
+}
+
+/// The labelled controller configurations of one Fig. 6 part.
+pub fn sensitivity_configs(part: SweepPart) -> Vec<(String, TaskPointConfig)> {
+    match part {
+        SweepPart::Warmup => (0..=10u64)
+            .map(|w| (w.to_string(), TaskPointConfig::lazy().with_warmup(w).with_history(10)))
+            .collect(),
+        SweepPart::History => (1..=10usize)
+            .map(|h| (h.to_string(), TaskPointConfig::lazy().with_history(h)))
+            .collect(),
+        SweepPart::Period => [10u64, 25, 50, 100, 250, 500, 1000]
+            .into_iter()
+            .map(|p| {
+                (
+                    p.to_string(),
+                    TaskPointConfig::periodic().with_policy(SamplingPolicy::Periodic { period: p }),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Sampled cells of one error/speedup figure: every benchmark × every
+/// thread count under `config` on `machine`.
+pub fn error_speedup_specs(
+    scale: ScaleConfig,
+    machine: &MachineConfig,
+    threads: &[u32],
+    config: TaskPointConfig,
+) -> Vec<CellSpec> {
+    let mut specs = Vec::new();
+    for bench in Benchmark::ALL {
+        for &t in threads {
+            specs.push(CellSpec::sampled(bench, scale, machine.clone(), t, config));
+        }
+    }
+    specs
+}
+
+/// Sampled cells of one Fig. 6 part: every labelled config × the
+/// sensitivity benchmarks × 32/64 threads, grouped by config.
+pub fn sensitivity_specs(scale: ScaleConfig, part: SweepPart) -> Vec<CellSpec> {
+    let machine = MachineConfig::high_performance();
+    let mut specs = Vec::new();
+    for (_, config) in sensitivity_configs(part) {
+        for bench in Benchmark::SENSITIVITY_SET {
+            for &t in &SENSITIVITY_THREADS {
+                specs.push(CellSpec::sampled(bench, scale, machine.clone(), t, config));
+            }
+        }
+    }
+    specs
+}
+
+/// Variation cells (Figs. 1 and 5): every benchmark at 8 threads on
+/// `machine`, with or without the noise model.
+pub fn variation_specs(
+    scale: ScaleConfig,
+    machine: &MachineConfig,
+    noise_seed: Option<u64>,
+) -> Vec<CellSpec> {
+    Benchmark::ALL
+        .into_iter()
+        .map(|bench| CellSpec {
+            bench,
+            scale,
+            machine: machine.clone(),
+            workers: 8,
+            kind: crate::spec::CellKind::Variation { noise_seed },
+        })
+        .collect()
+}
+
+/// Reference cells of Table I: every benchmark at 1 and 64 threads on the
+/// high-performance machine.
+pub fn table1_specs(scale: ScaleConfig) -> Vec<CellSpec> {
+    let machine = MachineConfig::high_performance();
+    let mut specs = Vec::new();
+    for bench in Benchmark::ALL {
+        for t in [1u32, 64] {
+            specs.push(CellSpec::reference(bench, scale, machine.clone(), t));
+        }
+    }
+    specs
+}
+
+/// A named sweep the CLI can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sweep {
+    /// A small CI set: three kernels × two thread counts, lazy sampling,
+    /// low-power machine, plus one variation cell.
+    Smoke,
+    /// Table I reference runs.
+    Table1,
+    /// Fig. 1 (variation, noise model).
+    Fig1,
+    /// Fig. 5 (variation, clean simulation).
+    Fig5,
+    /// Fig. 6a (warmup sweep).
+    Fig6a,
+    /// Fig. 6b (history sweep).
+    Fig6b,
+    /// Fig. 6c (period sweep).
+    Fig6c,
+    /// Fig. 7 (periodic, high-performance).
+    Fig7,
+    /// Fig. 8 (periodic, low-power).
+    Fig8,
+    /// Fig. 9 (lazy, high-performance).
+    Fig9,
+    /// Fig. 10 (lazy, low-power).
+    Fig10,
+    /// Everything above except `smoke`.
+    All,
+}
+
+impl Sweep {
+    /// Every named sweep, in CLI listing order.
+    pub const ALL: [Sweep; 12] = [
+        Sweep::Smoke,
+        Sweep::Table1,
+        Sweep::Fig1,
+        Sweep::Fig5,
+        Sweep::Fig6a,
+        Sweep::Fig6b,
+        Sweep::Fig6c,
+        Sweep::Fig7,
+        Sweep::Fig8,
+        Sweep::Fig9,
+        Sweep::Fig10,
+        Sweep::All,
+    ];
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sweep::Smoke => "smoke",
+            Sweep::Table1 => "table1",
+            Sweep::Fig1 => "fig1",
+            Sweep::Fig5 => "fig5",
+            Sweep::Fig6a => "fig6a",
+            Sweep::Fig6b => "fig6b",
+            Sweep::Fig6c => "fig6c",
+            Sweep::Fig7 => "fig7",
+            Sweep::Fig8 => "fig8",
+            Sweep::Fig9 => "fig9",
+            Sweep::Fig10 => "fig10",
+            Sweep::All => "all",
+        }
+    }
+
+    /// What the sweep covers.
+    pub fn description(self) -> &'static str {
+        match self {
+            Sweep::Smoke => "CI smoke set: 3 kernels x 2 thread counts, lazy, low-power",
+            Sweep::Table1 => "Table I reference runs (1 and 64 threads, high-performance)",
+            Sweep::Fig1 => "Fig. 1 IPC variation, native-execution noise model, 8 threads",
+            Sweep::Fig5 => "Fig. 5 IPC variation, simulation, 8 threads",
+            Sweep::Fig6a => "Fig. 6a warmup sensitivity (W = 0..10)",
+            Sweep::Fig6b => "Fig. 6b history sensitivity (H = 1..10)",
+            Sweep::Fig6c => "Fig. 6c period sensitivity (P = 10..1000)",
+            Sweep::Fig7 => "Fig. 7 periodic sampling, high-performance",
+            Sweep::Fig8 => "Fig. 8 periodic sampling, low-power",
+            Sweep::Fig9 => "Fig. 9 lazy sampling, high-performance",
+            Sweep::Fig10 => "Fig. 10 lazy sampling, low-power",
+            Sweep::All => "every table and figure sweep",
+        }
+    }
+
+    /// Looks a sweep up by CLI name.
+    pub fn by_name(name: &str) -> Option<Sweep> {
+        Sweep::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// The sweep's cell list at the given scale, in emission order.
+    pub fn specs(self, scale: ScaleConfig) -> Vec<CellSpec> {
+        match self {
+            Sweep::Smoke => {
+                let machine = MachineConfig::low_power();
+                let mut specs = Vec::new();
+                for bench in [Benchmark::Spmv, Benchmark::Reduction, Benchmark::Histogram] {
+                    for t in [2u32, 4] {
+                        specs.push(CellSpec::sampled(
+                            bench,
+                            scale,
+                            machine.clone(),
+                            t,
+                            TaskPointConfig::lazy(),
+                        ));
+                    }
+                }
+                specs.push(CellSpec {
+                    bench: Benchmark::Spmv,
+                    scale,
+                    machine: MachineConfig::high_performance(),
+                    workers: 8,
+                    kind: crate::spec::CellKind::Variation { noise_seed: None },
+                });
+                specs
+            }
+            Sweep::Table1 => table1_specs(scale),
+            Sweep::Fig1 => {
+                variation_specs(scale, &MachineConfig::high_performance(), Some(FIG1_NOISE_SEED))
+            }
+            Sweep::Fig5 => variation_specs(scale, &MachineConfig::high_performance(), None),
+            Sweep::Fig6a => sensitivity_specs(scale, SweepPart::Warmup),
+            Sweep::Fig6b => sensitivity_specs(scale, SweepPart::History),
+            Sweep::Fig6c => sensitivity_specs(scale, SweepPart::Period),
+            Sweep::Fig7 => error_speedup_specs(
+                scale,
+                &MachineConfig::high_performance(),
+                &HIGH_PERF_THREADS,
+                TaskPointConfig::periodic(),
+            ),
+            Sweep::Fig8 => error_speedup_specs(
+                scale,
+                &MachineConfig::low_power(),
+                &LOW_POWER_THREADS,
+                TaskPointConfig::periodic(),
+            ),
+            Sweep::Fig9 => error_speedup_specs(
+                scale,
+                &MachineConfig::high_performance(),
+                &HIGH_PERF_THREADS,
+                TaskPointConfig::lazy(),
+            ),
+            Sweep::Fig10 => error_speedup_specs(
+                scale,
+                &MachineConfig::low_power(),
+                &LOW_POWER_THREADS,
+                TaskPointConfig::lazy(),
+            ),
+            Sweep::All => {
+                let mut specs = Vec::new();
+                for sweep in Sweep::ALL {
+                    if !matches!(sweep, Sweep::All | Sweep::Smoke) {
+                        specs.extend(sweep.specs(scale));
+                    }
+                }
+                specs
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for s in Sweep::ALL {
+            assert_eq!(Sweep::by_name(s.name()), Some(s));
+            assert!(!s.description().is_empty());
+        }
+        assert_eq!(Sweep::by_name("fig99"), None);
+    }
+
+    #[test]
+    fn figure_sweep_sizes_match_the_paper_matrix() {
+        let scale = ScaleConfig::quick();
+        assert_eq!(Sweep::Fig7.specs(scale).len(), 19 * 4);
+        assert_eq!(Sweep::Fig8.specs(scale).len(), 19 * 4);
+        assert_eq!(Sweep::Fig6a.specs(scale).len(), 11 * 5 * 2);
+        assert_eq!(Sweep::Fig6b.specs(scale).len(), 10 * 5 * 2);
+        assert_eq!(Sweep::Fig6c.specs(scale).len(), 7 * 5 * 2);
+        assert_eq!(Sweep::Table1.specs(scale).len(), 19 * 2);
+        assert_eq!(Sweep::Fig1.specs(scale).len(), 19);
+        assert_eq!(Sweep::Smoke.specs(scale).len(), 7);
+    }
+
+    #[test]
+    fn all_is_the_union_of_the_evaluation_sweeps() {
+        let scale = ScaleConfig::quick();
+        let all = Sweep::All.specs(scale);
+        let sum: usize = Sweep::ALL
+            .into_iter()
+            .filter(|s| !matches!(s, Sweep::All | Sweep::Smoke))
+            .map(|s| s.specs(scale).len())
+            .sum();
+        assert_eq!(all.len(), sum);
+    }
+
+    #[test]
+    fn specs_within_a_sweep_have_unique_hashes() {
+        let scale = ScaleConfig::quick();
+        for sweep in [Sweep::Smoke, Sweep::Fig7, Sweep::Fig6a, Sweep::Table1, Sweep::Fig1] {
+            let specs = sweep.specs(scale);
+            let hashes: std::collections::HashSet<String> =
+                specs.iter().map(CellSpec::hash_hex).collect();
+            assert_eq!(hashes.len(), specs.len(), "{}", sweep.name());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The campaign determinism and resume guarantees, end to end:
+//!
+//! * the same sweep run with 1 and 8 executor workers emits byte-identical
+//!   canonical JSONL;
+//! * a second run over the same store completes entirely from cache (zero
+//!   cells re-simulated) with, again, identical bytes;
+//! * invalidating one cell recomputes exactly that cell.
+
+use std::path::PathBuf;
+
+use taskpoint::TaskPointConfig;
+use taskpoint_campaign::{Campaign, CellKind, CellSpec, Executor, ResultStore};
+use taskpoint_workloads::{Benchmark, ScaleConfig};
+use tasksim::MachineConfig;
+
+fn tmp_root(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small but representative sweep: reference, sampled (both policies)
+/// and variation cells over two kernels on the tiny test machine.
+fn sweep() -> Vec<CellSpec> {
+    let scale = ScaleConfig::quick();
+    let machine = MachineConfig::tiny_test();
+    let mut specs = Vec::new();
+    for bench in [Benchmark::Spmv, Benchmark::Reduction] {
+        specs.push(CellSpec::reference(bench, scale, machine.clone(), 2));
+        specs.push(CellSpec::sampled(bench, scale, machine.clone(), 2, TaskPointConfig::lazy()));
+        specs.push(CellSpec::sampled(
+            bench,
+            scale,
+            machine.clone(),
+            4,
+            TaskPointConfig::periodic(),
+        ));
+        specs.push(CellSpec {
+            bench,
+            scale,
+            machine: machine.clone(),
+            workers: 4,
+            kind: CellKind::Variation { noise_seed: Some(42) },
+        });
+    }
+    specs
+}
+
+#[test]
+fn one_and_eight_workers_emit_identical_jsonl() {
+    let specs = sweep();
+    let run = |name: &str, workers: usize| {
+        let campaign = Campaign::new(ResultStore::at(tmp_root(name)), Executor::new(workers));
+        let report = campaign.run(&specs);
+        assert_eq!(report.computed, specs.len(), "{name}: fresh store computes everything");
+        report.jsonl()
+    };
+    let sequential = run("det-w1", 1);
+    let parallel = run("det-w8", 8);
+    assert_eq!(sequential.as_bytes(), parallel.as_bytes(), "worker count changed the bytes");
+    assert_eq!(sequential.lines().count(), specs.len());
+    // And a third width, for good measure.
+    let three = run("det-w3", 3);
+    assert_eq!(sequential, three);
+}
+
+#[test]
+fn second_run_completes_from_cache_with_identical_bytes() {
+    let specs = sweep();
+    let root = tmp_root("resume");
+
+    let first = Campaign::new(ResultStore::at(root.clone()), Executor::new(4)).run(&specs);
+    assert_eq!(first.computed, specs.len());
+    assert_eq!(first.cached, 0);
+
+    // A brand-new campaign (no in-memory state) over the same store.
+    let second = Campaign::new(ResultStore::at(root.clone()), Executor::new(4)).run(&specs);
+    assert_eq!(second.computed, 0, "second run must be pure cache");
+    assert_eq!(second.cached, specs.len());
+    assert_eq!(first.jsonl().as_bytes(), second.jsonl().as_bytes());
+    for outcome in &second.outcomes {
+        assert!(outcome.cached);
+    }
+
+    // Invalidate exactly one cell: the next run recomputes exactly it.
+    let store = ResultStore::at(root);
+    assert!(store.invalidate_cell(&specs[1].hash_hex()));
+    let third = Campaign::new(store, Executor::new(4)).run(&specs);
+    assert_eq!(third.computed, 1, "only the invalidated cell recomputes");
+    assert_eq!(third.jsonl(), first.jsonl(), "recomputed cell reproduces its bytes");
+}
+
+#[test]
+fn different_code_fingerprint_misses_the_cache() {
+    let specs: Vec<CellSpec> = sweep().into_iter().take(2).collect();
+    let root = tmp_root("fingerprint");
+    let report = Campaign::new(ResultStore::at(root.clone()), Executor::new(2)).run(&specs);
+    assert_eq!(report.computed, specs.len());
+    // Same store root, simulated different code version.
+    let stale = ResultStore::at(root).with_fingerprint("0123456789abcdef");
+    for spec in &specs {
+        assert!(!stale.contains(&spec.hash_hex()), "other fingerprint must not see entries");
+    }
+}
+
+#[test]
+fn interrupted_campaign_resumes_from_completed_cells() {
+    // Simulate an interruption by running only a prefix of the sweep,
+    // then the full sweep: the prefix cells must be served from cache.
+    let specs = sweep();
+    let root = tmp_root("interrupt");
+    let prefix = &specs[..3];
+    let partial = Campaign::new(ResultStore::at(root.clone()), Executor::new(2)).run(prefix);
+    assert_eq!(partial.computed, 3);
+    let full = Campaign::new(ResultStore::at(root), Executor::new(2)).run(&specs);
+    assert_eq!(full.cached, 3, "completed prefix resumes from store");
+    assert_eq!(full.computed, specs.len() - 3);
+}

@@ -53,9 +53,18 @@ impl ClusteredController {
 
     /// The size class of an instance with `instructions` dynamic
     /// instructions.
-    fn size_class(&self, instructions: u64) -> u32 {
+    pub fn size_class(&self, instructions: u64) -> u32 {
         let log2 = 63 - instructions.max(1).leading_zeros();
         log2 / self.granularity
+    }
+
+    /// The sampling unit an instance maps to: the dense *virtual type id*
+    /// assigned to its `(type, size-class)` pair. Ids are handed out in
+    /// first-encounter order, so within a run the mapping is stable, dense
+    /// (`0..num_clusters`) and injective across distinct pairs — the
+    /// invariants the workspace property tests pin down.
+    pub fn sampling_unit(&mut self, type_id: TaskTypeId, instructions: u64) -> TaskTypeId {
+        self.virtual_type(type_id, instructions)
     }
 
     /// Maps `(type, instructions)` to the virtual type id used as the

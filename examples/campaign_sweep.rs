@@ -1,0 +1,70 @@
+//! Driving the campaign subsystem directly: build a custom cell matrix,
+//! fan it out over the deterministic work-stealing executor, and read the
+//! canonical records back.
+//!
+//! The sweep below is a miniature design-space study — two kernels × two
+//! thread counts × both sampling policies on the low-power machine — run
+//! twice to show the content-addressed cache at work: the second campaign
+//! (a fresh object, fresh in-memory state) completes without simulating a
+//! single cell.
+//!
+//! ```sh
+//! cargo run --release --example campaign_sweep
+//! ```
+
+use taskpoint_repro::campaign::{Campaign, CellSpec, Executor, ResultStore};
+use taskpoint_repro::taskpoint::TaskPointConfig;
+use taskpoint_repro::workloads::{Benchmark, ScaleConfig};
+use tasksim::MachineConfig;
+
+fn main() {
+    let scale = ScaleConfig::quick();
+    let machine = MachineConfig::low_power();
+
+    let mut specs = Vec::new();
+    for bench in [Benchmark::Spmv, Benchmark::Reduction] {
+        for workers in [2u32, 4] {
+            for config in [TaskPointConfig::lazy(), TaskPointConfig::periodic()] {
+                specs.push(CellSpec::sampled(bench, scale, machine.clone(), workers, config));
+            }
+        }
+    }
+
+    // A store under target/ keeps this example self-contained; real
+    // campaigns default to results/campaign (ResultStore::open_default).
+    let store_root = std::path::Path::new("target").join("example-campaign");
+    let _ = std::fs::remove_dir_all(&store_root);
+
+    let campaign = Campaign::new(ResultStore::at(&store_root), Executor::new(4));
+    let report = campaign.run(&specs);
+    println!(
+        "first run:  {} cells, {} computed, {} cached, {:.2}s",
+        report.outcomes.len(),
+        report.computed,
+        report.cached,
+        report.wall_seconds
+    );
+    for outcome in &report.outcomes {
+        let m = outcome.record.metrics.as_eval().expect("sampled cell");
+        println!(
+            "  {:<44} err {:5.2}%  detail {:5.1}%  [{}]",
+            outcome.spec.label(),
+            m.error_percent,
+            100.0 * m.detail_fraction,
+            &outcome.record.cell[..12],
+        );
+    }
+
+    // A brand-new campaign over the same store: pure cache.
+    let rerun = Campaign::new(ResultStore::at(&store_root), Executor::new(4)).run(&specs);
+    println!(
+        "second run: {} cells, {} computed, {} cached, {:.2}s",
+        rerun.outcomes.len(),
+        rerun.computed,
+        rerun.cached,
+        rerun.wall_seconds
+    );
+    assert_eq!(rerun.computed, 0, "second run must be served from the store");
+    assert_eq!(report.jsonl(), rerun.jsonl(), "canonical bytes are reproducible");
+    println!("canonical JSONL is byte-identical across runs — {} bytes", report.jsonl().len());
+}

@@ -1,24 +1,46 @@
 //! Integration tests spanning all crates: workload generation → runtime
 //! scheduling → detailed/sampled simulation → metrics.
+//!
+//! All detailed *reference* runs go through one process-wide [`Campaign`]
+//! (in-memory store), so each (benchmark, machine, threads) reference is
+//! simulated exactly once no matter how many assertions consume it — the
+//! suite-wide sweeps below share their 19×2 references instead of
+//! re-simulating per test, which is what kept this binary's debug
+//! wall-clock high before the campaign subsystem existed.
 
-use taskpoint_repro::sim::{MachineConfig, SimMode, Simulation};
-use taskpoint_repro::taskpoint::{
-    evaluate, run_reference, run_sampled, SamplingPolicy, TaskPointConfig,
-};
+use std::sync::{Arc, OnceLock};
+
+use taskpoint_repro::campaign::Campaign;
+use taskpoint_repro::sim::{MachineConfig, SimMode, SimResult, Simulation};
+use taskpoint_repro::taskpoint::{evaluate, run_sampled, SamplingPolicy, TaskPointConfig};
 use taskpoint_repro::workloads::{Benchmark, ScaleConfig};
 
 fn quick() -> ScaleConfig {
     ScaleConfig::quick()
 }
 
+/// The process-wide campaign: shared program + reference caches.
+fn campaign() -> &'static Campaign {
+    static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(Campaign::in_memory)
+}
+
+/// A shared full-detail reference (computed once per cell, then reused
+/// by every test in this binary).
+fn reference(bench: Benchmark, machine: MachineConfig, workers: u32) -> Arc<SimResult> {
+    campaign().reference(bench, quick(), machine, workers)
+}
+
 #[test]
 fn every_benchmark_runs_detailed_on_both_machines() {
     // Smoke coverage of all 19 generators through the full detailed
-    // pipeline at quick scale.
+    // pipeline at quick scale. Worker count 4 on purpose: the suite-band
+    // test below evaluates against the same 4-thread references, so the
+    // campaign computes each exactly once for both tests.
     for bench in Benchmark::ALL {
-        let program = bench.generate(&quick());
+        let program = campaign().program(bench, &quick());
         for machine in [MachineConfig::high_performance(), MachineConfig::low_power()] {
-            let r = run_reference(&program, machine, 2);
+            let r = reference(bench, machine, 4);
             assert_eq!(
                 r.detailed_tasks as usize,
                 program.num_instances(),
@@ -33,11 +55,18 @@ fn every_benchmark_runs_detailed_on_both_machines() {
 fn sampled_prediction_is_reasonable_across_suite() {
     // At quick scale the sampled run must stay within a loose band of the
     // detailed reference for every benchmark (full-scale accuracy is the
-    // subject of the figure harness, not unit tests).
+    // subject of the figure harness, not unit tests). References come
+    // from the shared campaign cache.
     for bench in Benchmark::ALL {
-        let program = bench.generate(&quick());
-        let (outcome, _) =
-            evaluate(&program, MachineConfig::high_performance(), 4, TaskPointConfig::lazy(), None);
+        let program = campaign().program(bench, &quick());
+        let r = reference(bench, MachineConfig::high_performance(), 4);
+        let (outcome, _) = evaluate(
+            &program,
+            MachineConfig::high_performance(),
+            4,
+            TaskPointConfig::lazy(),
+            Some(&r),
+        );
         // Quick scale shrinks tasks ~20x, so startup transients weigh far
         // more than at evaluation scale; the band here is a smoke check
         // (full-scale accuracy is validated by the figure harness).
@@ -51,7 +80,7 @@ fn sampled_prediction_is_reasonable_across_suite() {
 
 #[test]
 fn sampled_run_fast_forwards_most_instances() {
-    let program = Benchmark::Matmul.generate(&quick());
+    let program = campaign().program(Benchmark::Matmul, &quick());
     let (result, stats) =
         run_sampled(&program, MachineConfig::high_performance(), 8, TaskPointConfig::lazy());
     assert!(
@@ -65,7 +94,7 @@ fn sampled_run_fast_forwards_most_instances() {
 
 #[test]
 fn periodic_resamples_more_and_simulates_more_detail_than_lazy() {
-    let program = Benchmark::Vecop.generate(&quick());
+    let program = campaign().program(Benchmark::Vecop, &quick());
     let machine = MachineConfig::high_performance();
     let (lazy, lazy_stats) = run_sampled(&program, machine.clone(), 8, TaskPointConfig::lazy());
     let config = TaskPointConfig::periodic().with_policy(SamplingPolicy::Periodic { period: 50 });
@@ -78,7 +107,7 @@ fn periodic_resamples_more_and_simulates_more_detail_than_lazy() {
 fn periodic_equals_lazy_when_period_exceeds_program() {
     // The paper: "If the number of task instances of a program is too small
     // ... periodic sampling is equivalent to lazy sampling."
-    let program = Benchmark::Spmv.generate(&quick()); // 1,024 instances
+    let program = campaign().program(Benchmark::Spmv, &quick()); // 1,024 instances
     let machine = MachineConfig::high_performance();
     let big_p =
         TaskPointConfig::periodic().with_policy(SamplingPolicy::Periodic { period: 1_000_000 });
@@ -90,11 +119,11 @@ fn periodic_equals_lazy_when_period_exceeds_program() {
 
 #[test]
 fn sampled_and_reference_are_deterministic_end_to_end() {
-    let program = Benchmark::Reduction.generate(&quick());
+    let program = campaign().program(Benchmark::Reduction, &quick());
     let machine = MachineConfig::low_power();
-    let a = run_reference(&program, machine.clone(), 4);
-    let b = run_reference(&program, machine.clone(), 4);
-    assert_eq!(a.total_cycles, b.total_cycles);
+    let a = taskpoint_repro::taskpoint::run_reference(&program, machine.clone(), 4);
+    let b = reference(Benchmark::Reduction, machine.clone(), 4);
+    assert_eq!(a.total_cycles, b.total_cycles, "fresh run equals shared reference");
     let (s1, st1) = run_sampled(&program, machine.clone(), 4, TaskPointConfig::periodic());
     let (s2, st2) = run_sampled(&program, machine, 4, TaskPointConfig::periodic());
     assert_eq!(s1.total_cycles, s2.total_cycles);
@@ -104,7 +133,7 @@ fn sampled_and_reference_are_deterministic_end_to_end() {
 
 #[test]
 fn schedule_validity_no_task_starts_before_predecessors_end() {
-    let program = Benchmark::Cholesky.generate(&quick());
+    let program = campaign().program(Benchmark::Cholesky, &quick());
     let result = Simulation::builder(&program, MachineConfig::low_power())
         .workers(8)
         .collect_reports(true)
@@ -130,7 +159,7 @@ fn schedule_validity_no_task_starts_before_predecessors_end() {
 
 #[test]
 fn mixed_mode_schedule_is_also_valid() {
-    let program = Benchmark::Stencil3d.generate(&quick());
+    let program = campaign().program(Benchmark::Stencil3d, &quick());
     let mut controller =
         taskpoint_repro::taskpoint::TaskPointController::new(TaskPointConfig::periodic());
     let result = Simulation::builder(&program, MachineConfig::low_power())
@@ -159,15 +188,17 @@ fn mixed_mode_schedule_is_also_valid() {
 #[test]
 fn more_threads_never_increase_total_work_error_catastrophically() {
     // Thread-count sensitivity smoke: sampled accuracy holds from 1..=8
-    // threads on one benchmark.
-    let program = Benchmark::Histogram.generate(&quick());
+    // threads on one benchmark. The 4-thread low-power reference is the
+    // same campaign cell the suite-wide detailed test uses.
+    let program = campaign().program(Benchmark::Histogram, &quick());
     for threads in [1u32, 2, 4, 8] {
+        let r = reference(Benchmark::Histogram, MachineConfig::low_power(), threads);
         let (outcome, _) = evaluate(
             &program,
             MachineConfig::low_power(),
             threads,
             TaskPointConfig::periodic(),
-            None,
+            Some(&r),
         );
         assert!(outcome.error_percent < 60.0, "{threads} threads: {:.1}%", outcome.error_percent);
     }
@@ -177,7 +208,7 @@ fn more_threads_never_increase_total_work_error_catastrophically() {
 fn noise_model_produces_fig1_style_spread() {
     use taskpoint_repro::sim::{DetailedOnly, NoiseModel};
     use taskpoint_repro::stats::{normalize_by_group, BoxplotStats};
-    let program = Benchmark::Swaptions.generate(&quick());
+    let program = campaign().program(Benchmark::Swaptions, &quick());
     let result = Simulation::builder(&program, MachineConfig::high_performance())
         .workers(8)
         .noise(NoiseModel::native_execution(42))

@@ -170,6 +170,68 @@ proptest! {
 }
 
 proptest! {
+    // ---- clustered sampling-unit remapping (paper §V-B future work) ----
+
+    #[test]
+    fn clustered_remapping_is_dense_stable_and_injective(
+        granularity in 1u32..5,
+        xs in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        use std::collections::HashMap;
+        use taskpoint_repro::runtime::TaskTypeId;
+        use taskpoint_repro::taskpoint::{ClusteredController, TaskPointConfig};
+
+        let mut c = ClusteredController::new(TaskPointConfig::lazy(), granularity);
+        let mut model: HashMap<(u32, u32), u32> = HashMap::new();
+        for &x in &xs {
+            let ty = (x % 5) as u32;
+            let instructions = x >> 3;
+            let class = c.size_class(instructions);
+            let vid = c.sampling_unit(TaskTypeId(ty), instructions).0;
+            // Stable within a run: re-asking never reassigns.
+            prop_assert_eq!(c.sampling_unit(TaskTypeId(ty), instructions).0, vid);
+            match model.get(&(ty, class)) {
+                Some(&expected) => prop_assert_eq!(vid, expected),
+                None => {
+                    model.insert((ty, class), vid);
+                }
+            }
+        }
+        // Injective across distinct (type, size-class) pairs.
+        let mut vids: Vec<u32> = model.values().copied().collect();
+        vids.sort_unstable();
+        vids.dedup();
+        prop_assert_eq!(vids.len(), model.len());
+        // Dense: ids are exactly 0..num_clusters, in first-encounter order.
+        prop_assert_eq!(c.num_clusters(), model.len());
+        prop_assert_eq!(vids, (0..model.len() as u32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn clustered_same_band_shares_a_unit_and_types_split(
+        granularity in 1u32..5,
+        exp in 0u32..40,
+        ty in 0u32..8,
+    ) {
+        use taskpoint_repro::runtime::TaskTypeId;
+        use taskpoint_repro::taskpoint::{ClusteredController, TaskPointConfig};
+
+        let mut c = ClusteredController::new(TaskPointConfig::lazy(), granularity);
+        // Lowest and highest instruction counts of one log2 band: both in
+        // band `exp`, so necessarily in the same (wider) size class.
+        let lo = 1u64 << exp;
+        let hi = lo | (lo - 1);
+        let a = c.sampling_unit(TaskTypeId(ty), lo);
+        let b = c.sampling_unit(TaskTypeId(ty), hi);
+        prop_assert_eq!(a, b);
+        // A different task type never shares the unit, even at the same
+        // instruction count.
+        let other = c.sampling_unit(TaskTypeId(ty + 100), lo);
+        prop_assert_ne!(a, other);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     // ---- simulation-level properties (fewer cases; each runs a sim) ----
