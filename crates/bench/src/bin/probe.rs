@@ -1,16 +1,19 @@
-//! Quick end-to-end probe: one benchmark, full scale, both policies.
-//! Used during development to sanity-check accuracy and speedup shapes.
+//! Quick end-to-end probe: one benchmark, both policies, plus the
+//! detailed-mode instructions/sec throughput of the reference run.
+//! Used during development to sanity-check accuracy, speedup and host
+//! simulation speed. Scale comes from `--quick` / `TASKPOINT_SCALE`
+//! (default full).
 
 use taskpoint::TaskPointConfig;
 use taskpoint_bench::Harness;
-use taskpoint_workloads::{Benchmark, ScaleConfig};
+use taskpoint_workloads::Benchmark;
 use tasksim::MachineConfig;
 
 fn main() {
     let bench =
         std::env::args().nth(1).and_then(|n| Benchmark::by_name(&n)).unwrap_or(Benchmark::Cholesky);
     let workers: u32 = std::env::args().nth(2).and_then(|w| w.parse().ok()).unwrap_or(8);
-    let h = Harness::new(ScaleConfig::new());
+    let h = Harness::from_env();
     let machine = MachineConfig::high_performance();
     let t0 = std::time::Instant::now();
     let reference = h.reference(bench, &machine, workers);
@@ -21,6 +24,10 @@ fn main() {
         reference.detailed_tasks,
         reference.total_instructions() as f64 / 1e6
     );
+    match reference.detailed_instr_per_sec() {
+        Some(ips) => println!("  detailed-mode throughput: {:.2} Minstr/s", ips / 1e6),
+        None => println!("  detailed-mode throughput: n/a"),
+    }
     for (name, cfg) in
         [("lazy", TaskPointConfig::lazy()), ("periodic", TaskPointConfig::periodic())]
     {

@@ -130,6 +130,9 @@ impl CampaignReport {
             if let Some(s) = o.timing.speedup {
                 t.set("speedup", Value::Num(s));
             }
+            if let Some(ips) = o.timing.detailed_instr_per_sec {
+                t.set("detailed_instr_per_sec", Value::Num(ips));
+            }
             out.push_str(&Value::Obj(t).to_json());
             out.push('\n');
         }

@@ -20,8 +20,8 @@ use taskpoint_workloads::{Benchmark, ScaleConfig};
 use tasksim::{DetailedOnly, NoiseModel, SimResult, Simulation};
 
 use crate::record::{
-    CellMetrics, CellOutcome, CellRecord, CellTiming, EvalMetrics, RefMetrics, StoredCell,
-    VariationMetrics,
+    CellMetrics, CellOutcome, CellRecord, CellTiming, EvalMetrics, ExploreMetrics, RefMetrics,
+    StoredCell, VariationMetrics,
 };
 use crate::spec::{CellKind, CellSpec};
 use crate::store::ResultStore;
@@ -147,6 +147,7 @@ impl Context {
                     wall_seconds: result.wall_seconds,
                     reference_wall_seconds: None,
                     speedup: None,
+                    detailed_instr_per_sec: result.detailed_instr_per_sec(),
                 },
             };
             store.save(&hash, &stored);
@@ -266,6 +267,37 @@ impl Context {
                         wall_seconds: result.wall_seconds,
                         reference_wall_seconds: None,
                         speedup: None,
+                        detailed_instr_per_sec: result.detailed_instr_per_sec(),
+                    },
+                }
+            }
+            CellKind::Explore { config } => {
+                let program = self.program(spec.bench, &spec.scale);
+                let (sampled, stats) =
+                    run_sampled(&program, spec.machine.clone(), spec.workers, *config);
+                StoredCell {
+                    record: CellRecord {
+                        cell: hash.to_string(),
+                        bench: spec.bench.name().to_string(),
+                        machine: spec.machine.name.clone(),
+                        workers: spec.workers,
+                        scale: spec.scale,
+                        kind: spec.kind.tag().to_string(),
+                        metrics: CellMetrics::Explore(ExploreMetrics {
+                            predicted_cycles: sampled.total_cycles,
+                            detail_fraction: sampled.detail_fraction(),
+                            detailed_tasks: sampled.detailed_tasks,
+                            fast_tasks: sampled.fast_tasks,
+                            detailed_instructions: sampled.detailed_instructions,
+                            fast_instructions: sampled.fast_instructions,
+                            resamples: stats.resamples.len() as u64,
+                        }),
+                    },
+                    timing: CellTiming {
+                        wall_seconds: sampled.wall_seconds,
+                        reference_wall_seconds: None,
+                        speedup: None,
+                        detailed_instr_per_sec: sampled.detailed_instr_per_sec(),
                     },
                 }
             }
@@ -311,6 +343,7 @@ impl Context {
                 wall_seconds: outcome.sampled_wall_seconds,
                 reference_wall_seconds: Some(outcome.reference_wall_seconds),
                 speedup: Some(outcome.speedup),
+                detailed_instr_per_sec: sampled.detailed_instr_per_sec(),
             },
         }
     }
@@ -365,6 +398,31 @@ mod tests {
             m.resamples,
             m.resamples_policy + m.resamples_new_type + m.resamples_concurrency + m.resamples_empty
         );
+    }
+
+    #[test]
+    fn explore_cells_simulate_without_a_reference() {
+        let ctx = Context::new();
+        let store = ResultStore::disabled();
+        let spec = CellSpec::explore(
+            Benchmark::Spmv,
+            quick(),
+            MachineConfig::tiny_test(),
+            2,
+            TaskPointConfig::lazy(),
+        );
+        assert!(spec.reference_spec().is_none());
+        let outcome = ctx.compute(&store, &spec);
+        let m = outcome.record.metrics.as_explore().expect("explore metrics");
+        assert!(m.predicted_cycles > 0);
+        assert!(m.detail_fraction > 0.0 && m.detail_fraction < 1.0);
+        assert_eq!(outcome.record.kind, "explore");
+        // Throughput is advisory but must be present for a run that
+        // executed detailed instructions.
+        assert!(outcome.timing.detailed_instr_per_sec.unwrap() > 0.0);
+        // And the whole thing round-trips through the store encoding.
+        let stored = StoredCell { record: outcome.record.clone(), timing: outcome.timing.clone() };
+        assert_eq!(StoredCell::from_json(&stored.to_json()).unwrap(), stored);
     }
 
     #[test]

@@ -107,6 +107,28 @@ impl VariationMetrics {
     }
 }
 
+/// Deterministic metrics of an exploration cell: a sampled run with no
+/// reference comparison (design-space sweeps rank designs by predicted
+/// cycles; running a detailed reference per candidate would defeat the
+/// point of sampling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreMetrics {
+    /// Predicted total cycles — the design-ranking criterion.
+    pub predicted_cycles: u64,
+    /// Fraction of instructions simulated in detail.
+    pub detail_fraction: f64,
+    /// Instances simulated in detail.
+    pub detailed_tasks: u64,
+    /// Instances fast-forwarded.
+    pub fast_tasks: u64,
+    /// Instructions simulated in detail.
+    pub detailed_instructions: u64,
+    /// Instructions fast-forwarded.
+    pub fast_instructions: u64,
+    /// Total resamples triggered.
+    pub resamples: u64,
+}
+
 /// Kind-specific deterministic metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellMetrics {
@@ -116,6 +138,8 @@ pub enum CellMetrics {
     Eval(EvalMetrics),
     /// Metrics of a variation cell.
     Variation(VariationMetrics),
+    /// Metrics of an exploration cell.
+    Explore(ExploreMetrics),
 }
 
 impl CellMetrics {
@@ -139,6 +163,14 @@ impl CellMetrics {
     pub fn as_reference(&self) -> Option<&RefMetrics> {
         match self {
             CellMetrics::Reference(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The exploration metrics, if this is an explore cell.
+    pub fn as_explore(&self) -> Option<&ExploreMetrics> {
+        match self {
+            CellMetrics::Explore(m) => Some(m),
             _ => None,
         }
     }
@@ -173,6 +205,10 @@ pub struct CellTiming {
     pub reference_wall_seconds: Option<f64>,
     /// Wall-clock speedup over the reference (sampled/clustered only).
     pub speedup: Option<f64>,
+    /// Detailed-mode simulation throughput of this cell's own run, in
+    /// instructions per host second — the figure of merit of the batched
+    /// trace pipeline. `None` when no detailed instructions ran.
+    pub detailed_instr_per_sec: Option<f64>,
 }
 
 /// A computed (or cache-loaded) cell: spec + record + timing.
@@ -247,6 +283,15 @@ fn metrics_json(metrics: &CellMetrics) -> Value {
             o.set("min", Value::Num(m.min));
             o.set("max", Value::Num(m.max));
             o.set("samples", Value::Num(m.samples as f64));
+        }
+        CellMetrics::Explore(m) => {
+            o.set("predicted_cycles", Value::Num(m.predicted_cycles as f64));
+            o.set("detail_fraction", Value::Num(m.detail_fraction));
+            o.set("detailed_tasks", Value::Num(m.detailed_tasks as f64));
+            o.set("fast_tasks", Value::Num(m.fast_tasks as f64));
+            o.set("detailed_instructions", Value::Num(m.detailed_instructions as f64));
+            o.set("fast_instructions", Value::Num(m.fast_instructions as f64));
+            o.set("resamples", Value::Num(m.resamples as f64));
         }
     }
     Value::Obj(o)
@@ -323,6 +368,19 @@ fn parse_metrics(kind: &str, o: &Object) -> Result<CellMetrics, RecordError> {
             resamples_empty: o.u64("resamples_empty").ok_or_else(|| shape("resamples_empty"))?,
             clusters: o.u64("clusters"),
         })),
+        "explore" => Ok(CellMetrics::Explore(ExploreMetrics {
+            predicted_cycles: o.u64("predicted_cycles").ok_or_else(|| shape("predicted_cycles"))?,
+            detail_fraction: o.num("detail_fraction").ok_or_else(|| shape("detail_fraction"))?,
+            detailed_tasks: o.u64("detailed_tasks").ok_or_else(|| shape("detailed_tasks"))?,
+            fast_tasks: o.u64("fast_tasks").ok_or_else(|| shape("fast_tasks"))?,
+            detailed_instructions: o
+                .u64("detailed_instructions")
+                .ok_or_else(|| shape("detailed_instructions"))?,
+            fast_instructions: o
+                .u64("fast_instructions")
+                .ok_or_else(|| shape("fast_instructions"))?,
+            resamples: o.u64("resamples").ok_or_else(|| shape("resamples"))?,
+        })),
         "variation" => Ok(CellMetrics::Variation(VariationMetrics {
             p5: o.num("p5").ok_or_else(|| shape("p5"))?,
             q1: o.num("q1").ok_or_else(|| shape("q1"))?,
@@ -359,6 +417,9 @@ impl StoredCell {
         if let Some(s) = self.timing.speedup {
             timing.set("speedup", Value::Num(s));
         }
+        if let Some(t) = self.timing.detailed_instr_per_sec {
+            timing.set("detailed_instr_per_sec", Value::Num(t));
+        }
         let mut o = Object::new();
         o.set("record", record);
         o.set("timing", Value::Obj(timing));
@@ -392,6 +453,7 @@ impl StoredCell {
             wall_seconds: t.num("wall_seconds").ok_or_else(|| shape("wall_seconds"))?,
             reference_wall_seconds: t.num("reference_wall_seconds"),
             speedup: t.num("speedup"),
+            detailed_instr_per_sec: t.num("detailed_instr_per_sec"),
         };
         Ok(StoredCell { record, timing })
     }
@@ -447,6 +509,7 @@ mod tests {
                 wall_seconds: 0.05,
                 reference_wall_seconds: Some(0.93),
                 speedup: Some(18.6),
+                detailed_instr_per_sec: Some(2.9e7),
             },
         };
         let text = stored.to_json();
@@ -478,6 +541,18 @@ mod tests {
                     samples: 16384,
                 }),
             ),
+            (
+                "explore",
+                CellMetrics::Explore(ExploreMetrics {
+                    predicted_cycles: 123_456,
+                    detail_fraction: 0.04,
+                    detailed_tasks: 12,
+                    fast_tasks: 1000,
+                    detailed_instructions: 4000,
+                    fast_instructions: 96_000,
+                    resamples: 2,
+                }),
+            ),
         ] {
             let stored = StoredCell {
                 record: CellRecord { kind: kind.to_string(), metrics, ..eval_record() },
@@ -485,6 +560,7 @@ mod tests {
                     wall_seconds: 1.5,
                     reference_wall_seconds: None,
                     speedup: None,
+                    detailed_instr_per_sec: None,
                 },
             };
             let back = StoredCell::from_json(&stored.to_json()).unwrap();
@@ -514,7 +590,12 @@ mod tests {
         assert!(StoredCell::from_json("{\"record\":{},\"timing\":{}}").is_err());
         let mut good = StoredCell {
             record: eval_record(),
-            timing: CellTiming { wall_seconds: 1.0, reference_wall_seconds: None, speedup: None },
+            timing: CellTiming {
+                wall_seconds: 1.0,
+                reference_wall_seconds: None,
+                speedup: None,
+                detailed_instr_per_sec: None,
+            },
         }
         .to_json();
         good = good.replace("\"error_percent\":3.25", "\"error_percent\":\"three\"");
@@ -536,6 +617,7 @@ mod tests {
                 wall_seconds: 0.5,
                 reference_wall_seconds: Some(10.0),
                 speedup: Some(20.0),
+                detailed_instr_per_sec: None,
             },
             cached: false,
         };

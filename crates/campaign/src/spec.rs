@@ -120,17 +120,28 @@ pub enum CellKind {
         /// execution" stand-in; `None` is clean simulation, Fig. 5).
         noise_seed: Option<u64>,
     },
+    /// Sampled run *without* a reference comparison — design-space
+    /// exploration, where the whole point is that no full-detail run of
+    /// every candidate machine exists (the paper recommends lazy sampling
+    /// exactly for this: "evaluations requiring a large number of
+    /// simulations, e.g. during the early phase of design space
+    /// exploration").
+    Explore {
+        /// Controller parameters.
+        config: TaskPointConfig,
+    },
 }
 
 impl CellKind {
     /// Short tag used in records and display (`reference` / `sampled` /
-    /// `clustered` / `variation`).
+    /// `clustered` / `variation` / `explore`).
     pub fn tag(&self) -> &'static str {
         match self {
             CellKind::Reference => "reference",
             CellKind::Sampled { .. } => "sampled",
             CellKind::Clustered { .. } => "clustered",
             CellKind::Variation { .. } => "variation",
+            CellKind::Explore { .. } => "explore",
         }
     }
 }
@@ -221,6 +232,17 @@ impl CellSpec {
         Self { bench, scale, machine, workers, kind: CellKind::Sampled { config } }
     }
 
+    /// An exploration cell (sampled, no reference) under `config`.
+    pub fn explore(
+        bench: Benchmark,
+        scale: ScaleConfig,
+        machine: MachineConfig,
+        workers: u32,
+        config: TaskPointConfig,
+    ) -> Self {
+        Self { bench, scale, machine, workers, kind: CellKind::Explore { config } }
+    }
+
     /// The reference cell this cell's comparison needs, if any.
     pub fn reference_spec(&self) -> Option<CellSpec> {
         match self.kind {
@@ -230,7 +252,7 @@ impl CellSpec {
                 self.machine.clone(),
                 self.workers,
             )),
-            CellKind::Reference | CellKind::Variation { .. } => None,
+            CellKind::Reference | CellKind::Variation { .. } | CellKind::Explore { .. } => None,
         }
     }
 
@@ -253,6 +275,7 @@ impl CellSpec {
                 h.write_u32(*granularity);
             }
             CellKind::Variation { noise_seed } => h.write_opt_u64(*noise_seed),
+            CellKind::Explore { config } => hash_policy(&mut h, config),
         }
         h.finish_hex()
     }
@@ -331,6 +354,11 @@ mod tests {
             },
             CellSpec { kind: CellKind::Variation { noise_seed: None }, ..b.clone() },
             CellSpec { kind: CellKind::Variation { noise_seed: Some(0xF161) }, ..b.clone() },
+            CellSpec { kind: CellKind::Explore { config: TaskPointConfig::lazy() }, ..b.clone() },
+            CellSpec {
+                kind: CellKind::Explore { config: TaskPointConfig::periodic() },
+                ..b.clone()
+            },
         ];
         let mut hashes: Vec<String> = variants.iter().map(CellSpec::hash_hex).collect();
         hashes.push(b.hash_hex());

@@ -248,7 +248,12 @@ mod tests {
                     instructions: 10,
                 }),
             },
-            timing: CellTiming { wall_seconds: 0.1, reference_wall_seconds: None, speedup: None },
+            timing: CellTiming {
+                wall_seconds: 0.1,
+                reference_wall_seconds: None,
+                speedup: None,
+                detailed_instr_per_sec: None,
+            },
         }
     }
 

@@ -103,6 +103,36 @@ pub fn variation_specs(
         .collect()
 }
 
+/// ROB sizes of the custom-machine design-space grid.
+pub const DESIGN_SPACE_ROBS: [u32; 3] = [64, 168, 256];
+/// L2 sizes (KiB) of the custom-machine design-space grid.
+pub const DESIGN_SPACE_L2_KB: [u64; 3] = [512, 2048, 4096];
+
+/// Exploration cells of the custom-machine design-space sweep: a 3×3
+/// ROB × L2 grid of variants of the high-performance machine, each
+/// running cholesky at 8 threads under lazy sampling. No reference cells
+/// — ranking designs cheaply is the entire point (the full machine config
+/// is content-hashed, so every variant gets its own cache entry).
+pub fn design_space_specs(scale: ScaleConfig) -> Vec<CellSpec> {
+    let mut specs = Vec::new();
+    for rob in DESIGN_SPACE_ROBS {
+        for l2_kb in DESIGN_SPACE_L2_KB {
+            let mut machine = MachineConfig::high_performance();
+            machine.core.rob_size = rob;
+            machine.caches[1].size_bytes = l2_kb * 1024;
+            machine.name = format!("rob{rob}-l2_{l2_kb}k");
+            specs.push(CellSpec::explore(
+                Benchmark::Cholesky,
+                scale,
+                machine,
+                8,
+                TaskPointConfig::lazy(),
+            ));
+        }
+    }
+    specs
+}
+
 /// Reference cells of Table I: every benchmark at 1 and 64 threads on the
 /// high-performance machine.
 pub fn table1_specs(scale: ScaleConfig) -> Vec<CellSpec> {
@@ -142,13 +172,16 @@ pub enum Sweep {
     Fig9,
     /// Fig. 10 (lazy, low-power).
     Fig10,
-    /// Everything above except `smoke`.
+    /// Custom-machine design-space exploration (ROB × L2 grid, explore
+    /// cells, no references).
+    DesignSpace,
+    /// Every table and figure sweep (excludes `smoke` and `design-space`).
     All,
 }
 
 impl Sweep {
     /// Every named sweep, in CLI listing order.
-    pub const ALL: [Sweep; 12] = [
+    pub const ALL: [Sweep; 13] = [
         Sweep::Smoke,
         Sweep::Table1,
         Sweep::Fig1,
@@ -160,6 +193,7 @@ impl Sweep {
         Sweep::Fig8,
         Sweep::Fig9,
         Sweep::Fig10,
+        Sweep::DesignSpace,
         Sweep::All,
     ];
 
@@ -177,6 +211,7 @@ impl Sweep {
             Sweep::Fig8 => "fig8",
             Sweep::Fig9 => "fig9",
             Sweep::Fig10 => "fig10",
+            Sweep::DesignSpace => "design-space",
             Sweep::All => "all",
         }
     }
@@ -195,7 +230,8 @@ impl Sweep {
             Sweep::Fig8 => "Fig. 8 periodic sampling, low-power",
             Sweep::Fig9 => "Fig. 9 lazy sampling, high-performance",
             Sweep::Fig10 => "Fig. 10 lazy sampling, low-power",
-            Sweep::All => "every table and figure sweep",
+            Sweep::DesignSpace => "custom-machine DSE: 3x3 ROB x L2 grid, cholesky, lazy, explore",
+            Sweep::All => "every table and figure sweep (excludes smoke and design-space)",
         }
     }
 
@@ -262,10 +298,13 @@ impl Sweep {
                 &LOW_POWER_THREADS,
                 TaskPointConfig::lazy(),
             ),
+            Sweep::DesignSpace => design_space_specs(scale),
             Sweep::All => {
+                // `smoke` is a CI subset of other sweeps and `design-space`
+                // is not a paper table/figure, so neither joins the union.
                 let mut specs = Vec::new();
                 for sweep in Sweep::ALL {
-                    if !matches!(sweep, Sweep::All | Sweep::Smoke) {
+                    if !matches!(sweep, Sweep::All | Sweep::Smoke | Sweep::DesignSpace) {
                         specs.extend(sweep.specs(scale));
                     }
                 }
@@ -299,6 +338,7 @@ mod tests {
         assert_eq!(Sweep::Table1.specs(scale).len(), 19 * 2);
         assert_eq!(Sweep::Fig1.specs(scale).len(), 19);
         assert_eq!(Sweep::Smoke.specs(scale).len(), 7);
+        assert_eq!(Sweep::DesignSpace.specs(scale).len(), 9);
     }
 
     #[test]
@@ -307,7 +347,7 @@ mod tests {
         let all = Sweep::All.specs(scale);
         let sum: usize = Sweep::ALL
             .into_iter()
-            .filter(|s| !matches!(s, Sweep::All | Sweep::Smoke))
+            .filter(|s| !matches!(s, Sweep::All | Sweep::Smoke | Sweep::DesignSpace))
             .map(|s| s.specs(scale).len())
             .sum();
         assert_eq!(all.len(), sum);
@@ -316,7 +356,14 @@ mod tests {
     #[test]
     fn specs_within_a_sweep_have_unique_hashes() {
         let scale = ScaleConfig::quick();
-        for sweep in [Sweep::Smoke, Sweep::Fig7, Sweep::Fig6a, Sweep::Table1, Sweep::Fig1] {
+        for sweep in [
+            Sweep::Smoke,
+            Sweep::Fig7,
+            Sweep::Fig6a,
+            Sweep::Table1,
+            Sweep::Fig1,
+            Sweep::DesignSpace,
+        ] {
             let specs = sweep.specs(scale);
             let hashes: std::collections::HashSet<String> =
                 specs.iter().map(CellSpec::hash_hex).collect();

@@ -8,7 +8,7 @@
 
 use crate::regions::RegionAccess;
 use serde::{Deserialize, Serialize};
-use taskpoint_trace::TraceSpec;
+use taskpoint_trace::{TraceSource, TraceSpec};
 
 /// Identifier of a task type (a task declaration in the source program).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -101,6 +101,13 @@ impl TaskInstance {
         &self.trace
     }
 
+    /// A fresh [`TraceSource`] over the instance's instruction stream,
+    /// positioned at the start — what workloads hand the simulator's
+    /// batched detailed pipeline.
+    pub fn trace_source(&self) -> Box<dyn TraceSource> {
+        Box::new(self.trace.source())
+    }
+
     /// Dynamic instruction count — the `I_i` of the paper's fast-forward
     /// formula `C_i = I_i / IPC_T`.
     pub fn instructions(&self) -> u64 {
@@ -148,5 +155,19 @@ mod tests {
     #[test]
     fn index_round_trips() {
         assert_eq!(TaskInstanceId(17).index(), 17);
+    }
+
+    #[test]
+    fn trace_source_streams_the_instance_trace() {
+        use taskpoint_trace::InstBlock;
+        let trace = TraceSpec::synthetic(5, 300);
+        let inst = TaskInstance::new(TaskInstanceId(0), TaskTypeId(0), trace.clone(), vec![]);
+        let mut src = inst.trace_source();
+        let mut block = InstBlock::new();
+        let mut got = Vec::new();
+        while src.fill(&mut block) > 0 {
+            got.extend(block.iter());
+        }
+        assert!(got.iter().copied().eq(trace.iter()));
     }
 }

@@ -17,12 +17,22 @@ pub enum AccessOutcome {
     Miss,
 }
 
+/// Sentinel marking an empty way. Unreachable as a real tag: line
+/// addresses are byte addresses shifted right by the line bits, so hitting
+/// `u64::MAX` would require an address far beyond the 64-bit space.
+const EMPTY: u64 = u64::MAX;
+
 /// A set-associative, write-allocate cache with true-LRU replacement,
 /// indexed by line address (byte address >> log2(line size)).
+///
+/// Tags live in one flat array (`assoc` consecutive slots per set, MRU
+/// first, empty slots at the tail as [`EMPTY`]) — the hottest lookup
+/// structure in the simulator, so it is kept contiguous and
+/// allocation-free rather than a `Vec` per set.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    /// sets[s] holds up to `assoc` tags, MRU first.
-    sets: Vec<Vec<u64>>,
+    /// `tags[set * assoc ..][..assoc]` holds the set's ways, MRU first.
+    tags: Vec<u64>,
     set_shift: u32,
     set_mask: u64,
     assoc: usize,
@@ -46,7 +56,7 @@ impl SetAssocCache {
         let num_sets = lines / associativity as u64;
         assert!(num_sets.is_power_of_two(), "set count {num_sets} must be a power of two");
         Self {
-            sets: vec![Vec::with_capacity(associativity as usize); num_sets as usize],
+            tags: vec![EMPTY; lines as usize],
             set_shift: line_size.trailing_zeros(),
             set_mask: num_sets - 1,
             assoc: associativity as usize,
@@ -55,9 +65,17 @@ impl SetAssocCache {
         }
     }
 
+    /// The set's way slots, MRU first.
     #[inline]
-    fn set_of(&self, line: u64) -> usize {
-        (line & self.set_mask) as usize
+    fn ways_mut(&mut self, line: u64) -> &mut [u64] {
+        let start = (line & self.set_mask) as usize * self.assoc;
+        &mut self.tags[start..start + self.assoc]
+    }
+
+    #[inline]
+    fn ways(&self, line: u64) -> &[u64] {
+        let start = (line & self.set_mask) as usize * self.assoc;
+        &self.tags[start..start + self.assoc]
     }
 
     /// Converts a byte address to this cache's line address.
@@ -69,19 +87,17 @@ impl SetAssocCache {
     /// Accesses `line` (a line address): returns `Hit` and promotes it to
     /// MRU, or fills it (LRU eviction) and returns `Miss`.
     pub fn access(&mut self, line: u64) -> AccessOutcome {
-        let set = self.set_of(line);
-        let ways = &mut self.sets[set];
+        let ways = self.ways_mut(line);
         if let Some(pos) = ways.iter().position(|&t| t == line) {
-            // Move to front (MRU).
-            let t = ways.remove(pos);
-            ways.insert(0, t);
+            // Move to front (MRU): one bounded rotate, no allocation.
+            ways[..=pos].rotate_right(1);
             self.hits += 1;
             AccessOutcome::Hit
         } else {
-            if ways.len() == self.assoc {
-                ways.pop(); // evict LRU
-            }
-            ways.insert(0, line);
+            // Insert at MRU; the last slot (the LRU way, or an empty
+            // sentinel when the set is not full) rotates out.
+            ways.rotate_right(1);
+            ways[0] = line;
             self.misses += 1;
             AccessOutcome::Miss
         }
@@ -89,16 +105,18 @@ impl SetAssocCache {
 
     /// True if `line` is present (does not touch LRU order or counters).
     pub fn contains(&self, line: u64) -> bool {
-        self.sets[self.set_of(line)].contains(&line)
+        self.ways(line).contains(&line)
     }
 
     /// Removes `line` if present (coherence invalidation). Returns whether
     /// it was present.
     pub fn invalidate(&mut self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let ways = &mut self.sets[set];
+        let ways = self.ways_mut(line);
         if let Some(pos) = ways.iter().position(|&t| t == line) {
-            ways.remove(pos);
+            // Shift the tail up and leave an empty slot at the end,
+            // preserving the LRU order of the remaining ways.
+            ways[pos..].rotate_left(1);
+            *ways.last_mut().expect("assoc >= 1") = EMPTY;
             true
         } else {
             false
@@ -107,9 +125,7 @@ impl SetAssocCache {
 
     /// Drops all contents and statistics (cold state).
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.tags.fill(EMPTY);
         self.hits = 0;
         self.misses = 0;
     }
@@ -124,25 +140,22 @@ impl SetAssocCache {
     /// Installs `line` without touching the hit/miss counters (prefetch or
     /// prewarm fill). No-op if already present; evicts LRU when full.
     pub fn install(&mut self, line: u64) {
-        let set = self.set_of(line);
-        let ways = &mut self.sets[set];
+        let ways = self.ways_mut(line);
         if ways.contains(&line) {
             return;
         }
-        if ways.len() == self.assoc {
-            ways.pop();
-        }
-        ways.insert(0, line);
+        ways.rotate_right(1);
+        ways[0] = line;
     }
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.tags.iter().filter(|&&t| t != EMPTY).count()
     }
 
     /// Total capacity in lines.
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len() * self.assoc
+        self.tags.len()
     }
 
     /// Lifetime hit count.

@@ -24,7 +24,7 @@
 use crate::config::CoreConfig;
 use crate::hierarchy::MemorySystem;
 use taskpoint_stats::rng::Xoshiro256pp;
-use taskpoint_trace::{InstKind, Instruction};
+use taskpoint_trace::{InstBlock, InstKind, Instruction};
 
 /// Workload-dependent execution parameters of the current task, taken from
 /// its trace spec.
@@ -45,16 +45,13 @@ pub struct RobCore {
     commit_width: u64,
     mispredict_penalty: u64,
     mshrs: usize,
-    lat_int_alu: u64,
-    lat_int_mul: u64,
-    lat_int_div: u64,
-    lat_fp_alu: u64,
-    lat_fp_mul: u64,
-    lat_fp_div: u64,
+    /// Completion latency per non-memory [`InstKind`] discriminant (memory
+    /// kinds hold their non-memory share: store latency, atomic extra).
+    /// Indexed lookups keep the hot path free of an 11-way match whose
+    /// targets are data-dependent (and therefore host-unpredictable).
+    lat: [u64; 11],
     lat_store: u64,
-    lat_branch: u64,
     lat_atomic_extra: u64,
-    lat_fence: u64,
     // -- dynamic state --
     /// Commit cycle of instruction `i - rob_size`, indexed `i % rob_size`.
     commit_ring: Vec<u64>,
@@ -75,22 +72,24 @@ impl RobCore {
     /// Creates a core with drained pipeline state at cycle 0.
     pub fn new(cfg: &CoreConfig) -> Self {
         let l = &cfg.latencies;
+        let mut lat = [0u64; 11];
+        lat[InstKind::IntAlu as usize] = l.int_alu as u64;
+        lat[InstKind::IntMul as usize] = l.int_mul as u64;
+        lat[InstKind::IntDiv as usize] = l.int_div as u64;
+        lat[InstKind::FpAlu as usize] = l.fp_alu as u64;
+        lat[InstKind::FpMul as usize] = l.fp_mul as u64;
+        lat[InstKind::FpDiv as usize] = l.fp_div as u64;
+        lat[InstKind::Branch as usize] = l.branch as u64;
+        lat[InstKind::Fence as usize] = l.fence as u64;
         Self {
             rob_size: cfg.rob_size as usize,
             issue_width: cfg.issue_width as u64,
             commit_width: cfg.commit_width as u64,
             mispredict_penalty: cfg.mispredict_penalty as u64,
             mshrs: cfg.mshrs as usize,
-            lat_int_alu: l.int_alu as u64,
-            lat_int_mul: l.int_mul as u64,
-            lat_int_div: l.int_div as u64,
-            lat_fp_alu: l.fp_alu as u64,
-            lat_fp_mul: l.fp_mul as u64,
-            lat_fp_div: l.fp_div as u64,
+            lat,
             lat_store: l.store as u64,
-            lat_branch: l.branch as u64,
             lat_atomic_extra: l.atomic_extra as u64,
-            lat_fence: l.fence as u64,
             commit_ring: vec![0; cfg.rob_size as usize],
             ring_pos: 0,
             dispatch_ticks: 0,
@@ -114,10 +113,27 @@ impl RobCore {
         self.last_commit = start;
     }
 
+    /// Divides a tick count by a pipeline width. Widths are small
+    /// per-machine constants, so the constant arms let the compiler
+    /// strength-reduce the division (a real `div` costs ~20 cycles and
+    /// this runs two to three times per simulated instruction).
+    #[inline]
+    fn div_width(ticks: u64, width: u64) -> u64 {
+        match width {
+            1 => ticks,
+            2 => ticks >> 1,
+            3 => ticks / 3,
+            4 => ticks >> 2,
+            6 => ticks / 6,
+            8 => ticks >> 3,
+            w => ticks / w,
+        }
+    }
+
     /// The cycle the next instruction would dispatch at (the core's local
     /// clock for chunked execution).
     pub fn dispatch_cycle(&self) -> u64 {
-        self.dispatch_ticks / self.issue_width
+        Self::div_width(self.dispatch_ticks, self.issue_width)
     }
 
     /// Commit cycle of the most recently executed instruction.
@@ -137,15 +153,79 @@ impl RobCore {
         data_rng: &mut Xoshiro256pp,
         code_rng: &mut Xoshiro256pp,
     ) -> u64 {
+        self.step(core_id, inst.kind, inst.addr, params, mem, data_rng, code_rng)
+    }
+
+    /// Executes instructions `from..` of a filled [`InstBlock`] until the
+    /// dispatch clock reaches `chunk_end` or the block is exhausted;
+    /// returns how many instructions were executed.
+    ///
+    /// The chunk check happens *before* each instruction (an instruction
+    /// may complete past `chunk_end` but never starts past it), which is
+    /// exactly the boundary semantics of per-instruction execution — block
+    /// size therefore never affects simulated timing, only host speed. At
+    /// least one instruction executes whenever the dispatch clock is below
+    /// `chunk_end` at entry and the slice is non-empty, so callers always
+    /// make progress.
+    // Mirrors `execute`'s parameter list plus the block window; bundling
+    // them into a context struct would just move the argument count into
+    // every caller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_block(
+        &mut self,
+        core_id: u32,
+        block: &InstBlock,
+        from: usize,
+        chunk_end: u64,
+        params: TaskParams,
+        mem: &mut MemorySystem,
+        data_rng: &mut Xoshiro256pp,
+        code_rng: &mut Xoshiro256pp,
+    ) -> usize {
+        // dispatch_cycle() < chunk_end  ⟺  dispatch_ticks < chunk_end·width
+        // — hoist the multiplication out of the per-instruction check.
+        let end_ticks = chunk_end.saturating_mul(self.issue_width);
+        let kinds = &block.kinds()[from..];
+        let addrs = &block.addrs()[from..];
+        let mut executed = 0;
+        for (&kind, &addr) in kinds.iter().zip(addrs) {
+            if self.dispatch_ticks >= end_ticks {
+                break;
+            }
+            self.step(core_id, kind, addr, params, mem, data_rng, code_rng);
+            executed += 1;
+        }
+        executed
+    }
+
+    /// The per-instruction ROB-occupancy-analysis state transition shared
+    /// by [`RobCore::execute`] and [`RobCore::execute_block`].
+    #[allow(clippy::too_many_arguments)] // see execute_block
+    fn step(
+        &mut self,
+        core_id: u32,
+        kind: InstKind,
+        addr: u64,
+        params: TaskParams,
+        mem: &mut MemorySystem,
+        data_rng: &mut Xoshiro256pp,
+        code_rng: &mut Xoshiro256pp,
+    ) -> u64 {
         // Dispatch constraints: issue width (tick += 1 below), ROB window,
         // serialization.
         let rob_constraint = self.commit_ring[self.ring_pos];
         let mut ticks = self.dispatch_ticks.max(rob_constraint * self.issue_width);
         ticks = ticks.max(self.serial_until * self.issue_width);
-        let mut d = ticks / self.issue_width;
+        let mut d = Self::div_width(ticks, self.issue_width);
 
         // MSHR constraint for loads/atomics that will touch memory.
-        if matches!(inst.kind, InstKind::Load | InstKind::Atomic) {
+        // Completed misses are cleaned out lazily: entries only matter once
+        // the list *looks* full, and the `c > d` filter removes a stale
+        // entry whenever it would have removed it earlier (d is monotone),
+        // so the cleaned set at decision time — and therefore the stall —
+        // is identical to eager per-load cleaning.
+        if matches!(kind, InstKind::Load | InstKind::Atomic) && self.outstanding.len() >= self.mshrs
+        {
             self.outstanding.retain(|&c| c > d);
             if self.outstanding.len() >= self.mshrs {
                 let earliest = *self.outstanding.iter().min().expect("non-empty");
@@ -156,16 +236,16 @@ impl RobCore {
         }
 
         // Execute.
-        let complete = match inst.kind {
+        let complete = match kind {
             InstKind::Load => {
-                let r = mem.access(core_id, inst.addr, false, d);
+                let r = mem.access(core_id, addr, false, d);
                 if r.l1_miss {
                     self.outstanding.push(d + r.latency);
                 }
                 d + r.latency
             }
             InstKind::Atomic => {
-                let r = mem.access(core_id, inst.addr, true, d);
+                let r = mem.access(core_id, addr, true, d);
                 if r.l1_miss {
                     self.outstanding.push(d + r.latency);
                 }
@@ -174,21 +254,14 @@ impl RobCore {
             InstKind::Store => {
                 // Write-allocate + coherence happen now; the store itself
                 // retires through the write buffer at store latency.
-                let _ = mem.access(core_id, inst.addr, true, d);
+                let _ = mem.access(core_id, addr, true, d);
                 d + self.lat_store
             }
-            InstKind::IntAlu => d + self.lat_int_alu,
-            InstKind::IntMul => d + self.lat_int_mul,
-            InstKind::IntDiv => d + self.lat_int_div,
-            InstKind::FpAlu => d + self.lat_fp_alu,
-            InstKind::FpMul => d + self.lat_fp_mul,
-            InstKind::FpDiv => d + self.lat_fp_div,
-            InstKind::Branch => d + self.lat_branch,
-            InstKind::Fence => d + self.lat_fence,
+            _ => d + self.lat[kind as usize],
         };
 
         // Serialization effects on later instructions.
-        match inst.kind {
+        match kind {
             InstKind::Branch => {
                 // Branch outcomes are data-dependent: per-instance stream.
                 if data_rng.next_f64() < params.branch_mispredict_rate {
@@ -212,12 +285,18 @@ impl RobCore {
 
         // In-order commit, bounded by commit width.
         self.commit_ticks = (self.commit_ticks + 1).max(complete * self.commit_width);
-        let commit_cycle = self.commit_ticks / self.commit_width;
+        let commit_cycle = Self::div_width(self.commit_ticks, self.commit_width);
 
         // The slot we read as the i-ROB constraint is overwritten with this
         // instruction's commit time for instruction i+ROB.
         self.commit_ring[self.ring_pos] = commit_cycle;
-        self.ring_pos = (self.ring_pos + 1) % self.rob_size;
+        // Conditional wrap instead of `% rob_size`: the ROB size is not a
+        // power of two (168 on the high-performance machine), so the
+        // modulo would be a hardware divide on the hot path.
+        self.ring_pos += 1;
+        if self.ring_pos == self.rob_size {
+            self.ring_pos = 0;
+        }
         self.last_commit = commit_cycle;
         commit_cycle
     }

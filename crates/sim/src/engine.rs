@@ -13,6 +13,15 @@
 //! The engine is single-threaded and fully deterministic: heap ties break
 //! on worker id, schedulers are deterministic, and all randomness (trace
 //! content, mispredictions, noise) is derived from per-instance seeds.
+//!
+//! Detailed tasks consume their instruction stream through the batched
+//! block pipeline: a [`TraceProvider`] hands each task a
+//! [`TraceSource`] (procedural by default, recorded via
+//! [`RecordedTraces`](crate::traces::RecordedTraces)), the engine refills a
+//! structure-of-arrays [`InstBlock`] per worker, and
+//! [`RobCore::execute_block`] walks it. Chunk boundaries are enforced per
+//! instruction inside the block walk, so simulated timing is bit-identical
+//! for every block capacity (pinned by `tests/block_equivalence.rs`).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -20,7 +29,7 @@ use std::time::Instant;
 
 use taskpoint_runtime::{FifoScheduler, Program, ReadySet, Scheduler, TaskInstanceId, WorkerId};
 use taskpoint_stats::rng::{mix_seed, Xoshiro256pp};
-use taskpoint_trace::TraceIter;
+use taskpoint_trace::{InstBlock, TraceSource, BLOCK_CAPACITY};
 
 use crate::burst::burst_duration;
 use crate::config::MachineConfig;
@@ -29,6 +38,7 @@ use crate::hierarchy::MemorySystem;
 use crate::mode::{ExecMode, ModeController, TaskStart};
 use crate::noise::NoiseModel;
 use crate::report::{SimMode, SimResult, TaskReport};
+use crate::traces::{ProceduralTraces, TraceProvider};
 
 /// Domain-separation constant for per-task pipeline randomness (branch and
 /// dependency draws), mixed with the trace seed so detailed replays are
@@ -44,6 +54,8 @@ pub struct Simulation<'p> {
     noise: Option<NoiseModel>,
     collect_reports: bool,
     prewarm: bool,
+    traces: Box<dyn TraceProvider>,
+    block_capacity: usize,
 }
 
 /// Builder for [`Simulation`].
@@ -55,6 +67,8 @@ pub struct SimulationBuilder<'p> {
     noise: Option<NoiseModel>,
     collect_reports: bool,
     prewarm: bool,
+    traces: Option<Box<dyn TraceProvider>>,
+    block_capacity: usize,
 }
 
 impl<'p> Simulation<'p> {
@@ -68,6 +82,8 @@ impl<'p> Simulation<'p> {
             noise: None,
             collect_reports: false,
             prewarm: true,
+            traces: None,
+            block_capacity: BLOCK_CAPACITY,
         }
     }
 
@@ -88,6 +104,8 @@ impl<'p> Simulation<'p> {
             noise,
             collect_reports,
             prewarm,
+            traces,
+            block_capacity,
         } = self;
         let wall_start = Instant::now();
         let mut mem = MemorySystem::new(&machine, num_workers);
@@ -102,6 +120,7 @@ impl<'p> Simulation<'p> {
                     core: RobCore::new(&machine.core),
                     local_time: 0,
                     running: None,
+                    spare_block: None,
                 })
                 .collect(),
             scheduler,
@@ -114,6 +133,8 @@ impl<'p> Simulation<'p> {
             chunk_cycles: machine.chunk_cycles,
             noise,
             collect_reports,
+            traces,
+            block_capacity,
             stats: RunStats::default(),
             reports: Vec::new(),
         };
@@ -171,6 +192,8 @@ struct Engine<'p> {
     chunk_cycles: u64,
     noise: Option<NoiseModel>,
     collect_reports: bool,
+    traces: Box<dyn TraceProvider>,
+    block_capacity: usize,
     stats: RunStats,
     reports: Vec<TaskReport>,
 }
@@ -183,7 +206,9 @@ impl<'p> Engine<'p> {
             match running {
                 Running::Detailed {
                     task,
-                    mut iter,
+                    mut source,
+                    mut block,
+                    mut cursor,
                     mut data_rng,
                     mut code_rng,
                     params,
@@ -195,28 +220,39 @@ impl<'p> Engine<'p> {
                         self.workers[widx].core.dispatch_cycle().max(t) + self.chunk_cycles;
                     let mut finished = false;
                     {
+                        // Batched consumption: refill the SoA block from the
+                        // trace source, then let the core model walk it. The
+                        // chunk boundary is enforced per instruction inside
+                        // `execute_block`, so timing is bit-identical to
+                        // per-instruction execution for any block capacity.
                         let worker = &mut self.workers[widx];
                         while worker.core.dispatch_cycle() < chunk_end {
-                            match iter.next() {
-                                Some(inst) => {
-                                    worker.core.execute(
-                                        w,
-                                        &inst,
-                                        params,
-                                        &mut self.mem,
-                                        &mut data_rng,
-                                        &mut code_rng,
-                                    );
-                                    executed += 1;
-                                }
-                                None => {
+                            if cursor == block.len() {
+                                if source.fill(&mut block) == 0 {
                                     finished = true;
                                     break;
                                 }
+                                cursor = 0;
                             }
+                            let n = worker.core.execute_block(
+                                w,
+                                &block,
+                                cursor,
+                                chunk_end,
+                                params,
+                                &mut self.mem,
+                                &mut data_rng,
+                                &mut code_rng,
+                            );
+                            cursor += n;
+                            executed += n as u64;
                         }
                     }
                     if finished {
+                        // Park the block for the worker's next detailed task
+                        // (refill allocations are per worker, not per task).
+                        block.clear();
+                        self.workers[widx].spare_block = Some(block);
                         let raw_end = self.workers[widx].core.last_commit().max(start + 1);
                         let end = match &self.noise {
                             Some(n) => {
@@ -242,7 +278,9 @@ impl<'p> Engine<'p> {
                         self.workers[widx].local_time = now;
                         self.workers[widx].running = Some(Running::Detailed {
                             task,
-                            iter,
+                            source,
+                            block,
+                            cursor,
                             data_rng,
                             code_rng,
                             params,
@@ -330,9 +368,15 @@ impl<'p> Engine<'p> {
                 ExecMode::Detailed => {
                     let spec = inst.trace();
                     self.workers[widx].core.reset(start);
+                    let block = self.workers[widx]
+                        .spare_block
+                        .take()
+                        .unwrap_or_else(|| InstBlock::with_capacity(self.block_capacity));
                     self.workers[widx].running = Some(Running::Detailed {
                         task,
-                        iter: spec.iter(),
+                        source: self.traces.source(task, spec),
+                        block,
+                        cursor: 0,
                         data_rng: Xoshiro256pp::seed_from_u64(mix_seed(&[
                             spec.seed(),
                             PIPELINE_RNG_SALT,
@@ -434,14 +478,19 @@ struct RunStats {
 
 /// What a worker is currently doing.
 ///
-/// `Detailed` dwarfs `Burst` (it carries the trace iterator and two RNGs),
-/// but there is exactly one `Running` per worker, so boxing it would only
-/// add a pointer chase on the hot path.
+/// `Detailed` dwarfs `Burst` (it carries the trace source, the refill
+/// block and two RNGs), but there is exactly one `Running` per worker, so
+/// boxing it would only add a pointer chase on the hot path.
 #[allow(clippy::large_enum_variant)]
 enum Running {
     Detailed {
         task: TaskInstanceId,
-        iter: TraceIter,
+        /// Producer of the task's instruction stream (procedural or
+        /// recorded, via the simulation's [`TraceProvider`]).
+        source: Box<dyn TraceSource>,
+        /// The current batch of instructions, consumed from `cursor`.
+        block: InstBlock,
+        cursor: usize,
         data_rng: Xoshiro256pp,
         code_rng: Xoshiro256pp,
         params: TaskParams,
@@ -462,6 +511,9 @@ struct WorkerState {
     core: RobCore,
     local_time: u64,
     running: Option<Running>,
+    /// Cleared instruction block recycled across this worker's detailed
+    /// tasks.
+    spare_block: Option<InstBlock>,
 }
 
 impl<'p> SimulationBuilder<'p> {
@@ -498,14 +550,39 @@ impl<'p> SimulationBuilder<'p> {
         self
     }
 
+    /// Installs a trace provider (default: [`ProceduralTraces`], which
+    /// regenerates every stream from its [`TraceSpec`]
+    /// (taskpoint_trace::TraceSpec)). Pass a
+    /// [`RecordedTraces`](crate::traces::RecordedTraces) bundle to drive
+    /// the simulation from pre-recorded streams.
+    pub fn traces(mut self, provider: Box<dyn TraceProvider>) -> Self {
+        self.traces = Some(provider);
+        self
+    }
+
+    /// Sets the instruction-block capacity of the detailed pipeline
+    /// (default [`BLOCK_CAPACITY`]). Simulated timing is independent of
+    /// this value — it only trades refill overhead against block
+    /// footprint. Capacity 1 degenerates to per-instruction execution
+    /// (useful for equivalence testing).
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`build`](SimulationBuilder::build)) if `capacity` is 0.
+    pub fn block_capacity(mut self, capacity: usize) -> Self {
+        self.block_capacity = capacity;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
     ///
-    /// Panics if the worker count is 0 or exceeds 64, or the machine
-    /// configuration is invalid.
+    /// Panics if the worker count is 0 or exceeds 64, the block capacity
+    /// is 0, or the machine configuration is invalid.
     pub fn build(self) -> Simulation<'p> {
         assert!(self.workers >= 1 && self.workers <= 64, "1..=64 workers");
+        assert!(self.block_capacity >= 1, "instruction block needs capacity >= 1");
         self.machine.validate();
         Simulation {
             program: self.program,
@@ -515,6 +592,8 @@ impl<'p> SimulationBuilder<'p> {
             noise: self.noise,
             collect_reports: self.collect_reports,
             prewarm: self.prewarm,
+            traces: self.traces.unwrap_or_else(|| Box::new(ProceduralTraces)),
+            block_capacity: self.block_capacity,
         }
     }
 }

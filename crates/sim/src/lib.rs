@@ -49,6 +49,7 @@ pub mod hierarchy;
 pub mod mode;
 pub mod noise;
 pub mod report;
+pub mod traces;
 
 pub use burst::burst_duration;
 pub use config::{CacheLevelConfig, CoreConfig, KindLatencies, MachineConfig, MemoryConfig};
@@ -57,3 +58,4 @@ pub use hierarchy::{LevelStats, MemorySystem};
 pub use mode::{DetailedOnly, ExecMode, FixedIpc, ModeController, TaskStart};
 pub use noise::NoiseModel;
 pub use report::{SimMode, SimResult, TaskReport};
+pub use traces::{ProceduralTraces, RecordedTraces, TraceMismatch, TraceProvider};

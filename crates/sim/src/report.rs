@@ -98,6 +98,18 @@ impl SimResult {
     pub fn total_instructions(&self) -> u64 {
         self.detailed_instructions + self.fast_instructions
     }
+
+    /// Detailed-mode simulation throughput in instructions per host
+    /// second — the figure of merit of the batched trace pipeline. `None`
+    /// when no detailed instructions ran or the wall clock is unusable
+    /// (e.g. a result reconstructed from a cache record).
+    pub fn detailed_instr_per_sec(&self) -> Option<f64> {
+        if self.detailed_instructions == 0 || self.wall_seconds <= 0.0 {
+            None
+        } else {
+            Some(self.detailed_instructions as f64 / self.wall_seconds)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,10 +9,18 @@
 //!
 //! * a [`TraceSpec`] describes the stream — a seed, an instruction count, an
 //!   [`InstructionMix`] and an [`AccessPattern`] over memory regions;
-//! * [`TraceSpec::iter`] regenerates the *identical* concrete instruction
+//! * [`TraceSpec::source`] regenerates the *identical* concrete instruction
 //!   stream on every call (seeded xoshiro256++), which is exactly the
 //!   property a trace file has: the detailed simulation and the sampled
 //!   simulation of the same program observe the same instructions.
+//!
+//! Streams are produced in batches: a [`TraceSource`] refills a
+//! structure-of-arrays [`InstBlock`] ([`block`]), which the simulator's
+//! detailed hot path consumes linearly. [`TraceSpec::iter`] remains as a
+//! per-instruction compatibility shim over that pipeline. Pre-recorded
+//! streams in the [`encode`] binary format are a first-class source too
+//! ([`RecordedTrace`]), so traces captured from real executions can drive
+//! the same machinery.
 //!
 //! Small concrete streams can still be materialized and round-tripped
 //! through a compact binary encoding ([`encode`]) for golden tests.
@@ -38,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod encode;
 pub mod inst;
 pub mod mix;
@@ -45,8 +54,9 @@ pub mod pattern;
 pub mod region;
 pub mod spec;
 
+pub use block::{InstBlock, RecordedTrace, SpecSource, TraceSource, BLOCK_CAPACITY};
 pub use inst::{InstKind, Instruction};
 pub use mix::InstructionMix;
 pub use pattern::AccessPattern;
 pub use region::MemRegion;
-pub use spec::{TraceIter, TraceSpec, TraceSpecBuilder};
+pub use spec::{TraceIter, TraceSpec, TraceSpecBuilder, TraceSpecError};

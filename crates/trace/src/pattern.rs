@@ -165,6 +165,80 @@ impl AddressStream {
         Self { pattern, footprint, shared, offsets, turn: 0 }
     }
 
+    /// Fills the address/size columns of a block for the given kind
+    /// column: memory kinds receive the next effective address (and
+    /// [`ACCESS_SIZE`]), non-memory kinds receive zeros.
+    ///
+    /// Produces *exactly* the sequence of per-instruction
+    /// [`AddressStream::next_addr`] calls would — including the data-RNG
+    /// draw order — but hoists the pattern dispatch out of the inner loop
+    /// and specializes the hottest walks. Pinned against the one-at-a-time
+    /// path by the block-pipeline equivalence tests.
+    pub fn fill_addrs(
+        &mut self,
+        kinds: &[InstKind],
+        addrs: &mut Vec<u64>,
+        sizes: &mut Vec<u8>,
+        rng: &mut Xoshiro256pp,
+    ) {
+        // Atomics divert to the shared region when one exists — a per-kind
+        // decision, so only the generic loop applies.
+        if !self.shared.is_empty() {
+            for &kind in kinds {
+                if kind.is_memory() {
+                    addrs.push(self.next_addr(kind, rng));
+                    sizes.push(ACCESS_SIZE);
+                } else {
+                    addrs.push(0);
+                    sizes.push(0);
+                }
+            }
+            return;
+        }
+        match self.pattern {
+            AccessPattern::Sequential { stride } => {
+                let mut off = self.offsets[0];
+                for &kind in kinds {
+                    if kind.is_memory() {
+                        addrs.push(self.footprint.wrap(off));
+                        off = off.wrapping_add(stride as u64);
+                        sizes.push(ACCESS_SIZE);
+                    } else {
+                        addrs.push(0);
+                        sizes.push(0);
+                    }
+                }
+                self.offsets[0] = off;
+            }
+            AccessPattern::Random => {
+                let slots = (self.footprint.len / ACCESS_SIZE as u64).max(1);
+                let base = self.footprint.base;
+                for &kind in kinds {
+                    if kind.is_memory() {
+                        addrs.push(base + rng.next_below(slots) * ACCESS_SIZE as u64);
+                        sizes.push(ACCESS_SIZE);
+                    } else {
+                        addrs.push(0);
+                        sizes.push(0);
+                    }
+                }
+            }
+            // Multi-stream and stateful walks: per-access generation, but
+            // the pattern dispatch still happens once per block.
+            _ => {
+                for &kind in kinds {
+                    if kind.is_memory() {
+                        addrs.push(self.next_addr(kind, rng));
+                        sizes.push(ACCESS_SIZE);
+                    } else {
+                        addrs.push(0);
+                        sizes.push(0);
+                    }
+                }
+            }
+        }
+    }
+
     /// Produces the next effective address for an instruction of `kind`.
     ///
     /// Atomic operations target the shared region when one exists so that

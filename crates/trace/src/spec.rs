@@ -1,11 +1,42 @@
 //! Trace specifications — the procedural stand-in for recorded task traces.
 
+use crate::block::{InstBlock, SpecSource, TraceSource};
 use crate::inst::Instruction;
 use crate::mix::InstructionMix;
-use crate::pattern::{AccessPattern, AddressStream, ACCESS_SIZE};
+use crate::pattern::{AccessPattern, AddressStream};
 use crate::region::MemRegion;
 use serde::{Deserialize, Serialize};
 use taskpoint_stats::rng::Xoshiro256pp;
+
+/// A spec rejected by [`TraceSpecBuilder::try_build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceSpecError {
+    /// The instruction mix can emit memory kinds but no footprint was set,
+    /// so there is no region to draw addresses from.
+    MemoryMixWithoutFootprint,
+    /// The branch misprediction probability is outside `[0, 1]`.
+    BranchRateOutOfRange(f64),
+    /// The instruction dependency probability is outside `[0, 1]`.
+    DependencyRateOutOfRange(f64),
+}
+
+impl std::fmt::Display for TraceSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceSpecError::MemoryMixWithoutFootprint => {
+                write!(f, "trace with memory instructions needs a non-empty footprint")
+            }
+            TraceSpecError::BranchRateOutOfRange(r) => {
+                write!(f, "branch mispredict rate {r} out of range")
+            }
+            TraceSpecError::DependencyRateOutOfRange(r) => {
+                write!(f, "dependency rate {r} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceSpecError {}
 
 /// A complete, self-contained description of one task instance's dynamic
 /// instruction stream.
@@ -101,20 +132,32 @@ impl TraceSpec {
         self.dependency_rate
     }
 
-    /// Iterates the concrete instruction stream. Each call restarts from the
-    /// beginning and yields the identical sequence.
-    pub fn iter(&self) -> TraceIter {
+    /// Creates a fresh [`TraceSource`] over the concrete instruction
+    /// stream — the batched producer the simulator's detailed hot path
+    /// consumes. Each call restarts from the beginning and yields the
+    /// identical sequence.
+    pub fn source(&self) -> SpecSource {
         // Pure-compute specs may have an empty footprint; they never emit
         // memory instructions (enforced in `build`), so no stream is needed.
         let addresses = (!self.footprint.is_empty())
             .then(|| AddressStream::new(self.pattern, self.footprint, self.shared, self.seed));
-        TraceIter {
-            remaining: self.instructions,
-            code_rng: Xoshiro256pp::seed_from_u64(self.code_seed),
-            data_rng: Xoshiro256pp::seed_from_u64(self.seed),
+        SpecSource::new(
+            self.instructions,
+            Xoshiro256pp::seed_from_u64(self.code_seed),
+            Xoshiro256pp::seed_from_u64(self.seed),
             addresses,
-            mix: self.mix.clone(),
-        }
+            self.mix.clone(),
+        )
+    }
+
+    /// Iterates the concrete instruction stream. Each call restarts from the
+    /// beginning and yields the identical sequence.
+    ///
+    /// This is a compatibility shim over [`TraceSpec::source`]: it drains
+    /// block refills one instruction at a time. Performance-sensitive
+    /// consumers should use the block pipeline directly.
+    pub fn iter(&self) -> TraceIter {
+        TraceIter { source: self.source(), block: InstBlock::new(), cursor: 0 }
     }
 }
 
@@ -207,27 +250,34 @@ impl TraceSpecBuilder {
         self
     }
 
-    /// Finalizes the spec.
+    /// Finalizes the spec, validating that every concrete stream it
+    /// describes can actually be generated.
+    ///
+    /// In particular, a mix that can emit memory kinds requires a
+    /// non-empty footprint — catching at build time what used to be a
+    /// runtime panic deep inside trace generation.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceSpecError`].
     ///
     /// # Panics
     ///
-    /// Panics if the mix contains memory instructions but the footprint is
-    /// empty, or the pattern parameters are invalid.
-    pub fn build(self) -> TraceSpec {
+    /// Panics if the pattern parameters are invalid (see
+    /// [`AccessPattern::validate`]).
+    pub fn try_build(self) -> Result<TraceSpec, TraceSpecError> {
         let mix = self.mix.unwrap_or_default();
         self.pattern.validate();
-        if self.instructions > 0 && mix.memory_fraction() > 0.0 {
-            assert!(
-                !self.footprint.is_empty(),
-                "trace with memory instructions needs a non-empty footprint"
-            );
+        if self.instructions > 0 && mix.memory_fraction() > 0.0 && self.footprint.is_empty() {
+            return Err(TraceSpecError::MemoryMixWithoutFootprint);
         }
-        assert!(
-            (0.0..=1.0).contains(&self.branch_mispredict_rate),
-            "branch mispredict rate out of range"
-        );
-        assert!((0.0..=1.0).contains(&self.dependency_rate), "dependency rate out of range");
-        TraceSpec {
+        if !(0.0..=1.0).contains(&self.branch_mispredict_rate) {
+            return Err(TraceSpecError::BranchRateOutOfRange(self.branch_mispredict_rate));
+        }
+        if !(0.0..=1.0).contains(&self.dependency_rate) {
+            return Err(TraceSpecError::DependencyRateOutOfRange(self.dependency_rate));
+        }
+        Ok(TraceSpec {
             seed: self.seed,
             code_seed: self.code_seed,
             instructions: self.instructions,
@@ -237,43 +287,52 @@ impl TraceSpecBuilder {
             shared: self.shared,
             branch_mispredict_rate: self.branch_mispredict_rate,
             dependency_rate: self.dependency_rate,
-        }
+        })
+    }
+
+    /// Finalizes the spec, panicking on invalid configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`TraceSpecError`] message if [`try_build`]
+    /// (TraceSpecBuilder::try_build) would return an error, or if the
+    /// pattern parameters are invalid.
+    pub fn build(self) -> TraceSpec {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 /// Iterator over a [`TraceSpec`]'s concrete instruction stream.
+///
+/// A thin compatibility shim over the block pipeline: it holds a
+/// [`SpecSource`] and an [`InstBlock`] of default capacity and hands the
+/// block out one instruction per `next()`. Yields exactly the sequence the
+/// batched path produces (by construction — they share the generator).
 #[derive(Debug, Clone)]
 pub struct TraceIter {
-    remaining: u64,
-    /// Drives the kind sequence — identical for all instances of a type.
-    code_rng: Xoshiro256pp,
-    /// Drives data-dependent choices (addresses).
-    data_rng: Xoshiro256pp,
-    addresses: Option<AddressStream>,
-    mix: InstructionMix,
+    source: SpecSource,
+    block: InstBlock,
+    cursor: usize,
 }
 
 impl Iterator for TraceIter {
     type Item = Instruction;
 
     fn next(&mut self) -> Option<Instruction> {
-        if self.remaining == 0 {
-            return None;
+        if self.cursor == self.block.len() {
+            if self.source.fill(&mut self.block) == 0 {
+                return None;
+            }
+            self.cursor = 0;
         }
-        self.remaining -= 1;
-        let kind = self.mix.sample(&mut self.code_rng);
-        Some(if kind.is_memory() {
-            let stream =
-                self.addresses.as_mut().expect("memory instruction from a spec without footprint");
-            let addr = stream.next_addr(kind, &mut self.data_rng);
-            Instruction::memory(kind, addr, ACCESS_SIZE)
-        } else {
-            Instruction::compute(kind)
-        })
+        let inst = self.block.get(self.cursor);
+        self.cursor += 1;
+        Some(inst)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        let buffered = (self.block.len() - self.cursor) as u64;
+        let n = usize::try_from(self.source.remaining() + buffered).unwrap_or(usize::MAX);
         (n, Some(n))
     }
 }
@@ -284,6 +343,7 @@ impl ExactSizeIterator for TraceIter {}
 mod tests {
     use super::*;
     use crate::inst::InstKind;
+    use crate::pattern::ACCESS_SIZE;
 
     fn spec(seed: u64, n: u64) -> TraceSpec {
         TraceSpec::builder()
@@ -383,6 +443,51 @@ mod tests {
     #[should_panic(expected = "non-empty footprint")]
     fn memory_mix_without_footprint_rejected() {
         let _ = TraceSpec::builder().instructions(10).mix(InstructionMix::memory_bound()).build();
+    }
+
+    #[test]
+    fn try_build_reports_missing_footprint_as_error() {
+        let err = TraceSpec::builder()
+            .instructions(10)
+            .mix(InstructionMix::memory_bound())
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, TraceSpecError::MemoryMixWithoutFootprint);
+        assert!(err.to_string().contains("non-empty footprint"));
+    }
+
+    #[test]
+    fn try_build_reports_out_of_range_rates() {
+        let bad_branch = TraceSpec::builder().branch_mispredict_rate(1.5).try_build().unwrap_err();
+        assert_eq!(bad_branch, TraceSpecError::BranchRateOutOfRange(1.5));
+        assert!(bad_branch.to_string().contains("out of range"));
+        let bad_dep = TraceSpec::builder().dependency_rate(-0.1).try_build().unwrap_err();
+        assert_eq!(bad_dep, TraceSpecError::DependencyRateOutOfRange(-0.1));
+    }
+
+    #[test]
+    fn try_build_accepts_valid_specs() {
+        let s = TraceSpec::builder()
+            .instructions(5)
+            .mix(InstructionMix::memory_bound())
+            .footprint(MemRegion::new(0x1000, 4096))
+            .try_build()
+            .unwrap();
+        assert_eq!(s.instructions(), 5);
+    }
+
+    #[test]
+    fn source_and_iter_agree() {
+        use crate::block::{InstBlock, TraceSource};
+        let s = spec(21, 3000);
+        let mut src = s.source();
+        let mut block = InstBlock::new();
+        let mut from_source = Vec::new();
+        while src.fill(&mut block) > 0 {
+            from_source.extend(block.iter());
+        }
+        let from_iter: Vec<Instruction> = s.iter().collect();
+        assert_eq!(from_source, from_iter);
     }
 
     #[test]

@@ -242,4 +242,25 @@ mod tests {
         let sb: Vec<u64> = b.instances().iter().map(|i| i.trace().seed()).collect();
         assert_eq!(sa, sb);
     }
+
+    #[test]
+    fn every_benchmark_hands_out_working_trace_sources() {
+        // The simulator consumes workloads through the batched block
+        // pipeline: each instance must hand out a TraceSource whose
+        // batched stream matches the per-instruction iterator exactly.
+        use taskpoint_trace::InstBlock;
+        let scale = ScaleConfig::quick();
+        for b in Benchmark::ALL {
+            let p = b.generate(&scale);
+            let inst = &p.instances()[p.num_instances() / 2];
+            let mut source = inst.trace_source();
+            let mut block = InstBlock::new();
+            let mut batched = Vec::new();
+            while source.fill(&mut block) > 0 {
+                batched.extend(block.iter());
+            }
+            assert_eq!(batched.len() as u64, inst.instructions(), "{b}");
+            assert!(batched.iter().copied().eq(inst.trace().iter()), "{b}: stream mismatch");
+        }
+    }
 }

@@ -1,0 +1,206 @@
+//! Equivalence guarantees of the batched instruction-block pipeline.
+//!
+//! The refactor from per-instruction iteration to SoA blocks must not
+//! change a single simulated bit. Three independent pins enforce that:
+//!
+//! 1. **Golden streams** — FNV checksums of encoded trace streams captured
+//!    from the pre-refactor per-instruction generator. Any change to the
+//!    (now batched and pattern-specialized) generator that alters one
+//!    instruction changes the checksum.
+//! 2. **Golden simulation results** — cycle counts of a benchmark ×
+//!    machine × worker grid captured from the pre-refactor engine. The
+//!    block engine must reproduce them exactly.
+//! 3. **Capacity invariance** — block capacity 1 degenerates to
+//!    per-instruction execution; results must be bit-identical to the
+//!    default capacity (and an odd one that never divides task lengths).
+
+use taskpoint_repro::sim::{DetailedOnly, MachineConfig, RecordedTraces, SimResult, Simulation};
+use taskpoint_repro::trace::{encode, AccessPattern, InstructionMix, MemRegion, TraceSpec};
+use taskpoint_repro::workloads::{Benchmark, ScaleConfig};
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pre-refactor golden checksums (captured from the per-instruction
+/// `TraceIter` before the block pipeline existed).
+#[test]
+fn trace_streams_match_pre_refactor_goldens() {
+    let cases: [(&str, TraceSpec, u64, usize); 4] = [
+        ("balanced-seq", TraceSpec::synthetic(42, 10_000), 0x2b3301bf3f257e08, 39646),
+        (
+            "membound-random",
+            TraceSpec::builder()
+                .seed(7)
+                .code_seed(3)
+                .instructions(10_000)
+                .mix(InstructionMix::memory_bound())
+                .pattern(AccessPattern::Random)
+                .footprint(MemRegion::new(0x2000_0000, 1 << 18))
+                .build(),
+            0x6c1a8e6d9ae3067b,
+            55702,
+        ),
+        (
+            "atomic-gather",
+            TraceSpec::builder()
+                .seed(11)
+                .code_seed(5)
+                .instructions(10_000)
+                .mix(InstructionMix::atomic_heavy())
+                .pattern(AccessPattern::Gather { hot_probability: 0.8, hot_fraction: 0.1 })
+                .footprint(MemRegion::new(0x3000_0000, 1 << 16))
+                .shared(MemRegion::new(0x4000_0000, 4096))
+                .build(),
+            0x7649d7c2491151c7,
+            51049,
+        ),
+        (
+            "irregular-chase",
+            TraceSpec::builder()
+                .seed(13)
+                .code_seed(9)
+                .instructions(10_000)
+                .mix(InstructionMix::irregular_int())
+                .pattern(AccessPattern::PointerChase)
+                .footprint(MemRegion::new(0x5000_0000, 1 << 17))
+                .build(),
+            0xe3a9b05a1f3b31c4,
+            44659,
+        ),
+    ];
+    for (name, spec, checksum, len) in cases {
+        let bytes = encode::encode(spec.iter());
+        assert_eq!(bytes.len(), len, "{name}: encoded length drifted");
+        assert_eq!(fnv(bytes.as_ref()), checksum, "{name}: stream content drifted");
+    }
+}
+
+fn run_detailed(
+    program: &taskpoint_repro::runtime::Program,
+    machine: &MachineConfig,
+    workers: u32,
+    block_capacity: usize,
+) -> SimResult {
+    Simulation::builder(program, machine.clone())
+        .workers(workers)
+        .collect_reports(true)
+        .block_capacity(block_capacity)
+        .build()
+        .run(&mut DetailedOnly)
+}
+
+/// Everything deterministic in a `SimResult` (wall time excluded).
+fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.total_cycles, b.total_cycles, "{what}: total_cycles");
+    assert_eq!(a.detailed_tasks, b.detailed_tasks, "{what}: detailed_tasks");
+    assert_eq!(a.fast_tasks, b.fast_tasks, "{what}: fast_tasks");
+    assert_eq!(a.detailed_instructions, b.detailed_instructions, "{what}: detailed_instructions");
+    assert_eq!(a.fast_instructions, b.fast_instructions, "{what}: fast_instructions");
+    assert_eq!(a.invalidations, b.invalidations, "{what}: invalidations");
+    assert_eq!(a.dram_accesses, b.dram_accesses, "{what}: dram_accesses");
+    assert_eq!(a.private_cache, b.private_cache, "{what}: private cache stats");
+    assert_eq!(a.shared_cache, b.shared_cache, "{what}: shared cache stats");
+    assert_eq!(a.reports, b.reports, "{what}: per-task reports");
+}
+
+/// Pre-refactor golden cycle counts over the spec × machine grid
+/// (captured from the per-instruction engine before the block pipeline
+/// existed): (benchmark, machine index, workers) →
+/// (total_cycles, detailed_tasks, detailed_instructions, invalidations,
+/// dram_accesses).
+#[test]
+fn simulation_results_match_pre_refactor_goldens() {
+    /// (benchmark, machine index, workers, total_cycles, detailed_tasks,
+    /// detailed_instructions, invalidations, dram_accesses)
+    type GoldenCell = (Benchmark, usize, u32, u64, u64, u64, u64, u64);
+    let machines =
+        [MachineConfig::tiny_test(), MachineConfig::low_power(), MachineConfig::high_performance()];
+    #[rustfmt::skip]
+    let goldens: [GoldenCell; 18] = [
+        (Benchmark::Spmv, 0, 1, 2_141_380, 1024, 482_733, 0, 105_561),
+        (Benchmark::Spmv, 0, 4, 607_471, 1024, 482_733, 0, 133_351),
+        (Benchmark::Spmv, 1, 1, 3_493_799, 1024, 482_733, 0, 104_502),
+        (Benchmark::Spmv, 1, 4, 856_727, 1024, 482_733, 0, 104_502),
+        (Benchmark::Spmv, 2, 1, 564_192, 1024, 482_733, 0, 0),
+        (Benchmark::Spmv, 2, 4, 138_804, 1024, 482_733, 0, 0),
+        (Benchmark::Histogram, 0, 1, 4_684_583, 16_384, 1_105_980, 0, 90_725),
+        (Benchmark::Histogram, 0, 4, 1_259_849, 16_384, 1_105_980, 60_875, 90_702),
+        (Benchmark::Histogram, 1, 1, 3_436_373, 16_384, 1_105_980, 0, 33_314),
+        (Benchmark::Histogram, 1, 4, 973_261, 16_384, 1_105_980, 60_938, 33_314),
+        (Benchmark::Histogram, 2, 1, 3_693_382, 16_384, 1_105_980, 0, 33_314),
+        (Benchmark::Histogram, 2, 4, 924_852, 16_384, 1_105_980, 61_006, 33_314),
+        (Benchmark::Freqmine, 0, 1, 4_727_018, 1932, 1_044_146, 0, 126_298),
+        (Benchmark::Freqmine, 0, 4, 921_717, 1932, 1_044_146, 185_358, 80_658),
+        (Benchmark::Freqmine, 1, 1, 1_353_827, 1932, 1_044_146, 0, 334),
+        (Benchmark::Freqmine, 1, 4, 397_557, 1932, 1_044_146, 73_347, 334),
+        (Benchmark::Freqmine, 2, 1, 1_058_451, 1932, 1_044_146, 0, 0),
+        (Benchmark::Freqmine, 2, 4, 352_943, 1932, 1_044_146, 75_266, 0),
+    ];
+    let scale = ScaleConfig::quick();
+    let mut programs: std::collections::HashMap<Benchmark, taskpoint_repro::runtime::Program> =
+        std::collections::HashMap::new();
+    for (bench, machine_idx, workers, cycles, tasks, instrs, invalidations, dram) in goldens {
+        let program = programs.entry(bench).or_insert_with(|| bench.generate(&scale));
+        let machine = &machines[machine_idx];
+        let r = Simulation::builder(program, machine.clone())
+            .workers(workers)
+            .build()
+            .run(&mut DetailedOnly);
+        let what = format!("{bench}/{}/{workers}t", machine.name);
+        assert_eq!(r.total_cycles, cycles, "{what}: total_cycles");
+        assert_eq!(r.detailed_tasks, tasks, "{what}: detailed_tasks");
+        assert_eq!(r.detailed_instructions, instrs, "{what}: detailed_instructions");
+        assert_eq!(r.invalidations, invalidations, "{what}: invalidations");
+        assert_eq!(r.dram_accesses, dram, "{what}: dram_accesses");
+    }
+}
+
+/// Block capacity 1 degenerates to per-instruction execution; results of
+/// every capacity must coincide bit for bit (chunk boundaries are
+/// enforced per instruction, not per block).
+#[test]
+fn block_capacity_does_not_affect_simulated_timing() {
+    let scale = ScaleConfig::quick();
+    let cases = [
+        (Benchmark::Spmv, MachineConfig::tiny_test(), 1u32),
+        (Benchmark::Spmv, MachineConfig::tiny_test(), 4),
+        (Benchmark::Spmv, MachineConfig::low_power(), 4),
+        (Benchmark::Histogram, MachineConfig::tiny_test(), 4),
+    ];
+    for (bench, machine, workers) in cases {
+        let program = bench.generate(&scale);
+        let reference = run_detailed(&program, &machine, workers, 1);
+        for capacity in [7usize, 256] {
+            let got = run_detailed(&program, &machine, workers, capacity);
+            assert_identical(
+                &got,
+                &reference,
+                &format!("{bench}/{}/{workers}t capacity {capacity}", machine.name),
+            );
+        }
+    }
+}
+
+/// A simulation driven by recorded traces (binary `encode` format through
+/// `RecordedTraces`) reproduces the procedural run bit for bit.
+#[test]
+fn recorded_traces_reproduce_the_procedural_run() {
+    let program = Benchmark::Spmv.generate(&ScaleConfig::quick());
+    let machine = MachineConfig::tiny_test();
+    let recorded = RecordedTraces::record_program(&program);
+    recorded.verify_against(&program).expect("recording matches program");
+    let procedural = run_detailed(&program, &machine, 2, 256);
+    let replayed = Simulation::builder(&program, machine)
+        .workers(2)
+        .collect_reports(true)
+        .traces(Box::new(recorded))
+        .build()
+        .run(&mut DetailedOnly);
+    assert_identical(&replayed, &procedural, "recorded vs procedural");
+}

@@ -104,6 +104,68 @@ proptest! {
     }
 
     #[test]
+    fn block_fill_matches_iterator_for_any_capacity(seed in any::<u64>(), n in 0u64..3000,
+                                                    capacity in 1usize..400) {
+        use taskpoint_repro::trace::{InstBlock, Instruction, TraceSource};
+        let spec = TraceSpec::builder()
+            .seed(seed)
+            .code_seed(seed ^ 0xABCD)
+            .instructions(n)
+            .mix(InstructionMix::balanced())
+            .pattern(AccessPattern::strided(64, 3))
+            .footprint(MemRegion::new(0x20_0000, 1 << 15))
+            .build();
+        let mut source = spec.source();
+        let mut block = InstBlock::with_capacity(capacity);
+        let mut batched: Vec<Instruction> = Vec::new();
+        loop {
+            let filled = source.fill(&mut block);
+            if filled == 0 {
+                break;
+            }
+            prop_assert!(filled <= capacity);
+            batched.extend(block.iter());
+        }
+        let one_by_one: Vec<Instruction> = spec.iter().collect();
+        prop_assert_eq!(batched, one_by_one);
+    }
+
+    #[test]
+    fn instblock_streams_round_trip_through_codec(seed in any::<u64>(), n in 0u64..2500,
+                                                  capacity in 1usize..300) {
+        use taskpoint_repro::trace::{encode, InstBlock, RecordedTrace, TraceSource};
+        let spec = TraceSpec::builder()
+            .seed(seed)
+            .instructions(n)
+            .mix(InstructionMix::memory_bound())
+            .pattern(AccessPattern::Random)
+            .footprint(MemRegion::new(0x40_0000, 1 << 14))
+            .build();
+        // Encode block by block, then replay the byte stream through the
+        // RecordedTrace source: the round trip must reproduce the exact
+        // instruction sequence and the exact encoded bytes.
+        let mut source = spec.source();
+        let mut block = InstBlock::with_capacity(capacity);
+        let mut bytes: Vec<u8> = Vec::new();
+        while source.fill(&mut block) > 0 {
+            bytes.extend_from_slice(encode::encode(block.iter()).as_ref());
+        }
+        let decoded = encode::decode(bytes.clone().into()).unwrap();
+        let original: Vec<_> = spec.iter().collect();
+        prop_assert_eq!(&decoded, &original);
+        let mut replay = RecordedTrace::new(bytes.clone().into()).unwrap();
+        prop_assert_eq!(replay.instructions(), n);
+        let mut replayed = Vec::new();
+        let mut rblock = InstBlock::with_capacity(97);
+        while replay.fill(&mut rblock) > 0 {
+            replayed.extend(rblock.iter());
+        }
+        prop_assert_eq!(&replayed, &original);
+        let re_encoded = encode::encode(replayed);
+        prop_assert_eq!(re_encoded.as_ref(), &bytes[..]);
+    }
+
+    #[test]
     fn trace_addresses_stay_in_footprint(seed in any::<u64>(), n in 1u64..2000,
                                          base in 1u64..1_000_000u64) {
         let footprint = MemRegion::new(base * 64, 1 << 13);
