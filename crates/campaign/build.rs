@@ -36,6 +36,10 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
             collect_rs_files(&path, out);
         } else if path.extension().is_some_and(|e| e == "rs")
             || path.file_name().is_some_and(|n| n == "Cargo.toml")
+            // The checked-in fixture traces are compiled into the external
+            // workload family (include_bytes!) and directly determine
+            // external-cell results, so they are part of the fingerprint.
+            || path.extension().is_some_and(|e| e == "tptrace" || e == "tptraceb")
         {
             out.push(path);
         }

@@ -1,0 +1,250 @@
+//! `trace-convert` — ingest, validate, convert and simulate external
+//! `*.tptrace` traces.
+//!
+//! ```text
+//! trace-convert inspect  TRACE                    # parse + validate + stats
+//! trace-convert convert  TRACE --bundle OUT       # -> RecordedTraces bundle
+//! trace-convert convert  TRACE --text OUT         # -> canonical text encoding
+//! trace-convert convert  TRACE --binary OUT       # -> canonical binary encoding
+//! trace-convert simulate TRACE [--workers N]      # reference + lazy sampled run
+//! trace-convert synth    NAME --out FILE    # regenerate a fixture recipe
+//!                                             # (*.tptraceb extension -> binary)
+//! ```
+//!
+//! `inspect`/`convert`/`simulate` auto-detect the text vs binary encoding.
+//! Malformed input exits with status 1 and the typed
+//! [`IngestError`](taskpoint_trace::IngestError) message; it never panics.
+//! The on-disk formats are specified byte-by-byte in
+//! `docs/TRACE_FORMATS.md`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use taskpoint::{run_reference_traced, run_sampled_traced, ExperimentOutcome, TaskPointConfig};
+use taskpoint_runtime::program_from_ingested;
+use taskpoint_trace::IngestedTrace;
+use taskpoint_workloads::external::{synthesize, ExternalWorkload};
+use tasksim::{MachineConfig, RecordedTraces};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         trace-convert inspect  TRACE\n  \
+         trace-convert convert  TRACE [--bundle FILE] [--text FILE] [--binary FILE]\n  \
+         trace-convert simulate TRACE [--workers N]\n  \
+         trace-convert synth    NAME --out FILE\n\n\
+         TRACE is a *.tptrace file in the text or binary encoding (auto-detected).\n\
+         synth NAMEs: {}",
+        ExternalWorkload::ALL.map(|w| w.name()).join(" ")
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load(path: &Path) -> Result<IngestedTrace, String> {
+    let data = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    IngestedTrace::parse(&data).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn print_stats(trace: &IngestedTrace) {
+    println!(
+        "trace: {} types, {} tasks, {} threads, {} instructions",
+        trace.num_types(),
+        trace.num_tasks(),
+        trace.threads(),
+        trace.total_instructions()
+    );
+    let tasks = trace.tasks_per_type();
+    let instrs = trace.instructions_per_type();
+    for (i, ty) in trace.types().iter().enumerate() {
+        println!(
+            "  type {:>3} {:<16} {:>5} tasks {:>9} instructions  rates: branch={} dep={}",
+            ty.id, ty.name, tasks[i], instrs[i], ty.branch_mispredict_rate, ty.dependency_rate
+        );
+    }
+    let deps: usize = trace.tasks().iter().map(|t| t.deps.len()).sum();
+    let bytes: usize = trace.tasks().iter().map(|t| t.bytes.len()).sum();
+    println!("  {deps} dependence edges, {bytes} bytes of encoded streams");
+}
+
+/// `(flag, value)` pairs as parsed from the command line.
+type Flags = Vec<(String, String)>;
+
+/// Parses `--flag VALUE` pairs from `rest`; returns (flags, positional).
+fn parse_flags(rest: &[String], with_value: &[&str]) -> Result<(Flags, Vec<String>), String> {
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = &rest[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if with_value.contains(&name) {
+                i += 1;
+                let value = rest.get(i).ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((name.to_string(), value.clone()));
+            } else {
+                flags.push((name.to_string(), String::new()));
+            }
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok((flags, positional))
+}
+
+fn cmd_inspect(path: &Path) -> ExitCode {
+    match load(path) {
+        Ok(trace) => {
+            print_stats(&trace);
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_convert(path: &Path, flags: &[(String, String)]) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    print_stats(&trace);
+    let program = program_from_ingested(
+        path.file_stem().and_then(|s| s.to_str()).unwrap_or("ingested"),
+        &trace,
+    );
+    let bundle = RecordedTraces::from_ingested(&trace);
+    if let Err(e) = bundle.verify_against(&program) {
+        return fail(format!("bundle does not match the converted program: {e}"));
+    }
+    let mut wrote = 0;
+    for (flag, value) in flags {
+        let out = PathBuf::from(value);
+        let result = match flag.as_str() {
+            "bundle" => bundle.write_to(&out).map_err(|e| e.to_string()),
+            "text" => std::fs::write(&out, trace.to_text()).map_err(|e| e.to_string()),
+            "binary" => std::fs::write(&out, trace.to_binary()).map_err(|e| e.to_string()),
+            other => return fail(format!("unknown flag --{other}")),
+        };
+        match result {
+            Ok(()) => {
+                println!("wrote {} ({})", out.display(), flag);
+                wrote += 1;
+            }
+            Err(e) => return fail(format!("cannot write {}: {e}", out.display())),
+        }
+    }
+    if wrote == 0 {
+        println!("validated (pass --bundle/--text/--binary to write outputs)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(path: &Path, flags: &[(String, String)]) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let workers = match flags.iter().find(|(f, _)| f == "workers") {
+        None => 2,
+        Some((_, v)) => match v.parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => return fail(format!("--workers needs a positive integer, got {v:?}")),
+        },
+    };
+    print_stats(&trace);
+    let program = program_from_ingested("ingested", &trace);
+    let bundle = RecordedTraces::from_ingested(&trace);
+    let machine = MachineConfig::low_power();
+    let reference =
+        run_reference_traced(&program, machine.clone(), workers, Box::new(bundle.clone()));
+    let (sampled, stats) =
+        run_sampled_traced(&program, machine, workers, TaskPointConfig::lazy(), Box::new(bundle));
+    let outcome = ExperimentOutcome::compare(&sampled, &reference);
+    println!(
+        "reference: {} cycles ({} detailed tasks)",
+        reference.total_cycles, reference.detailed_tasks
+    );
+    println!(
+        "sampled:   {} cycles ({} detailed / {} fast tasks, {} resamples)",
+        sampled.total_cycles,
+        sampled.detailed_tasks,
+        sampled.fast_tasks,
+        stats.resamples.len()
+    );
+    println!("error {:.2}%  detail fraction {:.3}", outcome.error_percent, outcome.detail_fraction);
+    ExitCode::SUCCESS
+}
+
+fn cmd_synth(name: &str, flags: &[(String, String)]) -> ExitCode {
+    let Some(workload) = ExternalWorkload::by_name(name) else {
+        return fail(format!(
+            "unknown fixture {name:?} (known: {})",
+            ExternalWorkload::ALL.map(|w| w.name()).join(" ")
+        ));
+    };
+    let Some((_, out)) = flags.iter().find(|(f, _)| f == "out") else {
+        return fail("synth needs --out FILE");
+    };
+    let text = synthesize(workload);
+    // The extension picks the encoding, matching the checked-in fixtures:
+    // `.tptraceb` is binary, everything else text.
+    let result = if out.ends_with(".tptraceb") {
+        let trace = IngestedTrace::parse_text(&text).expect("recipes synthesize valid traces");
+        std::fs::write(out, trace.to_binary())
+    } else {
+        std::fs::write(out, text)
+    };
+    match result {
+        Ok(()) => {
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("cannot write {out}: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { return usage() };
+    let (flags, positional) =
+        match parse_flags(&args[1..], &["bundle", "text", "binary", "workers", "out"]) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        };
+    let one_positional = |what: &str| -> Result<&String, ExitCode> {
+        match positional.as_slice() {
+            [p] => Ok(p),
+            _ => {
+                eprintln!("error: {command} needs exactly one {what}");
+                Err(usage())
+            }
+        }
+    };
+    match command.as_str() {
+        "inspect" => match one_positional("TRACE file") {
+            Ok(p) => cmd_inspect(Path::new(p)),
+            Err(code) => code,
+        },
+        "convert" => match one_positional("TRACE file") {
+            Ok(p) => cmd_convert(Path::new(p), &flags),
+            Err(code) => code,
+        },
+        "simulate" => match one_positional("TRACE file") {
+            Ok(p) => cmd_simulate(Path::new(p), &flags),
+            Err(code) => code,
+        },
+        "synth" => match one_positional("fixture NAME") {
+            Ok(n) => cmd_synth(n, &flags),
+            Err(code) => code,
+        },
+        _ => usage(),
+    }
+}

@@ -6,7 +6,7 @@
 //! sweep run by the CLI hit the same cache entries.
 
 use taskpoint::{SamplingPolicy, TaskPointConfig};
-use taskpoint_workloads::{Benchmark, ScaleConfig};
+use taskpoint_workloads::{Benchmark, ExternalWorkload, ScaleConfig};
 use tasksim::MachineConfig;
 
 use crate::spec::CellSpec;
@@ -133,6 +133,30 @@ pub fn design_space_specs(scale: ScaleConfig) -> Vec<CellSpec> {
     specs
 }
 
+/// Simulated worker counts of the `ingested` sweep.
+pub const INGESTED_WORKERS: u32 = 2;
+
+/// Cells of the `ingested` sweep: for every external (fixture-trace)
+/// workload, a full-detail reference plus lazy- and periodic-sampled runs
+/// compared against it — the same sampled-vs-reference shape as the paper
+/// figures, but over *ingested* traces replayed from the
+/// `RecordedTraces` bundle instead of procedural streams.
+///
+/// External workloads replay fixed recordings, so `scale` only keys the
+/// cache entries; it does not change the simulated work.
+pub fn ingested_specs(scale: ScaleConfig) -> Vec<CellSpec> {
+    let machine = MachineConfig::low_power();
+    let mut specs = Vec::new();
+    for workload in ExternalWorkload::ALL {
+        let bench = Benchmark::External(workload);
+        specs.push(CellSpec::reference(bench, scale, machine.clone(), INGESTED_WORKERS));
+        for config in [TaskPointConfig::lazy(), TaskPointConfig::periodic()] {
+            specs.push(CellSpec::sampled(bench, scale, machine.clone(), INGESTED_WORKERS, config));
+        }
+    }
+    specs
+}
+
 /// Reference cells of Table I: every benchmark at 1 and 64 threads on the
 /// high-performance machine.
 pub fn table1_specs(scale: ScaleConfig) -> Vec<CellSpec> {
@@ -175,13 +199,17 @@ pub enum Sweep {
     /// Custom-machine design-space exploration (ROB × L2 grid, explore
     /// cells, no references).
     DesignSpace,
-    /// Every table and figure sweep (excludes `smoke` and `design-space`).
+    /// Sampled-vs-reference cells over the external (ingested
+    /// fixture-trace) workloads.
+    Ingested,
+    /// Every table and figure sweep (excludes `smoke`, `design-space` and
+    /// `ingested`).
     All,
 }
 
 impl Sweep {
     /// Every named sweep, in CLI listing order.
-    pub const ALL: [Sweep; 13] = [
+    pub const ALL: [Sweep; 14] = [
         Sweep::Smoke,
         Sweep::Table1,
         Sweep::Fig1,
@@ -194,6 +222,7 @@ impl Sweep {
         Sweep::Fig9,
         Sweep::Fig10,
         Sweep::DesignSpace,
+        Sweep::Ingested,
         Sweep::All,
     ];
 
@@ -212,6 +241,7 @@ impl Sweep {
             Sweep::Fig9 => "fig9",
             Sweep::Fig10 => "fig10",
             Sweep::DesignSpace => "design-space",
+            Sweep::Ingested => "ingested",
             Sweep::All => "all",
         }
     }
@@ -231,7 +261,8 @@ impl Sweep {
             Sweep::Fig9 => "Fig. 9 lazy sampling, high-performance",
             Sweep::Fig10 => "Fig. 10 lazy sampling, low-power",
             Sweep::DesignSpace => "custom-machine DSE: 3x3 ROB x L2 grid, cholesky, lazy, explore",
-            Sweep::All => "every table and figure sweep (excludes smoke and design-space)",
+            Sweep::Ingested => "external fixture traces: reference + lazy/periodic sampled cells",
+            Sweep::All => "every table and figure sweep (excludes smoke, design-space, ingested)",
         }
     }
 
@@ -299,12 +330,17 @@ impl Sweep {
                 TaskPointConfig::lazy(),
             ),
             Sweep::DesignSpace => design_space_specs(scale),
+            Sweep::Ingested => ingested_specs(scale),
             Sweep::All => {
-                // `smoke` is a CI subset of other sweeps and `design-space`
-                // is not a paper table/figure, so neither joins the union.
+                // `smoke` is a CI subset of other sweeps; `design-space`
+                // and `ingested` are not paper tables/figures: none joins
+                // the union.
                 let mut specs = Vec::new();
                 for sweep in Sweep::ALL {
-                    if !matches!(sweep, Sweep::All | Sweep::Smoke | Sweep::DesignSpace) {
+                    if !matches!(
+                        sweep,
+                        Sweep::All | Sweep::Smoke | Sweep::DesignSpace | Sweep::Ingested
+                    ) {
                         specs.extend(sweep.specs(scale));
                     }
                 }
@@ -339,6 +375,7 @@ mod tests {
         assert_eq!(Sweep::Fig1.specs(scale).len(), 19);
         assert_eq!(Sweep::Smoke.specs(scale).len(), 7);
         assert_eq!(Sweep::DesignSpace.specs(scale).len(), 9);
+        assert_eq!(Sweep::Ingested.specs(scale).len(), 2 * 3);
     }
 
     #[test]
@@ -347,7 +384,9 @@ mod tests {
         let all = Sweep::All.specs(scale);
         let sum: usize = Sweep::ALL
             .into_iter()
-            .filter(|s| !matches!(s, Sweep::All | Sweep::Smoke | Sweep::DesignSpace))
+            .filter(|s| {
+                !matches!(s, Sweep::All | Sweep::Smoke | Sweep::DesignSpace | Sweep::Ingested)
+            })
             .map(|s| s.specs(scale).len())
             .sum();
         assert_eq!(all.len(), sum);
@@ -363,6 +402,7 @@ mod tests {
             Sweep::Table1,
             Sweep::Fig1,
             Sweep::DesignSpace,
+            Sweep::Ingested,
         ] {
             let specs = sweep.specs(scale);
             let hashes: std::collections::HashSet<String> =

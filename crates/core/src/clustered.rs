@@ -117,9 +117,31 @@ pub fn run_clustered(
     config: TaskPointConfig,
     granularity: u32,
 ) -> (tasksim::SimResult, SamplingStats, usize) {
+    run_clustered_traced(
+        program,
+        machine,
+        workers,
+        config,
+        granularity,
+        Box::new(tasksim::ProceduralTraces),
+    )
+}
+
+/// Like [`run_clustered`], with an explicit
+/// [`TraceProvider`](tasksim::TraceProvider) for the detailed instruction
+/// streams (see [`run_reference_traced`](crate::run_reference_traced)).
+pub fn run_clustered_traced(
+    program: &taskpoint_runtime::Program,
+    machine: tasksim::MachineConfig,
+    workers: u32,
+    config: TaskPointConfig,
+    granularity: u32,
+    traces: Box<dyn tasksim::TraceProvider>,
+) -> (tasksim::SimResult, SamplingStats, usize) {
     let mut controller = ClusteredController::new(config, granularity);
     let result = tasksim::Simulation::builder(program, machine)
         .workers(workers)
+        .traces(traces)
         .build()
         .run(&mut controller);
     let clusters = controller.num_clusters();

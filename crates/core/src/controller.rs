@@ -1,7 +1,7 @@
 //! The TaskPoint sampling mechanism (paper §III).
 //!
 //! [`TaskPointController`] implements `tasksim`'s
-//! [`ModeController`](tasksim::ModeController) hook and drives the
+//! [`ModeController`] hook and drives the
 //! four-phase state machine:
 //!
 //! ```text

@@ -58,9 +58,11 @@ pub mod history;
 pub mod metrics;
 pub mod simulate;
 
-pub use clustered::{run_clustered, ClusteredController};
+pub use clustered::{run_clustered, run_clustered_traced, ClusteredController};
 pub use config::{SamplingPolicy, TaskPointConfig};
 pub use controller::{Phase, ResampleCause, SamplingStats, TaskPointController};
 pub use history::{SampleHistory, TypeHistories};
 pub use metrics::ExperimentOutcome;
-pub use simulate::{evaluate, run_reference, run_sampled};
+pub use simulate::{
+    evaluate, run_reference, run_reference_traced, run_sampled, run_sampled_traced,
+};

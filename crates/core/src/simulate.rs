@@ -1,7 +1,7 @@
 //! High-level entry points: run a program sampled, detailed, or both.
 
 use taskpoint_runtime::Program;
-use tasksim::{DetailedOnly, MachineConfig, SimResult, Simulation};
+use tasksim::{DetailedOnly, MachineConfig, SimResult, Simulation, TraceProvider};
 
 use crate::config::TaskPointConfig;
 use crate::controller::{SamplingStats, TaskPointController};
@@ -22,7 +22,25 @@ use crate::metrics::ExperimentOutcome;
 /// assert_eq!(result.detailed_tasks as usize, program.num_instances());
 /// ```
 pub fn run_reference(program: &Program, machine: MachineConfig, workers: u32) -> SimResult {
-    Simulation::builder(program, machine).workers(workers).build().run(&mut DetailedOnly)
+    run_reference_traced(program, machine, workers, Box::new(tasksim::ProceduralTraces))
+}
+
+/// Like [`run_reference`], with an explicit [`TraceProvider`] for the
+/// detailed instruction streams — required for programs converted from
+/// externally ingested traces, whose streams live in a
+/// [`RecordedTraces`](tasksim::RecordedTraces) bundle rather than in
+/// procedural specs.
+pub fn run_reference_traced(
+    program: &Program,
+    machine: MachineConfig,
+    workers: u32,
+    traces: Box<dyn TraceProvider>,
+) -> SimResult {
+    Simulation::builder(program, machine)
+        .workers(workers)
+        .traces(traces)
+        .build()
+        .run(&mut DetailedOnly)
 }
 
 /// Runs a TaskPoint sampled simulation; returns the simulation result and
@@ -33,9 +51,24 @@ pub fn run_sampled(
     workers: u32,
     config: TaskPointConfig,
 ) -> (SimResult, SamplingStats) {
+    run_sampled_traced(program, machine, workers, config, Box::new(tasksim::ProceduralTraces))
+}
+
+/// Like [`run_sampled`], with an explicit [`TraceProvider`] for the
+/// detailed instruction streams (see [`run_reference_traced`]).
+pub fn run_sampled_traced(
+    program: &Program,
+    machine: MachineConfig,
+    workers: u32,
+    config: TaskPointConfig,
+    traces: Box<dyn TraceProvider>,
+) -> (SimResult, SamplingStats) {
     let mut controller = TaskPointController::new(config);
-    let result =
-        Simulation::builder(program, machine).workers(workers).build().run(&mut controller);
+    let result = Simulation::builder(program, machine)
+        .workers(workers)
+        .traces(traces)
+        .build()
+        .run(&mut controller);
     (result, controller.into_stats())
 }
 
@@ -106,6 +139,21 @@ mod tests {
         let machine = MachineConfig::tiny_test();
         let (a, _) = run_sampled(&p, machine.clone(), 2, TaskPointConfig::lazy());
         let (b, _) = run_sampled(&p, machine, 2, TaskPointConfig::lazy());
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.detailed_tasks, b.detailed_tasks);
+    }
+
+    #[test]
+    fn traced_runs_replay_identically_to_procedural() {
+        use tasksim::RecordedTraces;
+        let p = uniform_program(60);
+        let machine = MachineConfig::tiny_test();
+        let bundle = RecordedTraces::record_program(&p);
+        let procedural = run_reference(&p, machine.clone(), 2);
+        let replayed = run_reference_traced(&p, machine.clone(), 2, Box::new(bundle.clone()));
+        assert_eq!(replayed.total_cycles, procedural.total_cycles);
+        let (a, _) = run_sampled(&p, machine.clone(), 2, TaskPointConfig::lazy());
+        let (b, _) = run_sampled_traced(&p, machine, 2, TaskPointConfig::lazy(), Box::new(bundle));
         assert_eq!(a.total_cycles, b.total_cycles);
         assert_eq!(a.detailed_tasks, b.detailed_tasks);
     }

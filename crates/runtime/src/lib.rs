@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod depgraph;
+pub mod ingest;
 pub mod program;
 pub mod regions;
 pub mod scheduler;
 pub mod task;
 
 pub use depgraph::{DependenceGraph, ReadySet};
+pub use ingest::program_from_ingested;
 pub use program::{Program, ProgramBuilder};
 pub use regions::{AccessMode, RegionAccess};
 pub use scheduler::{FifoScheduler, LifoScheduler, LocalityScheduler, Scheduler, WorkerId};

@@ -26,7 +26,7 @@ const EMPTY: u64 = u64::MAX;
 /// indexed by line address (byte address >> log2(line size)).
 ///
 /// Tags live in one flat array (`assoc` consecutive slots per set, MRU
-/// first, empty slots at the tail as [`EMPTY`]) — the hottest lookup
+/// first, empty slots at the tail as `EMPTY`) — the hottest lookup
 /// structure in the simulator, so it is kept contiguous and
 /// allocation-free rather than a `Vec` per set.
 #[derive(Debug, Clone)]

@@ -551,8 +551,8 @@ impl<'p> SimulationBuilder<'p> {
     }
 
     /// Installs a trace provider (default: [`ProceduralTraces`], which
-    /// regenerates every stream from its [`TraceSpec`]
-    /// (taskpoint_trace::TraceSpec)). Pass a
+    /// regenerates every stream from its
+    /// [`TraceSpec`](taskpoint_trace::TraceSpec)). Pass a
     /// [`RecordedTraces`](crate::traces::RecordedTraces) bundle to drive
     /// the simulation from pre-recorded streams.
     pub fn traces(mut self, provider: Box<dyn TraceProvider>) -> Self {

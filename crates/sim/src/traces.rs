@@ -12,7 +12,7 @@
 //! * [`ProceduralTraces`] (the default) — regenerates each stream from the
 //!   instance's [`TraceSpec`], the repository's stand-in for trace files;
 //! * [`RecordedTraces`] — replays pre-recorded streams in the
-//!   [`encode`](taskpoint_trace::encode) binary format, falling back to
+//!   [`taskpoint_trace::encode`] binary format, falling back to
 //!   the procedural generator for tasks without a recording. This is how
 //!   real recorded traces enter the simulator; see
 //!   `examples/recorded_trace.rs` for the full record → persist → replay
@@ -115,6 +115,21 @@ impl RecordedTraces {
             let bytes = encode::encode(inst.trace().iter());
             let trace = RecordedTrace::new(bytes).expect("encode emits valid records");
             bundle.per_task.insert(inst.id().0, trace);
+        }
+        bundle
+    }
+
+    /// Packages an externally ingested trace's per-task instruction
+    /// streams as a bundle, keyed by the trace's dense task indices — the
+    /// same ids `taskpoint_runtime::program_from_ingested` assigns (they
+    /// are generated together), so the pair drives the engine
+    /// directly. The streams' `Arc` storage is shared, not copied.
+    pub fn from_ingested(trace: &taskpoint_trace::IngestedTrace) -> Self {
+        let mut bundle = Self::new();
+        for task in trace.tasks() {
+            let recorded = RecordedTrace::from_arc(std::sync::Arc::clone(&task.bytes))
+                .expect("ingestion validated every record");
+            bundle.per_task.insert(task.index, recorded);
         }
         bundle
     }
@@ -326,6 +341,39 @@ mod tests {
         let err = bundle.verify_against(&p).unwrap_err();
         assert_eq!(err, TraceMismatch::UnknownTask { task: TaskInstanceId(2), instances: 2 });
         assert!(err.to_string().contains("only 2 tasks"));
+    }
+
+    #[test]
+    fn ingested_bundle_pairs_with_the_ingested_program() {
+        use taskpoint_runtime::program_from_ingested;
+        use taskpoint_trace::IngestedTrace;
+        let text = "\
+%tptrace 1
+T:0:alpha
+B:0:5:0
+I:0:int_alu
+M:0:load:4000:8
+E:0:5
+B:0:6:0:5
+I:0:fp_alu
+E:0:6
+";
+        let trace = IngestedTrace::parse_text(text).unwrap();
+        let program = program_from_ingested("ext", &trace);
+        let bundle = RecordedTraces::from_ingested(&trace);
+        assert_eq!(bundle.len(), 2);
+        // Dense ids line up, so the bundle verifies against the program.
+        bundle.verify_against(&program).unwrap();
+        // The replayed stream is the recorded one, not the fallback spec.
+        let got =
+            drain(bundle.source(TaskInstanceId(0), program.instance(TaskInstanceId(0)).trace()));
+        assert_eq!(
+            got,
+            vec![
+                Instruction::compute(InstKind::IntAlu),
+                Instruction::memory(InstKind::Load, 0x4000, 8)
+            ]
+        );
     }
 
     #[test]

@@ -23,11 +23,13 @@
 //! see [`TraceIter`](crate::TraceIter)), and `RecordedTrace` replays
 //! whatever was encoded, byte for byte.
 
+use std::sync::Arc;
+
 use crate::encode::DecodeError;
 use crate::inst::{InstKind, Instruction};
 use crate::mix::InstructionMix;
 use crate::pattern::AddressStream;
-use bytes::{Buf, Bytes};
+use bytes::Bytes;
 use taskpoint_stats::rng::Xoshiro256pp;
 
 /// Default capacity of an [`InstBlock`] in instructions.
@@ -266,25 +268,44 @@ impl TraceSource for SpecSource {
 ///
 /// The whole buffer is validated once at construction (record framing and
 /// kind discriminants), after which [`TraceSource::fill`] streams records
-/// through `bytes::Buf` without further error paths. This is the ingestion
-/// point for traces recorded from real executions: anything that writes
-/// the `encode` record format can drive the detailed model.
+/// without further error paths. Storage is an `Arc<[u8]>` plus a read
+/// cursor, so cloning a trace — which is how `tasksim::RecordedTraces`
+/// hands a fresh source to the engine for every detailed task — shares
+/// the encoded bytes instead of copying them. This is the ingestion point
+/// for traces recorded from real executions: anything that writes the
+/// `encode` record format (including the [`ingest`](crate::ingest)
+/// frontend) can drive the detailed model.
 #[derive(Debug, Clone)]
 pub struct RecordedTrace {
-    bytes: Bytes,
+    data: Arc<[u8]>,
+    pos: usize,
     instructions: u64,
 }
 
 impl RecordedTrace {
     /// Wraps an encoded stream, validating every record.
     ///
+    /// The bytes are copied once into shared storage; prefer
+    /// [`RecordedTrace::from_arc`] when the caller already holds an
+    /// `Arc<[u8]>`.
+    ///
     /// # Errors
     ///
     /// Returns [`DecodeError::Truncated`] if the buffer ends mid-record and
     /// [`DecodeError::BadKind`] for invalid kind bytes.
     pub fn new(bytes: Bytes) -> Result<Self, DecodeError> {
-        let instructions = Self::validate(bytes.as_ref())?;
-        Ok(Self { bytes, instructions })
+        Self::from_arc(Arc::from(bytes.as_ref()))
+    }
+
+    /// Wraps an already-shared encoded stream without copying, validating
+    /// every record.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RecordedTrace::new`].
+    pub fn from_arc(data: Arc<[u8]>) -> Result<Self, DecodeError> {
+        let instructions = Self::validate(&data)?;
+        Ok(Self { data, pos: 0, instructions })
     }
 
     /// Scans the record framing without materializing instructions;
@@ -311,10 +332,13 @@ impl RecordedTrace {
         self.instructions
     }
 
-    /// The encoded bytes not yet consumed by [`TraceSource::fill`] — for a
-    /// freshly constructed (or cloned) trace, the whole stream.
+    /// The encoded bytes not yet consumed by [`TraceSource::fill`].
+    ///
+    /// A clone resets nothing: it shares the same storage *and* keeps its
+    /// own cursor, so cloning a freshly constructed trace yields a source
+    /// positioned at the start of the whole stream.
     pub fn bytes(&self) -> &[u8] {
-        self.bytes.as_ref()
+        &self.data[self.pos..]
     }
 }
 
@@ -322,11 +346,16 @@ impl TraceSource for RecordedTrace {
     fn fill(&mut self, block: &mut InstBlock) -> usize {
         block.clear();
         let cap = block.capacity();
-        while block.len() < cap && self.bytes.has_remaining() {
-            let kind = InstKind::from_u8(self.bytes.get_u8()).expect("validated at construction");
+        let data: &[u8] = &self.data;
+        while block.len() < cap && self.pos < data.len() {
+            let kind = InstKind::from_u8(data[self.pos]).expect("validated at construction");
+            self.pos += 1;
             if kind.is_memory() {
-                let addr = self.bytes.get_u64_le();
-                let size = self.bytes.get_u8();
+                let addr = u64::from_le_bytes(
+                    data[self.pos..self.pos + 8].try_into().expect("validated at construction"),
+                );
+                let size = data[self.pos + 8];
+                self.pos += 9;
                 block.push_memory(kind, addr, size);
             } else {
                 block.push_compute(kind);
@@ -511,6 +540,29 @@ mod tests {
         let good = encode([Instruction::memory(InstKind::Store, 0x1000, 8)]);
         let cut = good.slice(0..good.len() - 1);
         assert_eq!(RecordedTrace::new(cut).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn cloned_recorded_trace_shares_bytes_and_replays_from_start() {
+        let s = spec(5, 600);
+        let original: Vec<Instruction> = s.iter().collect();
+        let arc: Arc<[u8]> = Arc::from(encode(original.iter().copied()).as_ref());
+        let fresh = RecordedTrace::from_arc(Arc::clone(&arc)).unwrap();
+        // No copy at construction from an Arc: 1 (local) + 1 (trace) owners.
+        assert_eq!(Arc::strong_count(&arc), 2);
+        let mut a = fresh.clone();
+        // Clones share the storage rather than duplicating it.
+        assert_eq!(Arc::strong_count(&arc), 3);
+        // Partially consume the first clone, then clone again: the second
+        // clone resumes from the first's cursor (it is a snapshot), while a
+        // clone of the untouched original replays from the start.
+        let mut block = InstBlock::with_capacity(100);
+        assert_eq!(a.fill(&mut block), 100);
+        let mut resumed = a.clone();
+        assert_eq!(resumed.bytes(), a.bytes());
+        assert_eq!(drain(&mut resumed, 64), original[100..]);
+        let replay = drain(&mut fresh.clone(), 64);
+        assert_eq!(replay, original);
     }
 
     #[test]

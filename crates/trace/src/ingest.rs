@@ -1,0 +1,1292 @@
+//! External trace ingestion: the `*.tptrace` event-stream formats.
+//!
+//! The original TaskPoint evaluation consumes traces of real OmpSs
+//! executions recorded by the TaskSim toolchain (Paraver-style event
+//! streams: task begin/end markers interleaved across threads, plus the
+//! dynamic instruction stream of every task instance). This module is the
+//! reproduction's frontend for such *foreign* traces: it parses a
+//! documented on-disk format — one text and one binary encoding of the
+//! same event model, see `docs/TRACE_FORMATS.md` — into an
+//! [`IngestedTrace`], from which the simulator-facing crates build a
+//! `Program` plus a `RecordedTraces` bundle that replays through the
+//! batched [`TraceSource`](crate::TraceSource) pipeline.
+//!
+//! # Event model
+//!
+//! A trace is a sequence of events over a set of *threads*:
+//!
+//! * `T` — declare a task type (id, name, and the two per-type
+//!   microarchitectural event rates the detailed core model needs:
+//!   branch-misprediction and instruction-dependency probability);
+//! * `B` — a task instance begins on a thread (with the ids of the tasks
+//!   it depends on, all of which must already have ended);
+//! * `I` / `M` — the thread's open task executes one compute / memory
+//!   instruction;
+//! * `E` — the open task ends.
+//!
+//! Tasks on *different* threads interleave arbitrarily, exactly like a
+//! Paraver timeline; each thread runs at most one task at a time.
+//!
+//! # Validation
+//!
+//! Parsing is strict and total: malformed records, unknown instruction
+//! kinds, unknown or unused task types, out-of-order events (instructions
+//! outside a task, mismatched or missing ends, dependencies on tasks that
+//! have not retired) are all reported as typed [`IngestError`]s — never
+//! panics, whatever the input bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use taskpoint_trace::ingest::IngestedTrace;
+//!
+//! let text = "\
+//! %tptrace 1
+//! T:0:gemm
+//! B:0:0:0
+//! I:0:int_alu
+//! M:0:load:1f400:8
+//! E:0:0
+//! ";
+//! let trace = IngestedTrace::parse_text(text).unwrap();
+//! assert_eq!(trace.num_tasks(), 1);
+//! assert_eq!(trace.total_instructions(), 2);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::inst::{InstKind, Instruction};
+
+/// Magic prefix of the binary `*.tptrace` encoding.
+pub const BINARY_MAGIC: &[u8; 4] = b"TPTB";
+/// Header line of the text `*.tptrace` encoding.
+pub const TEXT_HEADER: &str = "%tptrace 1";
+/// The only format version this parser understands.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// A malformed or semantically invalid external trace.
+///
+/// `line` fields are 1-based input positions: the line number for text
+/// input, the record ordinal for binary input. Offsets are byte positions
+/// into binary input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// Text input does not start with the `%tptrace <version>` header.
+    MissingHeader,
+    /// The header names a format version this parser does not support.
+    UnsupportedVersion {
+        /// The version string found in the header.
+        found: String,
+    },
+    /// Input routed to the text parser is not valid UTF-8.
+    InvalidUtf8,
+    /// Binary input does not start with [`BINARY_MAGIC`].
+    BadMagic,
+    /// Binary input ended in the middle of a record.
+    Truncated {
+        /// Byte offset at which more input was required.
+        offset: usize,
+    },
+    /// Binary input contains an unknown record tag.
+    BadEventTag {
+        /// Byte offset of the tag.
+        offset: usize,
+        /// The unknown tag byte.
+        tag: u8,
+    },
+    /// Binary input contains an invalid instruction-kind discriminant.
+    BadKindByte {
+        /// Byte offset of the kind byte.
+        offset: usize,
+        /// The invalid discriminant.
+        byte: u8,
+    },
+    /// A record could not be tokenized (wrong field count, unparsable
+    /// number, non-UTF-8 type name, …).
+    Malformed {
+        /// Input position (see type docs).
+        line: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A text record names an instruction kind that does not exist.
+    UnknownKindName {
+        /// Input position.
+        line: u64,
+        /// The unknown kind name.
+        kind: String,
+    },
+    /// A type name that cannot survive both serializations: empty, longer
+    /// than 65535 bytes, or containing `':'` / control characters.
+    BadTypeName {
+        /// Input position.
+        line: u64,
+        /// The rejected name.
+        name: String,
+    },
+    /// A per-type event rate is outside `[0, 1]`.
+    RateOutOfRange {
+        /// Input position.
+        line: u64,
+        /// The offending value.
+        value: f64,
+    },
+    /// A type id was declared twice.
+    DuplicateType {
+        /// Input position of the second declaration.
+        line: u64,
+        /// The redeclared type id.
+        type_id: u32,
+    },
+    /// A declared type has no task instances (the runtime's `Program`
+    /// rejects instance-free types, so ingestion does too).
+    UnusedType {
+        /// The unused type id.
+        type_id: u32,
+    },
+    /// A begin record references an undeclared task type.
+    UnknownTaskType {
+        /// Input position.
+        line: u64,
+        /// The undeclared type id.
+        type_id: u32,
+    },
+    /// A task id began twice.
+    DuplicateTask {
+        /// Input position of the second begin.
+        line: u64,
+        /// The duplicated task id.
+        task: u64,
+    },
+    /// A task began on a thread that already has an open task.
+    ThreadBusy {
+        /// Input position.
+        line: u64,
+        /// The busy thread.
+        thread: u32,
+        /// The task already open on it.
+        running: u64,
+    },
+    /// An instruction or end record hit a thread with no open task.
+    NoOpenTask {
+        /// Input position.
+        line: u64,
+        /// The idle thread.
+        thread: u32,
+    },
+    /// An end record's task id does not match the thread's open task.
+    EndMismatch {
+        /// Input position.
+        line: u64,
+        /// The thread the end was recorded on.
+        thread: u32,
+        /// The task actually open on the thread.
+        expected: u64,
+        /// The task id the end record carries.
+        found: u64,
+    },
+    /// A compute record (`I`) carries a memory kind — memory instructions
+    /// must carry an address via `M`.
+    MemoryKindInCompute {
+        /// Input position.
+        line: u64,
+        /// The memory kind found.
+        kind: InstKind,
+    },
+    /// A memory record (`M`) carries a non-memory kind.
+    ComputeKindInMemory {
+        /// Input position.
+        line: u64,
+        /// The non-memory kind found.
+        kind: InstKind,
+    },
+    /// A begin record depends on a task id never seen.
+    UnknownDependency {
+        /// Input position.
+        line: u64,
+        /// The beginning task.
+        task: u64,
+        /// The unknown dependency id.
+        dep: u64,
+    },
+    /// A task depends on itself.
+    SelfDependency {
+        /// Input position.
+        line: u64,
+        /// The task id.
+        task: u64,
+    },
+    /// A begin record depends on a task that had not ended yet — a
+    /// recorded execution can only have retired dependences.
+    DependencyNotRetired {
+        /// Input position.
+        line: u64,
+        /// The beginning task.
+        task: u64,
+        /// The still-running dependency.
+        dep: u64,
+    },
+    /// The input ended while a task was still open.
+    UnclosedTask {
+        /// The thread whose task never ended.
+        thread: u32,
+        /// The unclosed task id.
+        task: u64,
+    },
+    /// A task ended with zero instructions.
+    EmptyTask {
+        /// Input position of the end record.
+        line: u64,
+        /// The empty task id.
+        task: u64,
+    },
+    /// The trace contains no tasks at all.
+    EmptyTrace,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::MissingHeader => {
+                write!(f, "missing `{TEXT_HEADER}` header line")
+            }
+            IngestError::UnsupportedVersion { found } => {
+                write!(f, "unsupported tptrace version {found:?} (expected {FORMAT_VERSION})")
+            }
+            IngestError::InvalidUtf8 => write!(f, "text trace is not valid UTF-8"),
+            IngestError::BadMagic => write!(f, "not a binary tptrace (bad magic)"),
+            IngestError::Truncated { offset } => {
+                write!(f, "binary trace truncated at byte {offset}")
+            }
+            IngestError::BadEventTag { offset, tag } => {
+                write!(f, "unknown record tag 0x{tag:02x} at byte {offset}")
+            }
+            IngestError::BadKindByte { offset, byte } => {
+                write!(f, "invalid instruction kind byte 0x{byte:02x} at byte {offset}")
+            }
+            IngestError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            IngestError::UnknownKindName { line, kind } => {
+                write!(f, "line {line}: unknown instruction kind {kind:?}")
+            }
+            IngestError::BadTypeName { line, name } => {
+                write!(
+                    f,
+                    "line {line}: invalid type name {name:?} (must be non-empty, <= 65535 bytes, \
+                     without ':' or control characters)"
+                )
+            }
+            IngestError::RateOutOfRange { line, value } => {
+                write!(f, "line {line}: event rate {value} outside [0, 1]")
+            }
+            IngestError::DuplicateType { line, type_id } => {
+                write!(f, "line {line}: task type {type_id} declared twice")
+            }
+            IngestError::UnusedType { type_id } => {
+                write!(f, "task type {type_id} has no task instances")
+            }
+            IngestError::UnknownTaskType { line, type_id } => {
+                write!(f, "line {line}: undeclared task type {type_id}")
+            }
+            IngestError::DuplicateTask { line, task } => {
+                write!(f, "line {line}: task {task} began twice")
+            }
+            IngestError::ThreadBusy { line, thread, running } => {
+                write!(f, "line {line}: thread {thread} already runs task {running}")
+            }
+            IngestError::NoOpenTask { line, thread } => {
+                write!(f, "line {line}: thread {thread} has no open task")
+            }
+            IngestError::EndMismatch { line, thread, expected, found } => write!(
+                f,
+                "line {line}: end of task {found} on thread {thread}, but task {expected} is open"
+            ),
+            IngestError::MemoryKindInCompute { line, kind } => {
+                write!(f, "line {line}: memory kind {kind} in a compute record (needs an address)")
+            }
+            IngestError::ComputeKindInMemory { line, kind } => {
+                write!(f, "line {line}: non-memory kind {kind} in a memory record")
+            }
+            IngestError::UnknownDependency { line, task, dep } => {
+                write!(f, "line {line}: task {task} depends on unknown task {dep}")
+            }
+            IngestError::SelfDependency { line, task } => {
+                write!(f, "line {line}: task {task} depends on itself")
+            }
+            IngestError::DependencyNotRetired { line, task, dep } => {
+                write!(f, "line {line}: task {task} depends on task {dep}, which has not ended")
+            }
+            IngestError::UnclosedTask { thread, task } => {
+                write!(f, "input ended while task {task} was still open on thread {thread}")
+            }
+            IngestError::EmptyTask { line, task } => {
+                write!(f, "line {line}: task {task} ended with zero instructions")
+            }
+            IngestError::EmptyTrace => write!(f, "trace contains no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// A task type declared by an ingested trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestedType {
+    /// The id the file uses for this type.
+    pub id: u32,
+    /// The type's source-level name.
+    pub name: String,
+    /// Branch-misprediction probability of the type's instances.
+    pub branch_mispredict_rate: f64,
+    /// Instruction-dependency probability of the type's instances.
+    pub dependency_rate: f64,
+}
+
+/// One ingested task instance with its concrete instruction stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestedTask {
+    /// The id the file uses for this task.
+    pub task_id: u64,
+    /// Dense index in begin order — the `TaskInstanceId` the converted
+    /// program assigns.
+    pub index: u64,
+    /// Dense index (declaration order) of the task's type.
+    pub type_index: u32,
+    /// The thread the task ran on in the recorded execution.
+    pub thread: u32,
+    /// Dense indices of the tasks this one depends on.
+    pub deps: Vec<u64>,
+    /// Number of instructions the task executed.
+    pub instructions: u64,
+    /// The instruction stream in the [`encode`](crate::encode) record
+    /// format, shared (`Arc`) so bundles replay it without copying.
+    pub bytes: Arc<[u8]>,
+}
+
+/// A fully validated external trace: declared task types plus every task
+/// instance's dependences and concrete instruction stream.
+///
+/// Produced by [`IngestedTrace::parse_text`] /
+/// [`parse_binary`](IngestedTrace::parse_binary) / the auto-detecting
+/// [`parse`](IngestedTrace::parse); serialized back out by
+/// [`to_text`](IngestedTrace::to_text) and
+/// [`to_binary`](IngestedTrace::to_binary). Serialization is *canonical*:
+/// type declarations first, then each task's events contiguously in begin
+/// order — the original inter-thread interleaving is not preserved, but
+/// re-parsing yields an equal `IngestedTrace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestedTrace {
+    types: Vec<IngestedType>,
+    tasks: Vec<IngestedTask>,
+    threads: u32,
+}
+
+/// One parsed event, position-tagged, before semantic validation.
+enum Event {
+    Type { id: u32, name: String, branch_rate: f64, dep_rate: f64 },
+    Begin { thread: u32, task: u64, type_id: u32, deps: Vec<u64> },
+    Inst { thread: u32, kind: InstKind },
+    Mem { thread: u32, kind: InstKind, addr: u64, size: u8 },
+    End { thread: u32, task: u64 },
+}
+
+/// Semantic validator and accumulator shared by both syntaxes.
+#[derive(Default)]
+struct Assembler {
+    types: Vec<IngestedType>,
+    type_index: HashMap<u32, u32>,
+    tasks: Vec<TaskBuild>,
+    task_index: HashMap<u64, usize>,
+    /// thread id -> dense index of its open task.
+    open: HashMap<u32, usize>,
+    threads: u32,
+}
+
+struct TaskBuild {
+    task_id: u64,
+    type_index: u32,
+    thread: u32,
+    deps: Vec<u64>,
+    instructions: u64,
+    bytes: Vec<u8>,
+    ended: bool,
+}
+
+impl Assembler {
+    fn event(&mut self, at: u64, ev: Event) -> Result<(), IngestError> {
+        match ev {
+            Event::Type { id, name, branch_rate, dep_rate } => {
+                // Names must survive both serializations: non-empty, no
+                // ':' (the text field separator) or control characters,
+                // and at most 65535 bytes (the binary length prefix).
+                // The binary parser would otherwise accept names whose
+                // canonical text form cannot be re-parsed.
+                if name.is_empty()
+                    || name.len() > u16::MAX as usize
+                    || name.chars().any(|c| c == ':' || c.is_control())
+                {
+                    return Err(IngestError::BadTypeName { line: at, name });
+                }
+                for rate in [branch_rate, dep_rate] {
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(IngestError::RateOutOfRange { line: at, value: rate });
+                    }
+                }
+                if self.type_index.contains_key(&id) {
+                    return Err(IngestError::DuplicateType { line: at, type_id: id });
+                }
+                self.type_index.insert(id, self.types.len() as u32);
+                self.types.push(IngestedType {
+                    id,
+                    name,
+                    branch_mispredict_rate: branch_rate,
+                    dependency_rate: dep_rate,
+                });
+                Ok(())
+            }
+            Event::Begin { thread, task, type_id, deps } => {
+                let Some(&type_index) = self.type_index.get(&type_id) else {
+                    return Err(IngestError::UnknownTaskType { line: at, type_id });
+                };
+                if self.task_index.contains_key(&task) {
+                    return Err(IngestError::DuplicateTask { line: at, task });
+                }
+                if let Some(&running) = self.open.get(&thread) {
+                    let running = self.tasks[running].task_id;
+                    return Err(IngestError::ThreadBusy { line: at, thread, running });
+                }
+                // The binary encoding prefixes the dependency list with a
+                // u16 count, so longer lists could not round-trip.
+                if deps.len() > u16::MAX as usize {
+                    return Err(malformed(
+                        at,
+                        format!("task {task} lists {} dependencies (max 65535)", deps.len()),
+                    ));
+                }
+                let mut dense_deps = Vec::with_capacity(deps.len());
+                for dep in deps {
+                    if dep == task {
+                        return Err(IngestError::SelfDependency { line: at, task });
+                    }
+                    let Some(&dep_idx) = self.task_index.get(&dep) else {
+                        return Err(IngestError::UnknownDependency { line: at, task, dep });
+                    };
+                    if !self.tasks[dep_idx].ended {
+                        return Err(IngestError::DependencyNotRetired { line: at, task, dep });
+                    }
+                    dense_deps.push(dep_idx as u64);
+                }
+                // `threads` is "max id + 1"; id u32::MAX would overflow it.
+                let Some(thread_count) = thread.checked_add(1) else {
+                    return Err(malformed(at, format!("thread id {thread} out of range")));
+                };
+                let index = self.tasks.len();
+                self.task_index.insert(task, index);
+                self.open.insert(thread, index);
+                self.threads = self.threads.max(thread_count);
+                self.tasks.push(TaskBuild {
+                    task_id: task,
+                    type_index,
+                    thread,
+                    deps: dense_deps,
+                    instructions: 0,
+                    bytes: Vec::new(),
+                    ended: false,
+                });
+                Ok(())
+            }
+            Event::Inst { thread, kind } => {
+                if kind.is_memory() {
+                    return Err(IngestError::MemoryKindInCompute { line: at, kind });
+                }
+                let task = self.open_task(at, thread)?;
+                task.bytes.push(kind as u8);
+                task.instructions += 1;
+                Ok(())
+            }
+            Event::Mem { thread, kind, addr, size } => {
+                if !kind.is_memory() {
+                    return Err(IngestError::ComputeKindInMemory { line: at, kind });
+                }
+                let task = self.open_task(at, thread)?;
+                task.bytes.push(kind as u8);
+                task.bytes.extend_from_slice(&addr.to_le_bytes());
+                task.bytes.push(size);
+                task.instructions += 1;
+                Ok(())
+            }
+            Event::End { thread, task } => {
+                let open = self.open_task(at, thread)?;
+                if open.task_id != task {
+                    let expected = open.task_id;
+                    return Err(IngestError::EndMismatch {
+                        line: at,
+                        thread,
+                        expected,
+                        found: task,
+                    });
+                }
+                if open.instructions == 0 {
+                    return Err(IngestError::EmptyTask { line: at, task });
+                }
+                open.ended = true;
+                self.open.remove(&thread);
+                Ok(())
+            }
+        }
+    }
+
+    fn open_task(&mut self, at: u64, thread: u32) -> Result<&mut TaskBuild, IngestError> {
+        match self.open.get(&thread) {
+            Some(&idx) => Ok(&mut self.tasks[idx]),
+            None => Err(IngestError::NoOpenTask { line: at, thread }),
+        }
+    }
+
+    fn finish(self) -> Result<IngestedTrace, IngestError> {
+        if let Some((&thread, &idx)) = self.open.iter().min_by_key(|(&t, _)| t) {
+            return Err(IngestError::UnclosedTask { thread, task: self.tasks[idx].task_id });
+        }
+        if self.tasks.is_empty() {
+            return Err(IngestError::EmptyTrace);
+        }
+        let mut used = vec![false; self.types.len()];
+        for t in &self.tasks {
+            used[t.type_index as usize] = true;
+        }
+        if let Some(unused) = used.iter().position(|&u| !u) {
+            return Err(IngestError::UnusedType { type_id: self.types[unused].id });
+        }
+        let tasks = self
+            .tasks
+            .into_iter()
+            .enumerate()
+            .map(|(index, t)| IngestedTask {
+                task_id: t.task_id,
+                index: index as u64,
+                type_index: t.type_index,
+                thread: t.thread,
+                deps: t.deps,
+                instructions: t.instructions,
+                bytes: Arc::from(t.bytes),
+            })
+            .collect();
+        Ok(IngestedTrace { types: self.types, tasks, threads: self.threads })
+    }
+}
+
+/// Default branch-misprediction rate when a text `T` record omits rates.
+pub const DEFAULT_BRANCH_RATE: f64 = 0.02;
+/// Default instruction-dependency rate when a text `T` record omits rates.
+pub const DEFAULT_DEPENDENCY_RATE: f64 = 0.15;
+
+fn malformed(line: u64, reason: impl Into<String>) -> IngestError {
+    IngestError::Malformed { line, reason: reason.into() }
+}
+
+fn parse_num<T: std::str::FromStr>(line: u64, field: &str, what: &str) -> Result<T, IngestError> {
+    field.parse().map_err(|_| malformed(line, format!("invalid {what} {field:?}")))
+}
+
+fn parse_rate(line: u64, field: &str) -> Result<f64, IngestError> {
+    field.parse().map_err(|_| malformed(line, format!("invalid rate {field:?}")))
+}
+
+fn parse_size(line: u64, field: &str) -> Result<u8, IngestError> {
+    let size: u8 = parse_num(line, field, "access size")?;
+    if size == 0 {
+        return Err(malformed(line, "access size must be >= 1"));
+    }
+    Ok(size)
+}
+
+fn parse_kind(line: u64, field: &str) -> Result<InstKind, IngestError> {
+    InstKind::from_name(field)
+        .ok_or_else(|| IngestError::UnknownKindName { line, kind: field.to_string() })
+}
+
+impl IngestedTrace {
+    /// Parses the text `*.tptrace` encoding.
+    ///
+    /// # Errors
+    ///
+    /// Any lexical or semantic violation of the format, as a typed
+    /// [`IngestError`]; this function never panics on any input.
+    pub fn parse_text(text: &str) -> Result<Self, IngestError> {
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i as u64 + 1, l.trim()));
+        let header = lines
+            .by_ref()
+            .find(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+            .ok_or(IngestError::MissingHeader)?
+            .1;
+        match header.strip_prefix("%tptrace") {
+            None => return Err(IngestError::MissingHeader),
+            Some(version) if version.trim() != FORMAT_VERSION.to_string() => {
+                return Err(IngestError::UnsupportedVersion { found: version.trim().to_string() })
+            }
+            Some(_) => {}
+        }
+        let mut asm = Assembler::default();
+        for (at, line) in lines {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(':').collect();
+            let arity = |want: &[usize]| -> Result<(), IngestError> {
+                if want.contains(&(fields.len() - 1)) {
+                    Ok(())
+                } else {
+                    Err(malformed(
+                        at,
+                        format!("record {:?} has {} fields", fields[0], fields.len() - 1),
+                    ))
+                }
+            };
+            let ev = match fields[0] {
+                "T" => {
+                    arity(&[2, 4])?;
+                    let (branch_rate, dep_rate) = if fields.len() == 5 {
+                        (parse_rate(at, fields[3])?, parse_rate(at, fields[4])?)
+                    } else {
+                        (DEFAULT_BRANCH_RATE, DEFAULT_DEPENDENCY_RATE)
+                    };
+                    Event::Type {
+                        id: parse_num(at, fields[1], "type id")?,
+                        name: fields[2].to_string(),
+                        branch_rate,
+                        dep_rate,
+                    }
+                }
+                "B" => {
+                    arity(&[3, 4])?;
+                    let deps = match fields.get(4) {
+                        None => Vec::new(),
+                        Some(list) => list
+                            .split(',')
+                            .map(|d| parse_num(at, d, "dependency id"))
+                            .collect::<Result<_, _>>()?,
+                    };
+                    Event::Begin {
+                        thread: parse_num(at, fields[1], "thread id")?,
+                        task: parse_num(at, fields[2], "task id")?,
+                        type_id: parse_num(at, fields[3], "type id")?,
+                        deps,
+                    }
+                }
+                "I" => {
+                    arity(&[2])?;
+                    Event::Inst {
+                        thread: parse_num(at, fields[1], "thread id")?,
+                        kind: parse_kind(at, fields[2])?,
+                    }
+                }
+                "M" => {
+                    arity(&[4])?;
+                    Event::Mem {
+                        thread: parse_num(at, fields[1], "thread id")?,
+                        kind: parse_kind(at, fields[2])?,
+                        addr: u64::from_str_radix(fields[3], 16).map_err(|_| {
+                            malformed(at, format!("invalid hex address {:?}", fields[3]))
+                        })?,
+                        size: parse_size(at, fields[4])?,
+                    }
+                }
+                "E" => {
+                    arity(&[2])?;
+                    Event::End {
+                        thread: parse_num(at, fields[1], "thread id")?,
+                        task: parse_num(at, fields[2], "task id")?,
+                    }
+                }
+                other => return Err(malformed(at, format!("unknown record {other:?}"))),
+            };
+            asm.event(at, ev)?;
+        }
+        asm.finish()
+    }
+
+    /// Parses the binary `*.tptrace` encoding.
+    ///
+    /// # Errors
+    ///
+    /// Any framing or semantic violation, as a typed [`IngestError`];
+    /// never panics on any input.
+    pub fn parse_binary(data: &[u8]) -> Result<Self, IngestError> {
+        let Some(rest) = data.strip_prefix(BINARY_MAGIC) else {
+            return Err(IngestError::BadMagic);
+        };
+        let mut cur = Cursor { data: rest, pos: 0, base: BINARY_MAGIC.len() };
+        let version = cur.u16()?;
+        if version != FORMAT_VERSION {
+            return Err(IngestError::UnsupportedVersion { found: version.to_string() });
+        }
+        let mut asm = Assembler::default();
+        let mut record = 0u64;
+        while !cur.done() {
+            record += 1;
+            let tag_offset = cur.offset();
+            let tag = cur.u8()?;
+            let ev = match tag {
+                b'T' => {
+                    let id = cur.u32()?;
+                    let len = cur.u16()? as usize;
+                    let name_offset = cur.offset();
+                    let name = std::str::from_utf8(cur.bytes(len)?)
+                        .map_err(|_| {
+                            malformed(record, format!("non-UTF-8 type name at byte {name_offset}"))
+                        })?
+                        .to_string();
+                    let branch_rate = f64::from_bits(cur.u64()?);
+                    let dep_rate = f64::from_bits(cur.u64()?);
+                    Event::Type { id, name, branch_rate, dep_rate }
+                }
+                b'B' => {
+                    let thread = cur.u32()?;
+                    let task = cur.u64()?;
+                    let type_id = cur.u32()?;
+                    let ndeps = cur.u16()? as usize;
+                    let deps = (0..ndeps).map(|_| cur.u64()).collect::<Result<_, _>>()?;
+                    Event::Begin { thread, task, type_id, deps }
+                }
+                b'I' => {
+                    let thread = cur.u32()?;
+                    Event::Inst { thread, kind: cur.kind()? }
+                }
+                b'M' => {
+                    let thread = cur.u32()?;
+                    let kind = cur.kind()?;
+                    let addr = cur.u64()?;
+                    let size = cur.u8()?;
+                    if size == 0 {
+                        return Err(malformed(record, "access size must be >= 1"));
+                    }
+                    Event::Mem { thread, kind, addr, size }
+                }
+                b'E' => {
+                    let thread = cur.u32()?;
+                    Event::End { thread, task: cur.u64()? }
+                }
+                tag => return Err(IngestError::BadEventTag { offset: tag_offset, tag }),
+            };
+            asm.event(record, ev)?;
+        }
+        asm.finish()
+    }
+
+    /// Parses either encoding, auto-detected: input starting with
+    /// [`BINARY_MAGIC`] is binary, everything else is treated as text.
+    ///
+    /// # Errors
+    ///
+    /// See [`parse_text`](Self::parse_text) and
+    /// [`parse_binary`](Self::parse_binary); non-UTF-8 input without the
+    /// binary magic is [`IngestError::InvalidUtf8`].
+    pub fn parse(data: &[u8]) -> Result<Self, IngestError> {
+        if data.starts_with(BINARY_MAGIC) {
+            Self::parse_binary(data)
+        } else {
+            Self::parse_text(std::str::from_utf8(data).map_err(|_| IngestError::InvalidUtf8)?)
+        }
+    }
+
+    /// The declared task types, in declaration (dense-index) order.
+    pub fn types(&self) -> &[IngestedType] {
+        &self.types
+    }
+
+    /// The task instances, in begin (dense-index) order.
+    pub fn tasks(&self) -> &[IngestedTask] {
+        &self.tasks
+    }
+
+    /// Number of task types.
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of task instances.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of threads the recorded execution used (max thread id + 1).
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Total instruction count over all tasks.
+    pub fn total_instructions(&self) -> u64 {
+        self.tasks.iter().map(|t| t.instructions).sum()
+    }
+
+    /// Instructions per type, indexed by dense type index.
+    pub fn instructions_per_type(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.types.len()];
+        for t in &self.tasks {
+            counts[t.type_index as usize] += t.instructions;
+        }
+        counts
+    }
+
+    /// Task instances per type, indexed by dense type index.
+    pub fn tasks_per_type(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.types.len()];
+        for t in &self.tasks {
+            counts[t.type_index as usize] += 1;
+        }
+        counts
+    }
+
+    /// Decodes one task's instruction stream into concrete instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (the stream bytes themselves were
+    /// validated during ingestion and always decode).
+    pub fn instructions_of(&self, index: usize) -> Vec<Instruction> {
+        let task = &self.tasks[index];
+        crate::encode::decode(bytes::Bytes::from(task.bytes.to_vec()))
+            .expect("ingested streams are valid encode records")
+    }
+
+    /// Serializes to the canonical text encoding (header, type
+    /// declarations, then each task's events contiguously in begin order).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{TEXT_HEADER}");
+        for ty in &self.types {
+            let _ = writeln!(
+                out,
+                "T:{}:{}:{}:{}",
+                ty.id, ty.name, ty.branch_mispredict_rate, ty.dependency_rate
+            );
+        }
+        for (index, task) in self.tasks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "B:{}:{}:{}",
+                task.thread, task.task_id, self.types[task.type_index as usize].id
+            );
+            if !task.deps.is_empty() {
+                let deps: Vec<String> =
+                    task.deps.iter().map(|&d| self.tasks[d as usize].task_id.to_string()).collect();
+                let _ = write!(out, ":{}", deps.join(","));
+            }
+            out.push('\n');
+            for inst in self.instructions_of(index) {
+                if inst.kind.is_memory() {
+                    let _ = writeln!(
+                        out,
+                        "M:{}:{}:{:x}:{}",
+                        task.thread, inst.kind, inst.addr, inst.size
+                    );
+                } else {
+                    let _ = writeln!(out, "I:{}:{}", task.thread, inst.kind);
+                }
+            }
+            let _ = writeln!(out, "E:{}:{}", task.thread, task.task_id);
+        }
+        out
+    }
+
+    /// Serializes to the canonical binary encoding (same record order as
+    /// [`to_text`](Self::to_text)).
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(BINARY_MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        for ty in &self.types {
+            out.push(b'T');
+            out.extend_from_slice(&ty.id.to_le_bytes());
+            out.extend_from_slice(&(ty.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(ty.name.as_bytes());
+            out.extend_from_slice(&ty.branch_mispredict_rate.to_bits().to_le_bytes());
+            out.extend_from_slice(&ty.dependency_rate.to_bits().to_le_bytes());
+        }
+        for (index, task) in self.tasks.iter().enumerate() {
+            out.push(b'B');
+            out.extend_from_slice(&task.thread.to_le_bytes());
+            out.extend_from_slice(&task.task_id.to_le_bytes());
+            out.extend_from_slice(&self.types[task.type_index as usize].id.to_le_bytes());
+            out.extend_from_slice(&(task.deps.len() as u16).to_le_bytes());
+            for &d in &task.deps {
+                out.extend_from_slice(&self.tasks[d as usize].task_id.to_le_bytes());
+            }
+            for inst in self.instructions_of(index) {
+                if inst.kind.is_memory() {
+                    out.push(b'M');
+                    out.extend_from_slice(&task.thread.to_le_bytes());
+                    out.push(inst.kind as u8);
+                    out.extend_from_slice(&inst.addr.to_le_bytes());
+                    out.push(inst.size);
+                } else {
+                    out.push(b'I');
+                    out.extend_from_slice(&task.thread.to_le_bytes());
+                    out.push(inst.kind as u8);
+                }
+            }
+            out.push(b'E');
+            out.extend_from_slice(&task.thread.to_le_bytes());
+            out.extend_from_slice(&task.task_id.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Bounds-checked reader over the binary payload.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    /// Bytes preceding `data` in the file (for error offsets).
+    base: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn offset(&self) -> usize {
+        self.base + self.pos
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], IngestError> {
+        match self.data.get(self.pos..self.pos + n) {
+            Some(b) => {
+                self.pos += n;
+                Ok(b)
+            }
+            None => Err(IngestError::Truncated { offset: self.base + self.data.len() }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, IngestError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, IngestError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("length checked")))
+    }
+
+    fn u32(&mut self) -> Result<u32, IngestError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("length checked")))
+    }
+
+    fn u64(&mut self) -> Result<u64, IngestError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("length checked")))
+    }
+
+    fn kind(&mut self) -> Result<InstKind, IngestError> {
+        let offset = self.offset();
+        let byte = self.u8()?;
+        InstKind::from_u8(byte).ok_or(IngestError::BadKindByte { offset, byte })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: &str = "\
+%tptrace 1
+# a tile DAG fragment over two threads
+T:0:potrf:0.01:0.3
+T:7:gemm
+B:0:0:0
+I:0:int_alu
+M:0:load:1f400:8
+B:1:10:7
+I:1:fp_mul
+I:0:branch
+E:0:0
+M:1:store:2e000:8
+B:0:1:7:0
+I:0:fp_alu
+E:1:10
+E:0:1
+";
+
+    fn valid() -> IngestedTrace {
+        IngestedTrace::parse_text(VALID).expect("fixture is valid")
+    }
+
+    #[test]
+    fn parses_interleaved_threads_and_remaps_densely() {
+        let t = valid();
+        assert_eq!(t.num_types(), 2);
+        assert_eq!(t.num_tasks(), 3);
+        assert_eq!(t.threads(), 2);
+        assert_eq!(t.total_instructions(), 6);
+        assert_eq!(t.tasks_per_type(), vec![1, 2]);
+        assert_eq!(t.instructions_per_type(), vec![3, 3]);
+        // Dense indices follow begin order: 0, 10, 1 -> 0, 1, 2.
+        assert_eq!(t.tasks()[1].task_id, 10);
+        assert_eq!(t.tasks()[1].index, 1);
+        assert_eq!(t.tasks()[1].type_index, 1);
+        // Task "1" depends on original id 0 -> dense 0.
+        assert_eq!(t.tasks()[2].deps, vec![0]);
+        // Interleaving is per thread: task 0's stream is alu, load, branch.
+        let insts = t.instructions_of(0);
+        assert_eq!(insts.len(), 3);
+        assert_eq!(insts[0], Instruction::compute(InstKind::IntAlu));
+        assert_eq!(insts[1], Instruction::memory(InstKind::Load, 0x1f400, 8));
+        assert_eq!(insts[2], Instruction::compute(InstKind::Branch));
+    }
+
+    #[test]
+    fn per_type_rates_parse_with_defaults() {
+        let t = valid();
+        assert_eq!(t.types()[0].branch_mispredict_rate, 0.01);
+        assert_eq!(t.types()[0].dependency_rate, 0.3);
+        assert_eq!(t.types()[1].branch_mispredict_rate, DEFAULT_BRANCH_RATE);
+        assert_eq!(t.types()[1].dependency_rate, DEFAULT_DEPENDENCY_RATE);
+    }
+
+    #[test]
+    fn text_and_binary_round_trip_canonically() {
+        let t = valid();
+        let text = t.to_text();
+        assert_eq!(IngestedTrace::parse_text(&text).unwrap(), t);
+        let bin = t.to_binary();
+        assert_eq!(IngestedTrace::parse_binary(&bin).unwrap(), t);
+        // Auto-detection picks the right parser for both encodings.
+        assert_eq!(IngestedTrace::parse(text.as_bytes()).unwrap(), t);
+        assert_eq!(IngestedTrace::parse(&bin).unwrap(), t);
+    }
+
+    #[test]
+    fn header_errors() {
+        assert_eq!(IngestedTrace::parse_text(""), Err(IngestError::MissingHeader));
+        assert_eq!(IngestedTrace::parse_text("# only comments\n"), Err(IngestError::MissingHeader));
+        assert_eq!(IngestedTrace::parse_text("T:0:x\n"), Err(IngestError::MissingHeader));
+        assert_eq!(
+            IngestedTrace::parse_text("%tptrace 9\n"),
+            Err(IngestError::UnsupportedVersion { found: "9".into() })
+        );
+        assert_eq!(IngestedTrace::parse(&[0xC0, 0xAF]), Err(IngestError::InvalidUtf8));
+        assert_eq!(IngestedTrace::parse_binary(b"nope"), Err(IngestError::BadMagic));
+    }
+
+    /// Replaces the first line containing `pat` with `repl`.
+    fn mutate(pat: &str, repl: &str) -> Result<IngestedTrace, IngestError> {
+        let mutated: Vec<String> = VALID
+            .lines()
+            .map(|l| if l.contains(pat) { repl.to_string() } else { l.to_string() })
+            .collect();
+        IngestedTrace::parse_text(&(mutated.join("\n") + "\n"))
+    }
+
+    #[test]
+    fn semantic_errors_are_typed() {
+        assert_eq!(
+            mutate("B:0:0:0", "B:0:0:3"),
+            Err(IngestError::UnknownTaskType { line: 5, type_id: 3 })
+        );
+        assert_eq!(
+            mutate("B:1:10:7", "B:1:0:7"),
+            Err(IngestError::DuplicateTask { line: 8, task: 0 })
+        );
+        assert_eq!(
+            mutate("B:1:10:7", "B:0:10:7"),
+            Err(IngestError::ThreadBusy { line: 8, thread: 0, running: 0 })
+        );
+        assert_eq!(
+            mutate("I:1:fp_mul", "I:2:fp_mul"),
+            Err(IngestError::NoOpenTask { line: 9, thread: 2 })
+        );
+        assert_eq!(
+            mutate("E:0:0", "E:0:99"),
+            Err(IngestError::EndMismatch { line: 11, thread: 0, expected: 0, found: 99 })
+        );
+        assert_eq!(
+            mutate("I:0:int_alu", "I:0:load"),
+            Err(IngestError::MemoryKindInCompute { line: 6, kind: InstKind::Load })
+        );
+        assert_eq!(
+            mutate("M:0:load:1f400:8", "M:0:branch:1f400:8"),
+            Err(IngestError::ComputeKindInMemory { line: 7, kind: InstKind::Branch })
+        );
+        assert_eq!(
+            mutate("B:0:1:7:0", "B:0:1:7:55"),
+            Err(IngestError::UnknownDependency { line: 13, task: 1, dep: 55 })
+        );
+        assert_eq!(
+            mutate("B:0:1:7:0", "B:0:1:7:1"),
+            Err(IngestError::SelfDependency { line: 13, task: 1 })
+        );
+        assert_eq!(
+            mutate("B:0:1:7:0", "B:0:1:7:10"),
+            Err(IngestError::DependencyNotRetired { line: 13, task: 1, dep: 10 })
+        );
+        assert_eq!(
+            mutate("T:7:gemm", "T:0:gemm"),
+            Err(IngestError::DuplicateType { line: 4, type_id: 0 })
+        );
+        assert_eq!(
+            mutate("E:0:1", "# gone"),
+            Err(IngestError::UnclosedTask { thread: 0, task: 1 })
+        );
+        assert_eq!(
+            mutate("T:0:potrf:0.01:0.3", "T:0:potrf:1.5:0.3"),
+            Err(IngestError::RateOutOfRange { line: 3, value: 1.5 })
+        );
+    }
+
+    #[test]
+    fn lexical_errors_are_typed() {
+        assert!(matches!(mutate("I:0:int_alu", "I:0:frobnicate"),
+            Err(IngestError::UnknownKindName { line: 6, ref kind }) if kind == "frobnicate"));
+        assert!(matches!(
+            mutate("I:0:int_alu", "X:0:1"),
+            Err(IngestError::Malformed { line: 6, .. })
+        ));
+        assert!(matches!(
+            mutate("I:0:int_alu", "I:zz:int_alu"),
+            Err(IngestError::Malformed { line: 6, .. })
+        ));
+        assert!(matches!(
+            mutate("M:0:load:1f400:8", "M:0:load:0xGG:8"),
+            Err(IngestError::Malformed { line: 7, .. })
+        ));
+        assert!(matches!(
+            mutate("M:0:load:1f400:8", "M:0:load:1f400:0"),
+            Err(IngestError::Malformed { line: 7, .. })
+        ));
+        assert!(matches!(
+            mutate("I:0:int_alu", "I:0"),
+            Err(IngestError::Malformed { line: 6, .. })
+        ));
+        assert!(matches!(
+            mutate("B:0:1:7:0", "B:0:1:7:"),
+            Err(IngestError::Malformed { line: 13, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_task_and_empty_trace_rejected() {
+        let empty_task = "%tptrace 1\nT:0:x\nB:0:0:0\nE:0:0\n";
+        assert_eq!(
+            IngestedTrace::parse_text(empty_task),
+            Err(IngestError::EmptyTask { line: 4, task: 0 })
+        );
+        assert_eq!(IngestedTrace::parse_text("%tptrace 1\n"), Err(IngestError::EmptyTrace));
+        assert_eq!(
+            IngestedTrace::parse_text("%tptrace 1\nT:0:x\n"),
+            Err(IngestError::EmptyTrace),
+            "task-free traces are empty before they are type-checked"
+        );
+        let unused = "%tptrace 1\nT:0:x\nT:1:y\nB:0:0:0\nI:0:int_alu\nE:0:0\n";
+        assert_eq!(IngestedTrace::parse_text(unused), Err(IngestError::UnusedType { type_id: 1 }));
+    }
+
+    #[test]
+    fn binary_framing_errors_are_typed() {
+        let good = valid().to_binary();
+        // Truncation anywhere inside the payload is detected (offset points
+        // past the end of what remained).
+        for cut in [5, 7, 10, good.len() - 1] {
+            assert!(matches!(
+                IngestedTrace::parse_binary(&good[..cut]),
+                Err(IngestError::Truncated { .. } | IngestError::UnsupportedVersion { .. })
+            ));
+        }
+        // A corrupted record tag.
+        let mut bad_tag = good.clone();
+        bad_tag[6] = 0xAA;
+        assert_eq!(
+            IngestedTrace::parse_binary(&bad_tag),
+            Err(IngestError::BadEventTag { offset: 6, tag: 0xAA })
+        );
+        // Invalid kind discriminant inside an I record: find one.
+        let t = valid();
+        let mut bin = Vec::new();
+        bin.extend_from_slice(BINARY_MAGIC);
+        bin.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bin.push(b'T');
+        bin.extend_from_slice(&0u32.to_le_bytes());
+        bin.extend_from_slice(&1u16.to_le_bytes());
+        bin.push(b'x');
+        bin.extend_from_slice(&0.0f64.to_bits().to_le_bytes());
+        bin.extend_from_slice(&0.0f64.to_bits().to_le_bytes());
+        bin.push(b'B');
+        bin.extend_from_slice(&0u32.to_le_bytes());
+        bin.extend_from_slice(&0u64.to_le_bytes());
+        bin.extend_from_slice(&0u32.to_le_bytes());
+        bin.extend_from_slice(&0u16.to_le_bytes());
+        bin.push(b'I');
+        bin.extend_from_slice(&0u32.to_le_bytes());
+        let kind_offset = bin.len();
+        bin.push(0xFF);
+        assert_eq!(
+            IngestedTrace::parse_binary(&bin),
+            Err(IngestError::BadKindByte { offset: kind_offset, byte: 0xFF })
+        );
+        drop(t);
+    }
+
+    #[test]
+    fn hostile_edge_values_are_typed_errors_not_panics() {
+        // Thread id u32::MAX must not overflow the thread count.
+        let t = "%tptrace 1\nT:0:x\nB:4294967295:0:0\nI:4294967295:int_alu\nE:4294967295:0\n";
+        assert!(matches!(
+            IngestedTrace::parse_text(t),
+            Err(IngestError::Malformed { line: 3, .. })
+        ));
+        // An empty type name cannot round-trip through the text encoding.
+        assert!(matches!(
+            IngestedTrace::parse_text("%tptrace 1\nT:0:\n"),
+            Err(IngestError::BadTypeName { line: 2, .. })
+        ));
+        // A dependency list longer than the binary u16 count prefix.
+        let mut many_deps = String::from("%tptrace 1\nT:0:x\nB:0:0:0\nI:0:int_alu\nE:0:0\n");
+        many_deps.push_str("B:0:1:0:");
+        many_deps.push_str(&vec!["0"; 70_000].join(","));
+        many_deps.push('\n');
+        assert!(matches!(
+            IngestedTrace::parse_text(&many_deps),
+            Err(IngestError::Malformed { line: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn binary_type_names_that_cannot_round_trip_are_rejected() {
+        // The binary length-prefixed name can carry bytes the text field
+        // syntax cannot (':' and newlines); both parsers must reject them
+        // or `to_text` would emit an unparseable file.
+        for name in ["ge:mm", "ge\nmm", ""] {
+            let mut bin = Vec::new();
+            bin.extend_from_slice(BINARY_MAGIC);
+            bin.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            bin.push(b'T');
+            bin.extend_from_slice(&0u32.to_le_bytes());
+            bin.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            bin.extend_from_slice(name.as_bytes());
+            bin.extend_from_slice(&0.0f64.to_bits().to_le_bytes());
+            bin.extend_from_slice(&0.0f64.to_bits().to_le_bytes());
+            assert!(
+                matches!(
+                    IngestedTrace::parse_binary(&bin),
+                    Err(IngestError::BadTypeName { line: 1, .. })
+                ),
+                "name {name:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let cases: Vec<(IngestError, &str)> = vec![
+            (IngestError::MissingHeader, "%tptrace"),
+            (IngestError::UnsupportedVersion { found: "9".into() }, "9"),
+            (IngestError::Truncated { offset: 12 }, "12"),
+            (IngestError::UnknownTaskType { line: 3, type_id: 7 }, "undeclared"),
+            (IngestError::DependencyNotRetired { line: 4, task: 1, dep: 2 }, "not ended"),
+            (IngestError::UnclosedTask { thread: 0, task: 9 }, "still open"),
+            (IngestError::EmptyTrace, "no tasks"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -66,6 +66,27 @@ impl InstKind {
     pub fn from_u8(v: u8) -> Option<Self> {
         Self::ALL.get(v as usize).copied()
     }
+
+    /// Parses the [`Display`](std::fmt::Display) name back into a kind
+    /// (`"int_alu"`, `"load"`, …); `None` for unknown names. This is the
+    /// inverse of `to_string()` and the kind syntax of the text
+    /// [`ingest`](crate::ingest) format.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "int_alu" => InstKind::IntAlu,
+            "int_mul" => InstKind::IntMul,
+            "int_div" => InstKind::IntDiv,
+            "fp_alu" => InstKind::FpAlu,
+            "fp_mul" => InstKind::FpMul,
+            "fp_div" => InstKind::FpDiv,
+            "load" => InstKind::Load,
+            "store" => InstKind::Store,
+            "branch" => InstKind::Branch,
+            "atomic" => InstKind::Atomic,
+            "fence" => InstKind::Fence,
+            _ => return None,
+        })
+    }
 }
 
 impl std::fmt::Display for InstKind {
@@ -140,6 +161,15 @@ mod tests {
         assert!(InstKind::Store.writes_memory());
         assert!(InstKind::Atomic.writes_memory());
         assert!(!InstKind::Load.writes_memory());
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for k in InstKind::ALL {
+            assert_eq!(InstKind::from_name(&k.to_string()), Some(k));
+        }
+        assert_eq!(InstKind::from_name("LOAD"), None);
+        assert_eq!(InstKind::from_name(""), None);
     }
 
     #[test]

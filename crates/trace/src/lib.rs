@@ -20,7 +20,10 @@
 //! per-instruction compatibility shim over that pipeline. Pre-recorded
 //! streams in the [`encode`] binary format are a first-class source too
 //! ([`RecordedTrace`]), so traces captured from real executions can drive
-//! the same machinery.
+//! the same machinery. The [`ingest`] module parses *external* traces —
+//! Paraver/TaskSim-style `*.tptrace` event streams, in a documented text
+//! and binary encoding (see `docs/TRACE_FORMATS.md`) — into per-task
+//! recorded streams ready for that pipeline.
 //!
 //! Small concrete streams can still be materialized and round-tripped
 //! through a compact binary encoding ([`encode`]) for golden tests.
@@ -48,6 +51,7 @@
 
 pub mod block;
 pub mod encode;
+pub mod ingest;
 pub mod inst;
 pub mod mix;
 pub mod pattern;
@@ -55,6 +59,7 @@ pub mod region;
 pub mod spec;
 
 pub use block::{InstBlock, RecordedTrace, SpecSource, TraceSource, BLOCK_CAPACITY};
+pub use ingest::{IngestError, IngestedTask, IngestedTrace, IngestedType};
 pub use inst::{InstKind, Instruction};
 pub use mix::InstructionMix;
 pub use pattern::AccessPattern;

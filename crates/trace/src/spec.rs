@@ -294,8 +294,8 @@ impl TraceSpecBuilder {
     ///
     /// # Panics
     ///
-    /// Panics with the [`TraceSpecError`] message if [`try_build`]
-    /// (TraceSpecBuilder::try_build) would return an error, or if the
+    /// Panics with the [`TraceSpecError`] message if
+    /// [`try_build`](TraceSpecBuilder::try_build) would return an error, or if the
     /// pattern parameters are invalid.
     pub fn build(self) -> TraceSpec {
         self.try_build().unwrap_or_else(|e| panic!("{e}"))

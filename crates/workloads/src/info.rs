@@ -11,6 +11,9 @@ pub enum BenchClass {
     Application,
     /// Task-based port of a PARSEC benchmark (bottom block).
     Parsec,
+    /// Externally ingested trace (not part of Table I; see the
+    /// `external` module).
+    External,
 }
 
 impl std::fmt::Display for BenchClass {
@@ -19,6 +22,7 @@ impl std::fmt::Display for BenchClass {
             BenchClass::Kernel => "kernel",
             BenchClass::Application => "application",
             BenchClass::Parsec => "parsec",
+            BenchClass::External => "external",
         })
     }
 }
@@ -47,5 +51,6 @@ mod tests {
         assert_eq!(BenchClass::Kernel.to_string(), "kernel");
         assert_eq!(BenchClass::Application.to_string(), "application");
         assert_eq!(BenchClass::Parsec.to_string(), "parsec");
+        assert_eq!(BenchClass::External.to_string(), "external");
     }
 }

@@ -24,12 +24,14 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod external;
 pub mod info;
 pub mod kernels;
 pub mod layout;
 pub mod parsec;
 pub mod scale;
 
+pub use external::ExternalWorkload;
 pub use info::{BenchClass, WorkloadInfo};
 pub use layout::AddressAllocator;
 pub use scale::ScaleConfig;
@@ -77,6 +79,9 @@ pub enum Benchmark {
     Freqmine,
     /// swaptions (PARSEC).
     Swaptions,
+    /// An externally ingested trace (the `external` workload family; not
+    /// part of Table I, so not in [`Benchmark::ALL`]).
+    External(ExternalWorkload),
 }
 
 impl Benchmark {
@@ -114,7 +119,13 @@ impl Benchmark {
         Benchmark::Blackscholes,
     ];
 
-    /// Table I metadata.
+    /// The external workloads (ingested fixture traces), in fixture order.
+    pub const EXTERNAL: [Benchmark; 2] = [
+        Benchmark::External(ExternalWorkload::DagMini),
+        Benchmark::External(ExternalWorkload::PipelineMini),
+    ];
+
+    /// Table I metadata (fixture-derived metadata for external workloads).
     pub fn info(self) -> WorkloadInfo {
         match self {
             Benchmark::Conv2d => kernels::conv2d::INFO,
@@ -136,10 +147,16 @@ impl Benchmark {
             Benchmark::Dedup => parsec::dedup::INFO,
             Benchmark::Freqmine => parsec::freqmine::INFO,
             Benchmark::Swaptions => parsec::swaptions::INFO,
+            Benchmark::External(w) => w.info(),
         }
     }
 
     /// Generates the benchmark's task program at the given scale.
+    ///
+    /// External workloads replay a fixed recorded trace, so they ignore
+    /// `scale`; their detailed streams additionally require the
+    /// `RecordedTraces` bundle of the same trace (see the
+    /// [`external`] module docs).
     pub fn generate(self, scale: &ScaleConfig) -> Program {
         match self {
             Benchmark::Conv2d => kernels::conv2d::generate(scale),
@@ -161,17 +178,20 @@ impl Benchmark {
             Benchmark::Dedup => parsec::dedup::generate(scale),
             Benchmark::Freqmine => parsec::freqmine::generate(scale),
             Benchmark::Swaptions => parsec::swaptions::generate(scale),
+            Benchmark::External(w) => w.generate(),
         }
     }
 
-    /// The paper's benchmark name.
+    /// The paper's benchmark name (the fixture name for external
+    /// workloads).
     pub fn name(self) -> &'static str {
         self.info().name
     }
 
-    /// Looks a benchmark up by its paper name.
+    /// Looks a benchmark up by name, across Table I and the external
+    /// family.
     pub fn by_name(name: &str) -> Option<Benchmark> {
-        Benchmark::ALL.into_iter().find(|b| b.name() == name)
+        Benchmark::ALL.into_iter().chain(Benchmark::EXTERNAL).find(|b| b.name() == name)
     }
 }
 
@@ -224,6 +244,23 @@ mod tests {
             assert_eq!(Benchmark::by_name(b.name()), Some(b));
         }
         assert_eq!(Benchmark::by_name("not-a-benchmark"), None);
+    }
+
+    #[test]
+    fn external_family_is_outside_table1_but_resolvable() {
+        assert_eq!(Benchmark::EXTERNAL.len(), 2);
+        for b in Benchmark::EXTERNAL {
+            assert!(!Benchmark::ALL.contains(&b));
+            assert_eq!(Benchmark::by_name(b.name()), Some(b));
+            assert_eq!(b.info().class, BenchClass::External);
+            let info = b.info();
+            // generate() ignores the scale: a recorded trace has one size.
+            let p = b.generate(&ScaleConfig::quick());
+            let q = b.generate(&ScaleConfig::new());
+            assert_eq!(p.num_types(), info.task_types);
+            assert_eq!(p.num_instances(), info.task_instances);
+            assert_eq!(p.total_instructions(), q.total_instructions());
+        }
     }
 
     #[test]
