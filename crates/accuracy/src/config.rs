@@ -1,0 +1,169 @@
+//! Parameters of the confidence-driven adaptive policy.
+
+use serde::{Deserialize, Serialize};
+use taskpoint_stats::Confidence;
+
+/// The three knobs of the adaptive stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveParams {
+    /// Target relative confidence-interval half-width (a fraction: `0.05`
+    /// = the cluster's mean IPC is known to ±5% at the configured
+    /// confidence). **`0.0` is the degenerate setting**: the statistical
+    /// requirement is waived and a cluster stops after exactly
+    /// `min_samples` detailed instances — i.e. the policy collapses to
+    /// the fixed-budget lazy policy with history size `min_samples`
+    /// (pinned by a workspace property test). A *positive* target can
+    /// never be met sooner than a looser one, so tightening the target
+    /// monotonically increases the detailed-instance count.
+    pub target_ci: f64,
+    /// Two-sided confidence level of the interval.
+    pub confidence: Confidence,
+    /// Minimum detailed samples per cluster before it may fast-forward,
+    /// regardless of how quickly the interval shrinks (`>= 1`; values
+    /// `< 2` make the CI test unreachable until a second sample exists,
+    /// since a single sample has no variance estimate).
+    pub min_samples: u64,
+}
+
+impl AdaptiveParams {
+    /// Parameters at the given CI target with the conventional defaults:
+    /// 95% confidence and a 4-sample floor (the paper's tuned `H`).
+    pub fn new(target_ci: f64) -> Self {
+        Self { target_ci, confidence: Confidence::C95, min_samples: 4 }
+    }
+
+    /// Overrides the confidence level.
+    pub fn with_confidence(mut self, confidence: Confidence) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Overrides the minimum-sample floor.
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), AdaptiveParamsError> {
+        if !self.target_ci.is_finite() || self.target_ci < 0.0 {
+            return Err(AdaptiveParamsError::BadTarget { target_ci: self.target_ci });
+        }
+        if self.min_samples == 0 {
+            return Err(AdaptiveParamsError::ZeroMinSamples);
+        }
+        Ok(())
+    }
+}
+
+/// An out-of-range [`AdaptiveParams`] field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptiveParamsError {
+    /// `target_ci` is negative or non-finite.
+    BadTarget {
+        /// The rejected value.
+        target_ci: f64,
+    },
+    /// `min_samples` is zero — a cluster could fast-forward with no IPC
+    /// estimate at all.
+    ZeroMinSamples,
+}
+
+impl std::fmt::Display for AdaptiveParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptiveParamsError::BadTarget { target_ci } => {
+                write!(f, "adaptive CI target must be a finite fraction >= 0, got {target_ci}")
+            }
+            AdaptiveParamsError::ZeroMinSamples => {
+                write!(f, "adaptive min_samples must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptiveParamsError {}
+
+/// Full configuration of an [`AdaptiveController`](crate::AdaptiveController).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// `W`: detailed instances per worker at simulation start whose IPC
+    /// only feeds the fallback (all-samples) moments — micro-architectural
+    /// warmup, exactly as in the base controller.
+    pub warmup_instances: u64,
+    /// Rare-cluster cutoff: once every worker has completed this many
+    /// instances without touching an unconverged cluster, clusters that
+    /// still lack their floor are force-converged onto whatever estimate
+    /// they have (the transplant of the paper's rare-task-type rule —
+    /// a cluster too rare to ever satisfy the floor must not pin its
+    /// occasional instances to detailed mode forever).
+    pub rare_cluster_cutoff: u64,
+    /// The stopping rule.
+    pub params: AdaptiveParams,
+}
+
+impl AdaptiveConfig {
+    /// Configuration at the given CI target with the paper-tuned
+    /// surroundings: `W = 2`, rare cutoff 5, 95% confidence, 4-sample
+    /// floor.
+    pub fn new(target_ci: f64) -> Self {
+        Self { warmup_instances: 2, rare_cluster_cutoff: 5, params: AdaptiveParams::new(target_ci) }
+    }
+
+    /// Overrides `W`.
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup_instances = warmup;
+        self
+    }
+
+    /// Overrides the stopping rule.
+    pub fn with_params(mut self, params: AdaptiveParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), AdaptiveParamsError> {
+        self.params.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper_tuning() {
+        let c = AdaptiveConfig::new(0.05);
+        assert_eq!(c.warmup_instances, 2);
+        assert_eq!(c.rare_cluster_cutoff, 5);
+        assert_eq!(c.params.target_ci, 0.05);
+        assert_eq!(c.params.confidence, Confidence::C95);
+        assert_eq!(c.params.min_samples, 4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_override() {
+        let p = AdaptiveParams::new(0.02).with_confidence(Confidence::C99).with_min_samples(8);
+        assert_eq!(p.confidence, Confidence::C99);
+        assert_eq!(p.min_samples, 8);
+        let c = AdaptiveConfig::new(0.1).with_warmup(0).with_params(p);
+        assert_eq!(c.warmup_instances, 0);
+        assert_eq!(c.params, p);
+    }
+
+    #[test]
+    fn invalid_params_are_typed_errors() {
+        assert_eq!(
+            AdaptiveParams::new(-0.1).validate(),
+            Err(AdaptiveParamsError::BadTarget { target_ci: -0.1 })
+        );
+        assert!(AdaptiveParams::new(f64::NAN).validate().is_err());
+        assert_eq!(
+            AdaptiveParams::new(0.05).with_min_samples(0).validate(),
+            Err(AdaptiveParamsError::ZeroMinSamples)
+        );
+        assert_eq!(AdaptiveParams::new(0.0).validate(), Ok(()), "degenerate target is legal");
+    }
+}

@@ -1,0 +1,571 @@
+//! The confidence-driven adaptive mode controller.
+//!
+//! Unlike the base TaskPoint controller — a *global* four-phase machine
+//! that samples every observed type until all histories fill, then
+//! fast-forwards everything — the adaptive controller makes the
+//! detailed/fast decision **per sampling cluster**:
+//!
+//! * every cluster starts unconverged and runs detailed;
+//! * each detailed completion feeds the cluster's streaming moments;
+//! * once the cluster satisfies the stopping rule
+//!   ([`ci_target_met`]: `n ≥ min_samples` and the
+//!   relative CI half-width of its mean IPC within `target_ci` at the
+//!   configured confidence), it *converges* and its future instances
+//!   fast-forward at the streaming mean IPC;
+//! * a **rare-cluster cutoff** transplants the paper's rare-task-type
+//!   rule: when every worker has completed `rare_cluster_cutoff`
+//!   instances without touching an unconverged cluster, clusters that
+//!   still lack samples to converge are forced onto whatever estimate
+//!   they have, so a cluster with three instances in the whole program
+//!   cannot pin the simulation to detailed mode;
+//! * the initial **warmup** (`W` detailed instances per worker) feeds
+//!   only the fallback moments, exactly like the base controller's
+//!   all-samples history.
+//!
+//! There is no global resampling: a cluster unseen so far is simply a new
+//! unconverged cluster (the per-cluster analogue of the paper's
+//! new-task-type trigger), and convergence is sticky. Samples are pooled
+//! across concurrency levels; re-opening converged clusters on sustained
+//! concurrency shifts is future work recorded in `docs/ARCHITECTURE.md`.
+
+use std::collections::HashMap;
+
+use taskpoint_runtime::TaskTypeId;
+use taskpoint_stats::StreamingMoments;
+use tasksim::{ExecMode, ModeController, SimMode, TaskReport, TaskStart};
+
+use crate::ci::{ci_target_met, relative_ci_half_width};
+use crate::cluster::ClusterMap;
+use crate::config::AdaptiveConfig;
+
+/// Per-cluster sampling state.
+#[derive(Debug, Clone, Default)]
+struct ClusterState {
+    /// Post-warmup detailed samples — what the CI is computed over.
+    valid: StreamingMoments,
+    /// Every detailed sample including warmup — the fallback estimate.
+    all: StreamingMoments,
+    /// Instances observed starting (any mode).
+    seen: u64,
+    converged: bool,
+    /// Converged via the rare-cluster cutoff rather than the CI test.
+    forced: bool,
+}
+
+impl ClusterState {
+    /// The fast-forward IPC: mean of the valid moments, else of the
+    /// fallback moments, else `None`.
+    fn ipc(&self) -> Option<f64> {
+        for m in [&self.valid, &self.all] {
+            if !m.is_empty() && m.mean() > 0.0 {
+                return Some(m.mean());
+            }
+        }
+        None
+    }
+}
+
+/// Telemetry of one adaptive run.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveStats {
+    /// Tasks simulated in detail.
+    pub detailed_tasks: u64,
+    /// Tasks fast-forwarded.
+    pub fast_tasks: u64,
+    /// Valid (post-warmup) samples measured, per sampling unit.
+    pub valid_samples: HashMap<u32, u64>,
+    /// Clusters force-converged by the rare-cluster cutoff.
+    pub rare_forced: u64,
+}
+
+/// End-of-run accuracy of one sampling cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterAccuracy {
+    /// The sampling unit (type id, or virtual id under clustering).
+    pub unit: u32,
+    /// Valid samples accumulated.
+    pub samples: u64,
+    /// Instances observed starting (any mode).
+    pub seen: u64,
+    /// Streaming mean IPC the cluster fast-forwards at (valid moments,
+    /// falling back to warmup samples), or 0 when it never completed a
+    /// usable detailed instance.
+    pub mean_ipc: f64,
+    /// Relative CI half-width of the valid mean at the configured
+    /// confidence; `None` when undefined (fewer than two valid samples).
+    pub rel_ci: Option<f64>,
+    /// Whether the cluster converged (stopped sampling).
+    pub converged: bool,
+    /// Whether convergence came from the rare-cluster cutoff.
+    pub forced: bool,
+}
+
+/// Per-cluster confidence intervals of a finished adaptive run — the
+/// payload behind the campaign record's CI fields.
+#[derive(Debug, Clone)]
+pub struct AccuracyReport {
+    /// The configuration the run used.
+    pub config: AdaptiveConfig,
+    /// Per-cluster accuracy, sorted by unit id.
+    pub clusters: Vec<ClusterAccuracy>,
+}
+
+impl AccuracyReport {
+    /// Number of sampling units observed.
+    pub fn units(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Units that converged (by CI or by cutoff).
+    pub fn converged_units(&self) -> usize {
+        self.clusters.iter().filter(|c| c.converged).count()
+    }
+
+    /// Largest defined per-cluster relative CI half-width — the weakest
+    /// per-cluster guarantee of the run.
+    pub fn max_rel_ci(&self) -> Option<f64> {
+        // rel_ci values are finite by construction, so f64::max is exact.
+        self.clusters.iter().filter_map(|c| c.rel_ci).reduce(f64::max)
+    }
+
+    /// Mean of the defined per-cluster relative CI half-widths.
+    pub fn mean_rel_ci(&self) -> Option<f64> {
+        let cis: Vec<f64> = self.clusters.iter().filter_map(|c| c.rel_ci).collect();
+        if cis.is_empty() {
+            None
+        } else {
+            Some(cis.iter().sum::<f64>() / cis.len() as f64)
+        }
+    }
+}
+
+/// The adaptive mode controller. Create one per simulation run.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    config: AdaptiveConfig,
+    clusters: HashMap<TaskTypeId, ClusterState>,
+    /// Detailed completions per worker during initial warmup.
+    warmup_done: Vec<u64>,
+    /// Completions per worker since one last touched an unconverged
+    /// cluster (the rare-cluster cutoff clock).
+    since_unconverged: Vec<u64>,
+    workers_known: bool,
+    warmup_complete: bool,
+    stats: AdaptiveStats,
+}
+
+impl AdaptiveController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`AdaptiveConfig::validate`]).
+    pub fn new(config: AdaptiveConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid adaptive configuration: {e}");
+        }
+        Self {
+            warmup_complete: config.warmup_instances == 0,
+            config,
+            clusters: HashMap::new(),
+            warmup_done: Vec::new(),
+            since_unconverged: Vec::new(),
+            workers_known: false,
+            stats: AdaptiveStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// The telemetry collected so far.
+    pub fn stats(&self) -> &AdaptiveStats {
+        &self.stats
+    }
+
+    /// The per-cluster accuracy picture at this point of the run.
+    pub fn report(&self) -> AccuracyReport {
+        let mut clusters: Vec<ClusterAccuracy> = self
+            .clusters
+            .iter()
+            .map(|(unit, st)| ClusterAccuracy {
+                unit: unit.0,
+                samples: st.valid.count(),
+                seen: st.seen,
+                mean_ipc: st.ipc().unwrap_or(0.0),
+                rel_ci: relative_ci_half_width(&st.valid, self.config.params.confidence),
+                converged: st.converged,
+                forced: st.forced,
+            })
+            .collect();
+        clusters.sort_by_key(|c| c.unit);
+        AccuracyReport { config: self.config, clusters }
+    }
+
+    /// Consumes the controller, returning telemetry and the accuracy
+    /// report.
+    pub fn into_parts(self) -> (AdaptiveStats, AccuracyReport) {
+        let report = self.report();
+        (self.stats, report)
+    }
+
+    fn ensure_workers(&mut self, total: u32) {
+        if !self.workers_known {
+            let n = total as usize;
+            self.warmup_done = vec![0; n];
+            self.since_unconverged = vec![0; n];
+            self.workers_known = true;
+        }
+    }
+
+    /// True when every worker completed the warmup quota.
+    fn check_warmup_complete(&self) -> bool {
+        self.warmup_done.iter().all(|&c| c >= self.config.warmup_instances)
+    }
+
+    /// True when the rare-cluster cutoff clock expired on every worker.
+    fn rare_cutoff_expired(&self) -> bool {
+        self.since_unconverged.iter().all(|&c| c >= self.config.rare_cluster_cutoff)
+    }
+
+    /// Force-converges every cluster that has any estimate at all.
+    fn force_converge_rare(&mut self) {
+        for st in self.clusters.values_mut() {
+            if !st.converged && st.ipc().is_some() {
+                st.converged = true;
+                st.forced = true;
+                self.stats.rare_forced += 1;
+            }
+        }
+        for c in &mut self.since_unconverged {
+            *c = 0;
+        }
+    }
+
+    fn reset_cutoff_clock(&mut self) {
+        for c in &mut self.since_unconverged {
+            *c = 0;
+        }
+    }
+}
+
+impl ModeController for AdaptiveController {
+    fn mode_for_task(&mut self, start: &TaskStart) -> ExecMode {
+        self.ensure_workers(start.total_workers);
+        let state = self.clusters.entry(start.type_id).or_default();
+        state.seen += 1;
+        if !self.warmup_complete {
+            return ExecMode::Detailed;
+        }
+        if state.converged {
+            if let Some(ipc) = state.ipc() {
+                return ExecMode::Fast { ipc };
+            }
+            // Converged with no estimate cannot happen through the normal
+            // paths; recover by sampling.
+            state.converged = false;
+        }
+        ExecMode::Detailed
+    }
+
+    fn on_task_complete(&mut self, report: &TaskReport) {
+        match report.mode {
+            SimMode::Fast => {
+                self.stats.fast_tasks += 1;
+                // Fast instances belong to converged clusters: the rare
+                // cutoff clock advances.
+                self.since_unconverged[report.worker.index()] += 1;
+            }
+            SimMode::Detailed => {
+                self.stats.detailed_tasks += 1;
+                let ipc = report.ipc();
+                let usable = report.instructions > 0 && report.cycles() > 0 && ipc.is_finite();
+                let w = report.worker.index();
+                if !self.warmup_complete {
+                    self.warmup_done[w] += 1;
+                    if usable {
+                        let state = self
+                            .clusters
+                            .get_mut(&report.type_id)
+                            .expect("completed task of unregistered cluster");
+                        state.all.add(ipc);
+                    }
+                    if self.check_warmup_complete() {
+                        self.warmup_complete = true;
+                        self.reset_cutoff_clock();
+                    }
+                    return;
+                }
+                let state = self
+                    .clusters
+                    .get_mut(&report.type_id)
+                    .expect("completed task of unregistered cluster");
+                if state.converged {
+                    // A straggler that started detailed before its cluster
+                    // converged: fallback moments only, clock advances.
+                    if usable {
+                        state.all.add(ipc);
+                    }
+                    self.since_unconverged[w] += 1;
+                } else {
+                    if usable {
+                        state.valid.add(ipc);
+                        state.all.add(ipc);
+                        *self.stats.valid_samples.entry(report.type_id.0).or_insert(0) += 1;
+                        if ci_target_met(&state.valid, &self.config.params) {
+                            state.converged = true;
+                        }
+                    }
+                    self.reset_cutoff_clock();
+                }
+            }
+        }
+        if self.rare_cutoff_expired() {
+            self.force_converge_rare();
+        }
+    }
+}
+
+/// Adaptive sampling over `(type, size-class)` units: the counterpart of
+/// the size-clustered base controller, remapping every instance through a
+/// [`ClusterMap`] before delegating.
+#[derive(Debug)]
+pub struct ClusteredAdaptiveController {
+    inner: AdaptiveController,
+    map: ClusterMap,
+}
+
+impl ClusteredAdaptiveController {
+    /// Creates a clustered adaptive controller (see [`ClusterMap::new`]
+    /// for `granularity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity == 0` or the configuration is invalid.
+    pub fn new(config: AdaptiveConfig, granularity: u32) -> Self {
+        Self { inner: AdaptiveController::new(config), map: ClusterMap::new(granularity) }
+    }
+
+    /// Number of distinct `(type, size-class)` sampling units seen.
+    pub fn num_clusters(&self) -> usize {
+        self.map.num_clusters()
+    }
+
+    /// The per-cluster accuracy picture (units are virtual ids).
+    pub fn report(&self) -> AccuracyReport {
+        self.inner.report()
+    }
+
+    /// Consumes the controller, returning telemetry and the accuracy
+    /// report.
+    pub fn into_parts(self) -> (AdaptiveStats, AccuracyReport) {
+        self.inner.into_parts()
+    }
+}
+
+impl ModeController for ClusteredAdaptiveController {
+    fn mode_for_task(&mut self, start: &TaskStart) -> ExecMode {
+        let mut mapped = *start;
+        mapped.type_id = self.map.unit(start.type_id, start.instructions);
+        self.inner.mode_for_task(&mapped)
+    }
+
+    fn on_task_complete(&mut self, report: &TaskReport) {
+        let mut mapped = *report;
+        mapped.type_id = self.map.unit(report.type_id, report.instructions);
+        self.inner.on_task_complete(&mapped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdaptiveParams;
+    use taskpoint_runtime::{TaskInstanceId, WorkerId};
+
+    fn start(task: u64, type_id: u32, worker: u32, time: u64) -> TaskStart {
+        TaskStart {
+            task: TaskInstanceId(task),
+            type_id: TaskTypeId(type_id),
+            instructions: 1000,
+            worker: WorkerId(worker),
+            time,
+            concurrency: 1,
+            total_workers: 1,
+        }
+    }
+
+    fn report(task: u64, type_id: u32, cycles: u64, mode: SimMode) -> TaskReport {
+        TaskReport {
+            task: TaskInstanceId(task),
+            type_id: TaskTypeId(type_id),
+            worker: WorkerId(0),
+            start: 0,
+            end: cycles,
+            instructions: 1000,
+            mode,
+            concurrency: 1,
+        }
+    }
+
+    /// Drives a 1-worker stream of one type with the given per-instance
+    /// cycle counts; returns the number of detailed decisions.
+    fn drive(ctrl: &mut AdaptiveController, cycles: &[u64]) -> usize {
+        let mut detailed = 0;
+        for (i, &c) in cycles.iter().enumerate() {
+            let s = start(i as u64, 0, 0, i as u64 * 1000);
+            match ctrl.mode_for_task(&s) {
+                ExecMode::Detailed => {
+                    detailed += 1;
+                    ctrl.on_task_complete(&report(i as u64, 0, c, SimMode::Detailed));
+                }
+                ExecMode::Fast { ipc } => {
+                    assert!(ipc > 0.0);
+                    ctrl.on_task_complete(&report(i as u64, 0, c, SimMode::Fast));
+                }
+            }
+        }
+        detailed
+    }
+
+    #[test]
+    fn uniform_cluster_converges_at_the_floor() {
+        // Identical IPCs: zero variance, CI = 0 at the floor.
+        let mut ctrl = AdaptiveController::new(AdaptiveConfig::new(0.05));
+        let detailed = drive(&mut ctrl, &[500; 50]);
+        // W=2 warmup + min_samples=4 valid samples.
+        assert_eq!(detailed, 6);
+        assert_eq!(ctrl.stats().fast_tasks, 44);
+        let rep = ctrl.report();
+        assert_eq!(rep.units(), 1);
+        assert_eq!(rep.converged_units(), 1);
+        assert_eq!(rep.clusters[0].samples, 4);
+        assert!(!rep.clusters[0].forced);
+        assert_eq!(rep.max_rel_ci(), Some(0.0));
+    }
+
+    #[test]
+    fn noisy_cluster_keeps_sampling_until_the_ci_shrinks() {
+        let loose = AdaptiveConfig::new(0.20);
+        let tight = AdaptiveConfig::new(0.02);
+        // Alternating 400/600 cycles: IPC alternates 2.5 / 1.667.
+        let cycles: Vec<u64> = (0..400).map(|i| if i % 2 == 0 { 400 } else { 600 }).collect();
+        let mut a = AdaptiveController::new(loose);
+        let mut b = AdaptiveController::new(tight);
+        let loose_detail = drive(&mut a, &cycles);
+        let tight_detail = drive(&mut b, &cycles);
+        assert!(
+            loose_detail < tight_detail,
+            "tighter target must sample more: {loose_detail} vs {tight_detail}"
+        );
+        assert!(tight_detail < cycles.len(), "tight target still converges eventually");
+    }
+
+    #[test]
+    fn never_converges_below_min_samples() {
+        let config =
+            AdaptiveConfig::new(0.5).with_params(AdaptiveParams::new(0.5).with_min_samples(9));
+        let mut ctrl = AdaptiveController::new(config);
+        let detailed = drive(&mut ctrl, &[500; 30]);
+        assert_eq!(detailed, 2 + 9, "warmup + floor");
+    }
+
+    #[test]
+    fn zero_warmup_samples_immediately() {
+        let mut ctrl = AdaptiveController::new(AdaptiveConfig::new(0.05).with_warmup(0));
+        let detailed = drive(&mut ctrl, &[500; 20]);
+        assert_eq!(detailed, 4, "no warmup: floor only");
+    }
+
+    #[test]
+    fn rare_cluster_is_force_converged_by_the_cutoff() {
+        let mut ctrl = AdaptiveController::new(AdaptiveConfig::new(0.05));
+        let mut task = 0u64;
+        let mut run = |ctrl: &mut AdaptiveController, ty: u32, cycles: u64| -> ExecMode {
+            let s = start(task, ty, 0, task * 1000);
+            let mode = ctrl.mode_for_task(&s);
+            let sim_mode = match mode {
+                ExecMode::Detailed => SimMode::Detailed,
+                ExecMode::Fast { .. } => SimMode::Fast,
+            };
+            ctrl.on_task_complete(&report(task, ty, cycles, sim_mode));
+            task += 1;
+            mode
+        };
+        // One rare-type instance during the stream, then common type only.
+        for _ in 0..3 {
+            run(&mut ctrl, 0, 500);
+        }
+        run(&mut ctrl, 1, 250); // rare type: one valid sample, unconverged
+        for _ in 0..20 {
+            run(&mut ctrl, 0, 500);
+        }
+        // Common type converged; after `rare_cluster_cutoff` fast
+        // completions the rare cluster is forced.
+        assert_eq!(ctrl.stats().rare_forced, 1);
+        let mode = run(&mut ctrl, 1, 250);
+        assert!(
+            matches!(mode, ExecMode::Fast { .. }),
+            "rare cluster fast-forwards on its single-sample estimate"
+        );
+        let rep = ctrl.report();
+        let rare = rep.clusters.iter().find(|c| c.unit == 1).unwrap();
+        assert!(rare.forced && rare.converged);
+    }
+
+    #[test]
+    fn clustered_adaptive_separates_size_classes() {
+        let mut ctrl = ClusteredAdaptiveController::new(AdaptiveConfig::new(0.1).with_warmup(0), 1);
+        for task in 0..40u64 {
+            let instrs = if task % 2 == 0 { 200 } else { 100_000 };
+            let s = TaskStart {
+                task: TaskInstanceId(task),
+                type_id: TaskTypeId(0),
+                instructions: instrs,
+                worker: WorkerId(0),
+                time: task * 1000,
+                concurrency: 1,
+                total_workers: 1,
+            };
+            let mode = ctrl.mode_for_task(&s);
+            let sim_mode = match mode {
+                ExecMode::Detailed => SimMode::Detailed,
+                ExecMode::Fast { .. } => SimMode::Fast,
+            };
+            ctrl.on_task_complete(&TaskReport {
+                task: TaskInstanceId(task),
+                type_id: TaskTypeId(0),
+                worker: WorkerId(0),
+                start: 0,
+                end: instrs / 2,
+                instructions: instrs,
+                mode: sim_mode,
+                concurrency: 1,
+            });
+        }
+        assert_eq!(ctrl.num_clusters(), 2, "one type, two size classes");
+        assert_eq!(ctrl.report().units(), 2);
+    }
+
+    #[test]
+    fn invalid_ipc_reports_are_skipped() {
+        let mut ctrl = AdaptiveController::new(AdaptiveConfig::new(0.05).with_warmup(0));
+        let s = start(0, 0, 0, 0);
+        assert_eq!(ctrl.mode_for_task(&s), ExecMode::Detailed);
+        // Zero-cycle completion carries no IPC: no sample recorded.
+        ctrl.on_task_complete(&report(0, 0, 0, SimMode::Detailed));
+        assert_eq!(ctrl.stats().detailed_tasks, 1);
+        assert!(ctrl.stats().valid_samples.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_samples must be positive")]
+    fn invalid_config_rejected() {
+        AdaptiveController::new(
+            AdaptiveConfig::new(0.05).with_params(AdaptiveParams::new(0.05).with_min_samples(0)),
+        );
+    }
+}

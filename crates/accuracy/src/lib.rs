@@ -1,0 +1,47 @@
+//! # taskpoint-accuracy — confidence-driven sampling
+//!
+//! TaskPoint's fixed-budget policies (lazy, periodic `P`) spend the same
+//! sampling effort on every task-type cluster regardless of how predictable
+//! the cluster actually is. This crate adds the *statistical* layer that
+//! turns the sample budget into a controlled quantity:
+//!
+//! * per-cluster **streaming moments** of detailed-mode IPC
+//!   ([`taskpoint_stats::StreamingMoments`], Welford-updated online);
+//! * a **relative confidence-interval estimator**
+//!   ([`relative_ci_half_width`]) built on the pinned Student-t critical
+//!   values in [`taskpoint_stats::student_t`];
+//! * the [`AdaptiveController`]: each sampling cluster stays in detailed
+//!   mode until the relative CI half-width of its mean IPC, at the
+//!   configured confidence level, drops below a target — subject to a
+//!   minimum-sample floor and the rare-cluster cutoff inherited from the
+//!   paper's rare-task-type rule — and is fast-forwarded from then on;
+//! * the [`ClusterMap`] that buckets instances into `(task type,
+//!   size-class)` sampling units (shared with the size-clustered
+//!   controller in the sampling core).
+//!
+//! Driving the budget from per-stratum variance follows Ekman & Stenström,
+//! *"Enhancing Multiprocessor Architecture Simulation Speed Using
+//! Matched-Pair Comparison"* / two-phase stratified sampling: low-variance
+//! clusters converge after the floor, high-variance clusters keep
+//! sampling, and the target becomes a dial that traces an error/speedup
+//! frontier instead of a single operating point.
+//!
+//! The sampling core (`taskpoint`) wires this controller into
+//! `run_adaptive` / `run_clustered_adaptive` and exposes the policy as
+//! `SamplingPolicy::Adaptive`; this crate is deliberately independent of
+//! it so the statistical machinery is testable on bare synthetic streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod cluster;
+pub mod config;
+pub mod controller;
+
+pub use ci::{ci_target_met, relative_ci_half_width};
+pub use cluster::ClusterMap;
+pub use config::{AdaptiveConfig, AdaptiveParams, AdaptiveParamsError};
+pub use controller::{
+    AccuracyReport, AdaptiveController, AdaptiveStats, ClusterAccuracy, ClusteredAdaptiveController,
+};

@@ -1,0 +1,15 @@
+//! Regenerates the adaptive accuracy frontier: lazy vs periodic vs three
+//! confidence-driven CI targets per workload, as an error/speedup table.
+
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness};
+
+fn main() {
+    let h = Harness::from_env();
+    let t = figures::adaptive_frontier(&h);
+    emit(
+        "fig_adaptive",
+        "Adaptive sampling: error/speedup frontier (confidence-driven CI targets)",
+        &t.render(),
+    );
+}

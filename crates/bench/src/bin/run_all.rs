@@ -77,6 +77,11 @@ fn main() {
         TaskPointConfig::lazy(),
     );
     emit("fig10_lazy_lowpower", "Fig. 10: lazy sampling; low-power", &t10.render());
+    emit(
+        "fig_adaptive",
+        "Adaptive sampling: error/speedup frontier (confidence-driven CI targets)",
+        &figures::adaptive_frontier(&h).render(),
+    );
 
     // Headline summary (abstract claim: 64 threads, lazy, avg err 1.8%,
     // max 15.0%, avg speedup 19.1).

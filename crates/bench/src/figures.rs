@@ -163,6 +163,71 @@ pub fn sensitivity_sweep(h: &Harness, part: SweepPart) -> Table {
     table
 }
 
+/// Runs the adaptive accuracy frontier: for every workload of the
+/// `adaptive` sweep, a reference row plus lazy / periodic / three
+/// confidence-driven cells. Reading down a workload's rows traces the
+/// error/speedup frontier — tighter CI targets spend more detailed
+/// instances and buy certified per-cluster confidence, recorded in the
+/// `ci max` and `converged` columns.
+pub fn adaptive_frontier(h: &Harness) -> Table {
+    let specs = taskpoint_campaign::adaptive_specs(*h.scale());
+    let report = h.run(&specs);
+
+    let mut table = Table::new([
+        "workload",
+        "policy",
+        "err%",
+        "detail%",
+        "detailed",
+        "speedup",
+        "ci max",
+        "converged",
+    ]);
+    let dash = || "-".to_string();
+    let per_workload = 3 + taskpoint_campaign::ADAPTIVE_TARGETS.len();
+    for ((bench, _), chunk) in taskpoint_campaign::adaptive_workloads()
+        .into_iter()
+        .zip(report.outcomes.chunks(per_workload))
+    {
+        let r = chunk[0].record.metrics.as_reference().expect("reference cell");
+        table.row([
+            bench.name().to_string(),
+            "reference".to_string(),
+            num(0.0, 2),
+            num(100.0, 1),
+            r.detailed_tasks.to_string(),
+            num(1.0, 1),
+            dash(),
+            dash(),
+        ]);
+        for (i, outcome) in chunk[1..].iter().enumerate() {
+            let m = outcome.record.metrics.as_eval().expect("sampled cell");
+            let policy = match i {
+                0 => "lazy".to_string(),
+                1 => "periodic".to_string(),
+                _ => {
+                    let target = taskpoint_campaign::ADAPTIVE_TARGETS[i - 2];
+                    format!("adaptive ±{:.0}%@95", 100.0 * target)
+                }
+            };
+            table.row([
+                bench.name().to_string(),
+                policy,
+                num(m.error_percent, 2),
+                num(100.0 * m.detail_fraction, 1),
+                m.detailed_tasks.to_string(),
+                num(outcome.timing.speedup.unwrap_or(0.0), 1),
+                m.ci_max.map(|ci| num(ci, 3)).unwrap_or_else(dash),
+                match (m.ci_converged, m.ci_units) {
+                    (Some(c), Some(u)) => format!("{c}/{u}"),
+                    _ => dash(),
+                },
+            ]);
+        }
+    }
+    table
+}
+
 /// Generates Table I: the benchmark inventory with *measured* detailed
 /// simulation wall times at 1 and 64 threads.
 pub fn table1(h: &Harness) -> Table {

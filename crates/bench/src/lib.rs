@@ -16,8 +16,8 @@ pub mod harness;
 pub mod output;
 
 pub use figures::{
-    error_speedup_figure, sensitivity_sweep, table1, table2, variation_figure, FigureCell,
-    SweepPart,
+    adaptive_frontier, error_speedup_figure, sensitivity_sweep, table1, table2, variation_figure,
+    FigureCell, SweepPart,
 };
 pub use format::Table;
 pub use harness::{Cell, Harness, RunScale};

@@ -60,10 +60,25 @@ fn print_stats(trace: &IngestedTrace) {
     );
     let tasks = trace.tasks_per_type();
     let instrs = trace.instructions_per_type();
+    // Per-type instruction-count coefficient of variation: the dispersion
+    // the adaptive policy reacts to. A high CoV predicts many detailed
+    // samples (or `(type, size-class)` clustering paying off); CoV ~ 0
+    // predicts convergence right at the minimum-sample floor.
+    let mut size_summaries = vec![taskpoint_stats::Summary::new(); trace.num_types()];
+    for task in trace.tasks() {
+        size_summaries[task.type_index as usize].add(task.instructions as f64);
+    }
     for (i, ty) in trace.types().iter().enumerate() {
         println!(
-            "  type {:>3} {:<16} {:>5} tasks {:>9} instructions  rates: branch={} dep={}",
-            ty.id, ty.name, tasks[i], instrs[i], ty.branch_mispredict_rate, ty.dependency_rate
+            "  type {:>3} {:<16} {:>5} tasks {:>9} instructions  instr-cov={:.3}  \
+             rates: branch={} dep={}",
+            ty.id,
+            ty.name,
+            tasks[i],
+            instrs[i],
+            size_summaries[i].cv(),
+            ty.branch_mispredict_rate,
+            ty.dependency_rate
         );
     }
     let deps: usize = trace.tasks().iter().map(|t| t.deps.len()).sum();

@@ -14,8 +14,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use taskpoint::{
-    run_clustered_traced, run_reference_traced, run_sampled_traced, ExperimentOutcome,
-    ResampleCause,
+    run_adaptive_traced, run_clustered_adaptive_traced, run_clustered_traced, run_reference_traced,
+    run_sampled_traced, AccuracyReport, ExperimentOutcome, ResampleCause,
 };
 use taskpoint_runtime::Program;
 use taskpoint_stats::{normalize_by_group, BoxplotStats};
@@ -249,15 +249,30 @@ impl Context {
                 let program = self.program(spec.bench, &spec.scale);
                 let reference = self
                     .reference_entry(store, &spec.reference_spec().expect("sampled has reference"));
-                let (sampled, stats) = run_sampled_traced(
-                    &program,
-                    spec.machine.clone(),
-                    spec.workers,
-                    *config,
-                    self.provider(spec.bench),
-                );
+                // Adaptive-policy cells run the confidence-driven
+                // controller and keep its per-cluster CI report for the
+                // record's accuracy fields.
+                let (sampled, stats, accuracy) = if config.policy.is_adaptive() {
+                    let (sampled, stats, accuracy) = run_adaptive_traced(
+                        &program,
+                        spec.machine.clone(),
+                        spec.workers,
+                        *config,
+                        self.provider(spec.bench),
+                    );
+                    (sampled, stats, Some(accuracy))
+                } else {
+                    let (sampled, stats) = run_sampled_traced(
+                        &program,
+                        spec.machine.clone(),
+                        spec.workers,
+                        *config,
+                        self.provider(spec.bench),
+                    );
+                    (sampled, stats, None)
+                };
                 let outcome = ExperimentOutcome::compare(&sampled, &reference.result);
-                self.eval_stored(spec, hash, &sampled, &outcome, &stats, None)
+                self.eval_stored(spec, hash, &sampled, &outcome, &stats, None, accuracy.as_ref())
             }
             CellKind::Clustered { config, granularity } => {
                 let program = self.program(spec.bench, &spec.scale);
@@ -265,16 +280,37 @@ impl Context {
                     store,
                     &spec.reference_spec().expect("clustered has reference"),
                 );
-                let (sampled, stats, clusters) = run_clustered_traced(
-                    &program,
-                    spec.machine.clone(),
-                    spec.workers,
-                    *config,
-                    *granularity,
-                    self.provider(spec.bench),
-                );
+                let (sampled, stats, clusters, accuracy) = if config.policy.is_adaptive() {
+                    let (sampled, stats, accuracy, clusters) = run_clustered_adaptive_traced(
+                        &program,
+                        spec.machine.clone(),
+                        spec.workers,
+                        *config,
+                        *granularity,
+                        self.provider(spec.bench),
+                    );
+                    (sampled, stats, clusters, Some(accuracy))
+                } else {
+                    let (sampled, stats, clusters) = run_clustered_traced(
+                        &program,
+                        spec.machine.clone(),
+                        spec.workers,
+                        *config,
+                        *granularity,
+                        self.provider(spec.bench),
+                    );
+                    (sampled, stats, clusters, None)
+                };
                 let outcome = ExperimentOutcome::compare(&sampled, &reference.result);
-                self.eval_stored(spec, hash, &sampled, &outcome, &stats, Some(clusters as u64))
+                self.eval_stored(
+                    spec,
+                    hash,
+                    &sampled,
+                    &outcome,
+                    &stats,
+                    Some(clusters as u64),
+                    accuracy.as_ref(),
+                )
             }
             CellKind::Variation { noise_seed } => {
                 let program = self.program(spec.bench, &spec.scale);
@@ -351,6 +387,7 @@ impl Context {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn eval_stored(
         &self,
         spec: &CellSpec,
@@ -359,6 +396,7 @@ impl Context {
         outcome: &ExperimentOutcome,
         stats: &taskpoint::SamplingStats,
         clusters: Option<u64>,
+        accuracy: Option<&AccuracyReport>,
     ) -> StoredCell {
         StoredCell {
             record: CellRecord {
@@ -384,6 +422,12 @@ impl Context {
                         as u64,
                     resamples_empty: stats.resamples_by(ResampleCause::EmptyHistories) as u64,
                     clusters,
+                    ci_target: accuracy.map(|a| a.config.params.target_ci),
+                    ci_confidence: accuracy.map(|a| a.config.params.confidence.level()),
+                    ci_max: accuracy.and_then(AccuracyReport::max_rel_ci),
+                    ci_mean: accuracy.and_then(AccuracyReport::mean_rel_ci),
+                    ci_units: accuracy.map(|a| a.units() as u64),
+                    ci_converged: accuracy.map(|a| a.converged_units() as u64),
                 }),
             },
             timing: CellTiming {
@@ -445,6 +489,39 @@ mod tests {
             m.resamples,
             m.resamples_policy + m.resamples_new_type + m.resamples_concurrency + m.resamples_empty
         );
+    }
+
+    #[test]
+    fn adaptive_cells_record_configured_and_achieved_ci() {
+        let ctx = Context::new();
+        let store = ResultStore::disabled();
+        let machine = MachineConfig::tiny_test();
+        let spec = CellSpec::sampled(
+            Benchmark::Spmv,
+            quick(),
+            machine.clone(),
+            2,
+            TaskPointConfig::adaptive(0.1),
+        );
+        let outcome = ctx.compute(&store, &spec);
+        let m = outcome.record.metrics.as_eval().unwrap();
+        assert_eq!(m.ci_target, Some(0.1));
+        assert_eq!(m.ci_confidence, Some(0.95));
+        let units = m.ci_units.expect("adaptive cells record unit counts");
+        assert!(units >= 1);
+        assert!(m.ci_converged.unwrap() <= units);
+        assert!(m.error_percent.is_finite());
+        // Non-adaptive cells keep the CI fields empty.
+        let lazy = ctx.compute(
+            &store,
+            &CellSpec::sampled(Benchmark::Spmv, quick(), machine, 2, TaskPointConfig::lazy()),
+        );
+        let lm = lazy.record.metrics.as_eval().unwrap();
+        assert_eq!(lm.ci_target, None);
+        assert_eq!(lm.ci_units, None);
+        // The adaptive record round-trips through the store encoding.
+        let stored = StoredCell { record: outcome.record.clone(), timing: outcome.timing.clone() };
+        assert_eq!(StoredCell::from_json(&stored.to_json()).unwrap(), stored);
     }
 
     #[test]

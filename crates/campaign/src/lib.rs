@@ -67,6 +67,8 @@ pub use record::{
 pub use spec::{CellKind, CellSpec, RunScale, UnknownScaleError};
 pub use store::{code_fingerprint, ResultStore};
 pub use sweeps::{
-    error_speedup_specs, sensitivity_configs, sensitivity_specs, table1_specs, variation_specs,
-    Sweep, SweepPart, FIG1_NOISE_SEED, HIGH_PERF_THREADS, LOW_POWER_THREADS, SENSITIVITY_THREADS,
+    adaptive_specs, adaptive_workloads, error_speedup_specs, sensitivity_configs,
+    sensitivity_specs, table1_specs, variation_specs, Sweep, SweepPart, ADAPTIVE_KERNELS,
+    ADAPTIVE_TARGETS, ADAPTIVE_WORKERS, FIG1_NOISE_SEED, HIGH_PERF_THREADS, LOW_POWER_THREADS,
+    SENSITIVITY_THREADS,
 };

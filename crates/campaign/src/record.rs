@@ -62,6 +62,20 @@ pub struct EvalMetrics {
     pub resamples_empty: u64,
     /// `(type, size-class)` clusters formed (clustered cells only).
     pub clusters: Option<u64>,
+    /// Configured relative-CI target (adaptive cells only).
+    pub ci_target: Option<f64>,
+    /// Configured confidence level as a fraction, e.g. `0.95` (adaptive
+    /// cells only).
+    pub ci_confidence: Option<f64>,
+    /// Largest achieved per-cluster relative CI half-width at the end of
+    /// the run (adaptive cells with ≥ 2 samples in some cluster).
+    pub ci_max: Option<f64>,
+    /// Mean achieved per-cluster relative CI half-width (same condition).
+    pub ci_mean: Option<f64>,
+    /// Sampling units observed by the adaptive controller.
+    pub ci_units: Option<u64>,
+    /// Units that converged (stopped sampling) by CI or cutoff.
+    pub ci_converged: Option<u64>,
 }
 
 /// Deterministic metrics of a variation cell: per-type-normalized IPC
@@ -273,6 +287,22 @@ fn metrics_json(metrics: &CellMetrics) -> Value {
             if let Some(c) = m.clusters {
                 o.set("clusters", Value::Num(c as f64));
             }
+            for (key, value) in [
+                ("ci_target", m.ci_target),
+                ("ci_confidence", m.ci_confidence),
+                ("ci_max", m.ci_max),
+                ("ci_mean", m.ci_mean),
+            ] {
+                if let Some(v) = value {
+                    o.set(key, Value::Num(v));
+                }
+            }
+            if let Some(u) = m.ci_units {
+                o.set("ci_units", Value::Num(u as f64));
+            }
+            if let Some(c) = m.ci_converged {
+                o.set("ci_converged", Value::Num(c as f64));
+            }
         }
         CellMetrics::Variation(m) => {
             o.set("p5", Value::Num(m.p5));
@@ -367,6 +397,12 @@ fn parse_metrics(kind: &str, o: &Object) -> Result<CellMetrics, RecordError> {
                 .ok_or_else(|| shape("resamples_concurrency"))?,
             resamples_empty: o.u64("resamples_empty").ok_or_else(|| shape("resamples_empty"))?,
             clusters: o.u64("clusters"),
+            ci_target: o.num("ci_target"),
+            ci_confidence: o.num("ci_confidence"),
+            ci_max: o.num("ci_max"),
+            ci_mean: o.num("ci_mean"),
+            ci_units: o.u64("ci_units"),
+            ci_converged: o.u64("ci_converged"),
         })),
         "explore" => Ok(CellMetrics::Explore(ExploreMetrics {
             predicted_cycles: o.u64("predicted_cycles").ok_or_else(|| shape("predicted_cycles"))?,
@@ -486,6 +522,12 @@ mod tests {
                 resamples_concurrency: 1,
                 resamples_empty: 0,
                 clusters: None,
+                ci_target: None,
+                ci_confidence: None,
+                ci_max: None,
+                ci_mean: None,
+                ci_units: None,
+                ci_converged: None,
             }),
         }
     }
@@ -566,6 +608,32 @@ mod tests {
             let back = StoredCell::from_json(&stored.to_json()).unwrap();
             assert_eq!(back, stored, "{kind}");
         }
+    }
+
+    #[test]
+    fn adaptive_ci_fields_round_trip() {
+        let mut record = eval_record();
+        let CellMetrics::Eval(ref mut m) = record.metrics else { unreachable!() };
+        m.ci_target = Some(0.05);
+        m.ci_confidence = Some(0.95);
+        m.ci_max = Some(0.041);
+        m.ci_mean = Some(0.017);
+        m.ci_units = Some(6);
+        m.ci_converged = Some(6);
+        let stored = StoredCell {
+            record,
+            timing: CellTiming {
+                wall_seconds: 0.2,
+                reference_wall_seconds: Some(1.0),
+                speedup: Some(5.0),
+                detailed_instr_per_sec: None,
+            },
+        };
+        let text = stored.to_json();
+        assert!(text.contains("\"ci_target\":0.05"));
+        assert!(text.contains("\"ci_converged\":6"));
+        let back = StoredCell::from_json(&text).unwrap();
+        assert_eq!(back, stored);
     }
 
     #[test]

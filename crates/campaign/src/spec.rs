@@ -165,9 +165,19 @@ pub struct CellSpec {
 fn hash_policy(h: &mut StableHasher, config: &TaskPointConfig) {
     h.write_u64(config.warmup_instances);
     h.write_u64(config.history_size as u64);
+    // Explicit policy discriminant so every policy family keys apart.
     match config.policy {
-        SamplingPolicy::Periodic { period } => h.write_opt_u64(Some(period)),
-        SamplingPolicy::Lazy => h.write_opt_u64(None),
+        SamplingPolicy::Lazy => h.write_u32(0),
+        SamplingPolicy::Periodic { period } => {
+            h.write_u32(1);
+            h.write_u64(period);
+        }
+        SamplingPolicy::Adaptive { target_ci, confidence, min_samples } => {
+            h.write_u32(2);
+            h.write_f64(target_ci);
+            h.write_str(confidence.tag());
+            h.write_u64(min_samples);
+        }
     }
     h.write_u64(config.rare_type_cutoff);
     h.write_f64(config.concurrency_change_ratio);
@@ -259,8 +269,9 @@ impl CellSpec {
     /// The stable 128-bit content hash of this spec, as 32 hex characters.
     pub fn hash_hex(&self) -> String {
         let mut h = StableHasher::new();
-        // A format-version byte so future spec extensions re-key cleanly.
-        h.write_u32(1);
+        // A format-version byte so future spec extensions re-key cleanly
+        // (v2: explicit policy discriminant + the adaptive policy).
+        h.write_u32(2);
         h.write_str(self.bench.name());
         h.write_f64(self.scale.instr_factor);
         h.write_u64(self.scale.seed);
@@ -346,6 +357,14 @@ mod tests {
             CellSpec { kind: CellKind::Reference, ..b.clone() },
             CellSpec {
                 kind: CellKind::Sampled { config: TaskPointConfig::periodic() },
+                ..b.clone()
+            },
+            CellSpec {
+                kind: CellKind::Sampled { config: TaskPointConfig::adaptive(0.05) },
+                ..b.clone()
+            },
+            CellSpec {
+                kind: CellKind::Sampled { config: TaskPointConfig::adaptive(0.02) },
                 ..b.clone()
             },
             CellSpec {

@@ -25,7 +25,7 @@ pub const FIG1_NOISE_SEED: u64 = 0xF161;
 pub enum SweepPart {
     /// Fig. 6a: warmup size W (H=10, P=∞).
     Warmup,
-    /// Fig. 6b: history size H (W=2, P=∞).
+    /// Fig. 6b: history size H (W=min(2,H), P=∞).
     History,
     /// Fig. 6c: sampling period P (W=2, H=4).
     Period,
@@ -38,7 +38,14 @@ pub fn sensitivity_configs(part: SweepPart) -> Vec<(String, TaskPointConfig)> {
             .map(|w| (w.to_string(), TaskPointConfig::lazy().with_warmup(w).with_history(10)))
             .collect(),
         SweepPart::History => (1..=10usize)
-            .map(|h| (h.to_string(), TaskPointConfig::lazy().with_history(h)))
+            // W clamped to H: the paper's fixed W=2 is out of range for
+            // the H=1 point now that configs validate `warmup <= history`.
+            .map(|h| {
+                (
+                    h.to_string(),
+                    TaskPointConfig::lazy().with_history(h).with_warmup(2.min(h as u64)),
+                )
+            })
             .collect(),
         SweepPart::Period => [10u64, 25, 50, 100, 250, 500, 1000]
             .into_iter()
@@ -157,6 +164,47 @@ pub fn ingested_specs(scale: ScaleConfig) -> Vec<CellSpec> {
     specs
 }
 
+/// Relative-CI targets of the `adaptive` sweep, loose → tight. Each
+/// target is one operating point of the error/speedup frontier.
+pub const ADAPTIVE_TARGETS: [f64; 3] = [0.10, 0.05, 0.02];
+
+/// Kernel workloads of the `adaptive` sweep.
+pub const ADAPTIVE_KERNELS: [Benchmark; 2] = [Benchmark::Spmv, Benchmark::Cholesky];
+
+/// Simulated worker count of the `adaptive` sweep's kernel cells.
+pub const ADAPTIVE_WORKERS: u32 = 4;
+
+/// The benchmark/worker pairs the `adaptive` sweep covers: the kernel set
+/// plus every external (ingested fixture) workload. External cells use
+/// [`INGESTED_WORKERS`] so their reference/lazy/periodic cells coincide —
+/// and share cache entries — with the `ingested` sweep.
+pub fn adaptive_workloads() -> Vec<(Benchmark, u32)> {
+    let mut workloads: Vec<(Benchmark, u32)> =
+        ADAPTIVE_KERNELS.into_iter().map(|b| (b, ADAPTIVE_WORKERS)).collect();
+    workloads.extend(ExternalWorkload::ALL.map(|w| (Benchmark::External(w), INGESTED_WORKERS)));
+    workloads
+}
+
+/// Cells of the `adaptive` sweep: for every workload, a full-detail
+/// reference plus lazy, periodic and three confidence-driven cells (one
+/// per [`ADAPTIVE_TARGETS`] entry) compared against it. The emitted JSONL
+/// is the error/speedup **frontier**: each policy column trades detailed
+/// instances (→ wall clock) against cycles error, and the adaptive cells
+/// additionally record their configured vs achieved per-cluster CI.
+pub fn adaptive_specs(scale: ScaleConfig) -> Vec<CellSpec> {
+    let machine = MachineConfig::low_power();
+    let mut specs = Vec::new();
+    for (bench, workers) in adaptive_workloads() {
+        specs.push(CellSpec::reference(bench, scale, machine.clone(), workers));
+        let mut configs = vec![TaskPointConfig::lazy(), TaskPointConfig::periodic()];
+        configs.extend(ADAPTIVE_TARGETS.map(TaskPointConfig::adaptive));
+        for config in configs {
+            specs.push(CellSpec::sampled(bench, scale, machine.clone(), workers, config));
+        }
+    }
+    specs
+}
+
 /// Reference cells of Table I: every benchmark at 1 and 64 threads on the
 /// high-performance machine.
 pub fn table1_specs(scale: ScaleConfig) -> Vec<CellSpec> {
@@ -202,14 +250,17 @@ pub enum Sweep {
     /// Sampled-vs-reference cells over the external (ingested
     /// fixture-trace) workloads.
     Ingested,
-    /// Every table and figure sweep (excludes `smoke`, `design-space` and
-    /// `ingested`).
+    /// The error/speedup frontier: reference vs lazy vs periodic vs three
+    /// adaptive CI targets over kernels + external workloads.
+    Adaptive,
+    /// Every table and figure sweep (excludes `smoke`, `design-space`,
+    /// `ingested` and `adaptive`).
     All,
 }
 
 impl Sweep {
     /// Every named sweep, in CLI listing order.
-    pub const ALL: [Sweep; 14] = [
+    pub const ALL: [Sweep; 15] = [
         Sweep::Smoke,
         Sweep::Table1,
         Sweep::Fig1,
@@ -223,6 +274,7 @@ impl Sweep {
         Sweep::Fig10,
         Sweep::DesignSpace,
         Sweep::Ingested,
+        Sweep::Adaptive,
         Sweep::All,
     ];
 
@@ -242,6 +294,7 @@ impl Sweep {
             Sweep::Fig10 => "fig10",
             Sweep::DesignSpace => "design-space",
             Sweep::Ingested => "ingested",
+            Sweep::Adaptive => "adaptive",
             Sweep::All => "all",
         }
     }
@@ -262,7 +315,12 @@ impl Sweep {
             Sweep::Fig10 => "Fig. 10 lazy sampling, low-power",
             Sweep::DesignSpace => "custom-machine DSE: 3x3 ROB x L2 grid, cholesky, lazy, explore",
             Sweep::Ingested => "external fixture traces: reference + lazy/periodic sampled cells",
-            Sweep::All => "every table and figure sweep (excludes smoke, design-space, ingested)",
+            Sweep::Adaptive => {
+                "error/speedup frontier: lazy vs periodic vs 3 adaptive CI targets, low-power"
+            }
+            Sweep::All => {
+                "every table and figure sweep (excludes smoke, design-space, ingested, adaptive)"
+            }
         }
     }
 
@@ -331,15 +389,20 @@ impl Sweep {
             ),
             Sweep::DesignSpace => design_space_specs(scale),
             Sweep::Ingested => ingested_specs(scale),
+            Sweep::Adaptive => adaptive_specs(scale),
             Sweep::All => {
-                // `smoke` is a CI subset of other sweeps; `design-space`
-                // and `ingested` are not paper tables/figures: none joins
-                // the union.
+                // `smoke` is a CI subset of other sweeps; `design-space`,
+                // `ingested` and `adaptive` are not paper tables/figures:
+                // none joins the union.
                 let mut specs = Vec::new();
                 for sweep in Sweep::ALL {
                     if !matches!(
                         sweep,
-                        Sweep::All | Sweep::Smoke | Sweep::DesignSpace | Sweep::Ingested
+                        Sweep::All
+                            | Sweep::Smoke
+                            | Sweep::DesignSpace
+                            | Sweep::Ingested
+                            | Sweep::Adaptive
                     ) {
                         specs.extend(sweep.specs(scale));
                     }
@@ -376,6 +439,24 @@ mod tests {
         assert_eq!(Sweep::Smoke.specs(scale).len(), 7);
         assert_eq!(Sweep::DesignSpace.specs(scale).len(), 9);
         assert_eq!(Sweep::Ingested.specs(scale).len(), 2 * 3);
+        // (2 kernels + 2 external) x (reference + lazy + periodic + 3 CI
+        // targets).
+        assert_eq!(Sweep::Adaptive.specs(scale).len(), 4 * 6);
+    }
+
+    #[test]
+    fn adaptive_sweep_shares_cells_with_the_ingested_sweep() {
+        // The external reference/lazy/periodic cells must hash identically
+        // to the ingested sweep's, so CI runs hit the shared cache.
+        let scale = ScaleConfig::quick();
+        let ingested: std::collections::HashSet<String> =
+            Sweep::Ingested.specs(scale).iter().map(CellSpec::hash_hex).collect();
+        let shared = Sweep::Adaptive
+            .specs(scale)
+            .iter()
+            .filter(|s| ingested.contains(&s.hash_hex()))
+            .count();
+        assert_eq!(shared, 6, "2 external workloads x (reference + lazy + periodic)");
     }
 
     #[test]
@@ -385,7 +466,14 @@ mod tests {
         let sum: usize = Sweep::ALL
             .into_iter()
             .filter(|s| {
-                !matches!(s, Sweep::All | Sweep::Smoke | Sweep::DesignSpace | Sweep::Ingested)
+                !matches!(
+                    s,
+                    Sweep::All
+                        | Sweep::Smoke
+                        | Sweep::DesignSpace
+                        | Sweep::Ingested
+                        | Sweep::Adaptive
+                )
             })
             .map(|s| s.specs(scale).len())
             .sum();
@@ -403,6 +491,7 @@ mod tests {
             Sweep::Fig1,
             Sweep::DesignSpace,
             Sweep::Ingested,
+            Sweep::Adaptive,
         ] {
             let specs = sweep.specs(scale);
             let hashes: std::collections::HashSet<String> =

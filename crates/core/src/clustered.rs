@@ -19,8 +19,7 @@
 //! [`TaskPointController`] by composition: the controller simply maps each
 //! instance to a *virtual type id* before delegating.
 
-use std::collections::HashMap;
-
+use taskpoint_accuracy::ClusterMap;
 use taskpoint_runtime::TaskTypeId;
 use tasksim::{ExecMode, ModeController, TaskReport, TaskStart};
 
@@ -28,14 +27,15 @@ use crate::config::TaskPointConfig;
 use crate::controller::{SamplingStats, TaskPointController};
 
 /// TaskPoint with `(type, size-class)` sampling units.
+///
+/// The `(type, size-class) → virtual id` bucketing lives in
+/// [`ClusterMap`] (shared with the adaptive controller in
+/// `taskpoint-accuracy`); this wrapper remaps every instance through it
+/// before delegating to the base controller.
 #[derive(Debug)]
 pub struct ClusteredController {
     inner: TaskPointController,
-    /// log2 granularity: instances whose instruction counts fall in the
-    /// same `[2^(g*k), 2^(g*(k+1)))` band share a class.
-    granularity: u32,
-    /// Dense remapping of (type, class) pairs to virtual type ids.
-    virtual_ids: HashMap<(u32, u32), u32>,
+    map: ClusterMap,
 }
 
 impl ClusteredController {
@@ -47,15 +47,13 @@ impl ClusteredController {
     ///
     /// Panics if `granularity == 0` or the config is invalid.
     pub fn new(config: TaskPointConfig, granularity: u32) -> Self {
-        assert!(granularity > 0, "granularity must be positive");
-        Self { inner: TaskPointController::new(config), granularity, virtual_ids: HashMap::new() }
+        Self { inner: TaskPointController::new(config), map: ClusterMap::new(granularity) }
     }
 
     /// The size class of an instance with `instructions` dynamic
     /// instructions.
     pub fn size_class(&self, instructions: u64) -> u32 {
-        let log2 = 63 - instructions.max(1).leading_zeros();
-        log2 / self.granularity
+        self.map.size_class(instructions)
     }
 
     /// The sampling unit an instance maps to: the dense *virtual type id*
@@ -64,21 +62,12 @@ impl ClusteredController {
     /// (`0..num_clusters`) and injective across distinct pairs — the
     /// invariants the workspace property tests pin down.
     pub fn sampling_unit(&mut self, type_id: TaskTypeId, instructions: u64) -> TaskTypeId {
-        self.virtual_type(type_id, instructions)
-    }
-
-    /// Maps `(type, instructions)` to the virtual type id used as the
-    /// sampling unit.
-    fn virtual_type(&mut self, type_id: TaskTypeId, instructions: u64) -> TaskTypeId {
-        let class = self.size_class(instructions);
-        let next = self.virtual_ids.len() as u32;
-        let vid = *self.virtual_ids.entry((type_id.0, class)).or_insert(next);
-        TaskTypeId(vid)
+        self.map.unit(type_id, instructions)
     }
 
     /// Number of distinct `(type, size-class)` sampling units seen.
     pub fn num_clusters(&self) -> usize {
-        self.virtual_ids.len()
+        self.map.num_clusters()
     }
 
     /// The telemetry collected so far (virtual type ids in per-type maps).
@@ -94,16 +83,14 @@ impl ClusteredController {
 
 impl ModeController for ClusteredController {
     fn mode_for_task(&mut self, start: &TaskStart) -> ExecMode {
-        let virt = self.virtual_type(start.type_id, start.instructions);
         let mut mapped = *start;
-        mapped.type_id = virt;
+        mapped.type_id = self.map.unit(start.type_id, start.instructions);
         self.inner.mode_for_task(&mapped)
     }
 
     fn on_task_complete(&mut self, report: &TaskReport) {
-        let virt = self.virtual_type(report.type_id, report.instructions);
         let mut mapped = *report;
-        mapped.type_id = virt;
+        mapped.type_id = self.map.unit(report.type_id, report.instructions);
         self.inner.on_task_complete(&mapped)
     }
 }
@@ -130,6 +117,12 @@ pub fn run_clustered(
 /// Like [`run_clustered`], with an explicit
 /// [`TraceProvider`](tasksim::TraceProvider) for the detailed instruction
 /// streams (see [`run_reference_traced`](crate::run_reference_traced)).
+///
+/// Dispatches on `config.policy` like
+/// [`run_sampled_traced`](crate::run_sampled_traced): an adaptive policy
+/// runs the clustered confidence-driven controller (use
+/// [`run_clustered_adaptive_traced`](crate::run_clustered_adaptive_traced)
+/// directly to also get the per-cluster accuracy report).
 pub fn run_clustered_traced(
     program: &taskpoint_runtime::Program,
     machine: tasksim::MachineConfig,
@@ -138,6 +131,17 @@ pub fn run_clustered_traced(
     granularity: u32,
     traces: Box<dyn tasksim::TraceProvider>,
 ) -> (tasksim::SimResult, SamplingStats, usize) {
+    if config.policy.is_adaptive() {
+        let (result, stats, _, clusters) = crate::adaptive::run_clustered_adaptive_traced(
+            program,
+            machine,
+            workers,
+            config,
+            granularity,
+            traces,
+        );
+        return (result, stats, clusters);
+    }
     let mut controller = ClusteredController::new(config, granularity);
     let result = tasksim::Simulation::builder(program, machine)
         .workers(workers)
@@ -168,9 +172,9 @@ mod tests {
     #[test]
     fn same_type_different_sizes_get_distinct_units() {
         let mut c = ClusteredController::new(TaskPointConfig::lazy(), 1);
-        let a = c.virtual_type(TaskTypeId(0), 100);
-        let b = c.virtual_type(TaskTypeId(0), 100_000);
-        let a2 = c.virtual_type(TaskTypeId(0), 110);
+        let a = c.sampling_unit(TaskTypeId(0), 100);
+        let b = c.sampling_unit(TaskTypeId(0), 100_000);
+        let a2 = c.sampling_unit(TaskTypeId(0), 110);
         assert_ne!(a, b, "orders of magnitude apart => different units");
         assert_eq!(a, a2, "similar sizes share a unit");
         assert_eq!(c.num_clusters(), 2);
@@ -179,8 +183,8 @@ mod tests {
     #[test]
     fn different_types_never_share_units() {
         let mut c = ClusteredController::new(TaskPointConfig::lazy(), 1);
-        let a = c.virtual_type(TaskTypeId(0), 1000);
-        let b = c.virtual_type(TaskTypeId(1), 1000);
+        let a = c.sampling_unit(TaskTypeId(0), 1000);
+        let b = c.sampling_unit(TaskTypeId(1), 1000);
         assert_ne!(a, b);
     }
 

@@ -1,9 +1,12 @@
 //! TaskPoint configuration: the paper's model parameters.
 
 use serde::{Deserialize, Serialize};
+use taskpoint_accuracy::{AdaptiveConfig, AdaptiveParams};
+use taskpoint_stats::Confidence;
 
-/// When to resample a fast-forwarding simulation (paper §III-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// When to resample a fast-forwarding simulation (paper §III-C, plus the
+/// confidence-driven extension).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SamplingPolicy {
     /// Resample after any thread has fast-forwarded `period` task
     /// instances — the paper's *periodic sampling* with parameter `P`.
@@ -15,31 +18,120 @@ pub enum SamplingPolicy {
     /// sampling*. Event-driven triggers (new task type, concurrency change,
     /// empty histories) still apply.
     Lazy,
+    /// Confidence-driven sampling: each cluster stays detailed until the
+    /// relative confidence interval of its mean IPC is within `target_ci`
+    /// at `confidence`, with a `min_samples` floor (and the rare-cluster
+    /// cutoff). Runs through the
+    /// [`AdaptiveController`](taskpoint_accuracy::AdaptiveController);
+    /// `run_sampled` dispatches automatically, or use
+    /// [`run_adaptive`](crate::run_adaptive) to also get the per-cluster
+    /// [`AccuracyReport`](taskpoint_accuracy::AccuracyReport). A
+    /// `target_ci` of `0.0` waives the statistical requirement, collapsing
+    /// to a fixed budget of `min_samples` per cluster.
+    Adaptive {
+        /// Target relative CI half-width (fraction; `0.05` = ±5%).
+        target_ci: f64,
+        /// Two-sided confidence level of the interval.
+        confidence: Confidence,
+        /// Minimum detailed samples per cluster before fast-forwarding.
+        min_samples: u64,
+    },
 }
 
 impl SamplingPolicy {
-    /// The period as an option (`None` for lazy).
+    /// The period as an option (`None` for lazy and adaptive).
     pub fn period(self) -> Option<u64> {
         match self {
             SamplingPolicy::Periodic { period } => Some(period),
-            SamplingPolicy::Lazy => None,
+            SamplingPolicy::Lazy | SamplingPolicy::Adaptive { .. } => None,
+        }
+    }
+
+    /// The adaptive stopping rule, if this is the adaptive policy.
+    pub fn adaptive_params(self) -> Option<AdaptiveParams> {
+        match self {
+            SamplingPolicy::Adaptive { target_ci, confidence, min_samples } => {
+                Some(AdaptiveParams { target_ci, confidence, min_samples })
+            }
+            _ => None,
+        }
+    }
+
+    /// True for [`SamplingPolicy::Adaptive`].
+    pub fn is_adaptive(self) -> bool {
+        matches!(self, SamplingPolicy::Adaptive { .. })
+    }
+}
+
+/// An invalid [`TaskPointConfig`] — which field is out of range and why.
+///
+/// Returned by [`TaskPointConfig::validated`]; the panicking
+/// [`TaskPointConfig::validate`] prints the same message. Validating at
+/// controller construction turns configurations that would silently
+/// mis-sample (a zero history that can never fill, a warmup longer than
+/// the history it feeds, a zero period that resamples every instance)
+/// into immediate typed errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `H == 0`: no history can ever fill, so sampling never completes.
+    ZeroHistory,
+    /// `W > H`: the warmup would overflow the all-samples history it
+    /// feeds, silently discarding the oldest warmup measurements.
+    WarmupExceedsHistory {
+        /// Configured `W`.
+        warmup: u64,
+        /// Configured `H`.
+        history: usize,
+    },
+    /// A periodic period of 0 — every fast-forward would immediately
+    /// resample.
+    ZeroPeriod,
+    /// The concurrency-change ratio must exceed 1 (a ratio of 1 fires on
+    /// every EWMA wobble).
+    BadConcurrencyRatio {
+        /// The rejected ratio.
+        ratio: f64,
+    },
+    /// Invalid adaptive stopping rule.
+    Adaptive(taskpoint_accuracy::AdaptiveParamsError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroHistory => write!(f, "history size H must be positive"),
+            ConfigError::WarmupExceedsHistory { warmup, history } => write!(
+                f,
+                "warmup W ({warmup}) must not exceed history size H ({history}): extra warmup \
+                 samples would silently evict measurements from the all-samples history"
+            ),
+            ConfigError::ZeroPeriod => write!(f, "sampling period P must be positive"),
+            ConfigError::BadConcurrencyRatio { ratio } => {
+                write!(f, "concurrency change ratio must exceed 1, got {ratio}")
+            }
+            ConfigError::Adaptive(e) => write!(f, "{e}"),
         }
     }
 }
+
+impl std::error::Error for ConfigError {}
 
 /// The complete parameter set of the methodology.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TaskPointConfig {
     /// `W`: detailed task instances per thread for warmup at simulation
-    /// start (paper's tuned value: 2).
+    /// start (paper's tuned value: 2). Must not exceed `H`.
     pub warmup_instances: u64,
     /// `H`: sample-history size per task type (paper's tuned value: 4).
+    /// The adaptive policy does not bound its streaming moments by `H`,
+    /// but `H` still sizes the histories of any base-controller fallback.
     pub history_size: usize,
     /// The resampling policy (paper's tuned periodic value: P = 250).
     pub policy: SamplingPolicy,
     /// Rare-type cutoff: stop waiting for unfilled types once every thread
     /// has completed this many detailed instances without meeting one
-    /// (paper: 5).
+    /// (paper: 5). The adaptive policy reuses it as the rare-*cluster*
+    /// cutoff.
     pub rare_type_cutoff: u64,
     /// Thread-count trigger threshold (paper Fig. 4a): resample when the
     /// smoothed concurrency level drifts by more than this factor from the
@@ -68,6 +160,21 @@ impl TaskPointConfig {
         Self { policy: SamplingPolicy::Lazy, ..Self::periodic() }
     }
 
+    /// The confidence-driven configuration at the given relative CI
+    /// target, with the conventional defaults (95% confidence, 4-sample
+    /// floor, paper-tuned W/H/cutoff).
+    pub fn adaptive(target_ci: f64) -> Self {
+        let params = AdaptiveParams::new(target_ci);
+        Self {
+            policy: SamplingPolicy::Adaptive {
+                target_ci: params.target_ci,
+                confidence: params.confidence,
+                min_samples: params.min_samples,
+            },
+            ..Self::periodic()
+        }
+    }
+
     /// Overrides `W`.
     pub fn with_warmup(mut self, w: u64) -> Self {
         self.warmup_instances = w;
@@ -86,17 +193,56 @@ impl TaskPointConfig {
         self
     }
 
+    /// Validates parameter ranges, returning a typed error describing the
+    /// first violated constraint. Controllers call this at construction,
+    /// so an invalid configuration fails immediately instead of silently
+    /// mis-sampling.
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        if self.history_size == 0 {
+            return Err(ConfigError::ZeroHistory);
+        }
+        if self.warmup_instances > self.history_size as u64 {
+            return Err(ConfigError::WarmupExceedsHistory {
+                warmup: self.warmup_instances,
+                history: self.history_size,
+            });
+        }
+        if self.concurrency_change_ratio <= 1.0 {
+            return Err(ConfigError::BadConcurrencyRatio { ratio: self.concurrency_change_ratio });
+        }
+        match self.policy {
+            SamplingPolicy::Periodic { period: 0 } => Err(ConfigError::ZeroPeriod),
+            SamplingPolicy::Adaptive { .. } => {
+                let params = self.policy.adaptive_params().expect("adaptive policy");
+                params.validate().map_err(ConfigError::Adaptive)?;
+                Ok(self)
+            }
+            _ => Ok(self),
+        }
+    }
+
     /// Validates parameter ranges.
     ///
     /// # Panics
     ///
-    /// Panics if `H == 0` or a periodic period is 0.
+    /// Panics with the [`ConfigError`] message if any constraint is
+    /// violated (use [`TaskPointConfig::validated`] for the non-panicking
+    /// form).
     pub fn validate(&self) {
-        assert!(self.history_size > 0, "history size H must be positive");
-        if let SamplingPolicy::Periodic { period } = self.policy {
-            assert!(period > 0, "sampling period P must be positive");
+        if let Err(e) = self.validated() {
+            panic!("invalid TaskPoint configuration: {e}");
         }
-        assert!(self.concurrency_change_ratio > 1.0, "concurrency change ratio must exceed 1");
+    }
+
+    /// The adaptive-controller configuration equivalent to this one.
+    /// Returns `None` unless the policy is [`SamplingPolicy::Adaptive`].
+    pub fn adaptive_config(&self) -> Option<AdaptiveConfig> {
+        let params = self.policy.adaptive_params()?;
+        Some(AdaptiveConfig {
+            warmup_instances: self.warmup_instances,
+            rare_cluster_cutoff: self.rare_type_cutoff,
+            params,
+        })
     }
 }
 
@@ -127,6 +273,21 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_constructor_and_conversion() {
+        let c = TaskPointConfig::adaptive(0.05);
+        assert!(c.policy.is_adaptive());
+        assert_eq!(c.policy.period(), None);
+        c.validate();
+        let ac = c.adaptive_config().unwrap();
+        assert_eq!(ac.warmup_instances, 2);
+        assert_eq!(ac.rare_cluster_cutoff, 5);
+        assert_eq!(ac.params.target_ci, 0.05);
+        assert_eq!(ac.params.confidence, Confidence::C95);
+        assert_eq!(ac.params.min_samples, 4);
+        assert_eq!(TaskPointConfig::lazy().adaptive_config(), None);
+    }
+
+    #[test]
     fn builders_override() {
         let c = TaskPointConfig::lazy()
             .with_warmup(7)
@@ -144,6 +305,35 @@ mod tests {
     }
 
     #[test]
+    fn validated_reports_typed_errors() {
+        assert_eq!(
+            TaskPointConfig::periodic().with_history(0).validated(),
+            Err(ConfigError::ZeroHistory)
+        );
+        assert_eq!(
+            TaskPointConfig::lazy().with_warmup(5).validated(),
+            Err(ConfigError::WarmupExceedsHistory { warmup: 5, history: 4 })
+        );
+        assert!(TaskPointConfig::lazy().with_warmup(5).with_history(5).validated().is_ok());
+        assert_eq!(
+            TaskPointConfig::periodic()
+                .with_policy(SamplingPolicy::Periodic { period: 0 })
+                .validated(),
+            Err(ConfigError::ZeroPeriod)
+        );
+        let mut bad_ratio = TaskPointConfig::lazy();
+        bad_ratio.concurrency_change_ratio = 1.0;
+        assert_eq!(bad_ratio.validated(), Err(ConfigError::BadConcurrencyRatio { ratio: 1.0 }));
+        assert!(matches!(
+            TaskPointConfig::adaptive(-1.0).validated(),
+            Err(ConfigError::Adaptive(_))
+        ));
+        // Messages stay self-explanatory.
+        let e = TaskPointConfig::lazy().with_warmup(9).validated().unwrap_err();
+        assert!(e.to_string().contains("W (9)"), "{e}");
+    }
+
+    #[test]
     #[should_panic(expected = "H must be positive")]
     fn zero_history_rejected() {
         TaskPointConfig::periodic().with_history(0).validate();
@@ -153,5 +343,11 @@ mod tests {
     #[should_panic(expected = "P must be positive")]
     fn zero_period_rejected() {
         TaskPointConfig::periodic().with_policy(SamplingPolicy::Periodic { period: 0 }).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed history")]
+    fn warmup_beyond_history_rejected() {
+        TaskPointConfig::lazy().with_warmup(10).validate();
     }
 }

@@ -113,9 +113,19 @@ impl TaskPointController {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid, or if its policy is
+    /// [`SamplingPolicy::Adaptive`] — the confidence-driven policy runs
+    /// through [`AdaptiveController`](taskpoint_accuracy::AdaptiveController)
+    /// (the [`run_sampled`](crate::run_sampled) entry points dispatch on
+    /// the policy automatically).
     pub fn new(config: TaskPointConfig) -> Self {
         config.validate();
+        assert!(
+            !config.policy.is_adaptive(),
+            "SamplingPolicy::Adaptive requires the AdaptiveController; use run_adaptive / \
+             run_clustered_adaptive, or run_sampled / run_clustered (which dispatch on the \
+             policy)"
+        );
         let warmup_target = config.warmup_instances;
         let mut controller = Self {
             config,

@@ -23,6 +23,11 @@
 //! * the paper's proposed *future work* — clustering instances of a type
 //!   by instruction count into classes of similar performance
 //!   ([`clustered`]);
+//! * **confidence-driven adaptive sampling** ([`adaptive`], built on
+//!   [`taskpoint_accuracy`]): a third policy
+//!   ([`SamplingPolicy::Adaptive`]) that keeps each cluster detailed until
+//!   the relative confidence interval of its mean IPC shrinks below a
+//!   target, turning the sample budget into an error/speedup dial;
 //! * evaluation plumbing for error/speedup studies ([`metrics`],
 //!   [`simulate`]).
 //!
@@ -51,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod clustered;
 pub mod config;
 pub mod controller;
@@ -58,11 +64,22 @@ pub mod history;
 pub mod metrics;
 pub mod simulate;
 
+pub use adaptive::{
+    run_adaptive, run_adaptive_traced, run_clustered_adaptive, run_clustered_adaptive_traced,
+};
 pub use clustered::{run_clustered, run_clustered_traced, ClusteredController};
-pub use config::{SamplingPolicy, TaskPointConfig};
+pub use config::{ConfigError, SamplingPolicy, TaskPointConfig};
 pub use controller::{Phase, ResampleCause, SamplingStats, TaskPointController};
 pub use history::{SampleHistory, TypeHistories};
 pub use metrics::ExperimentOutcome;
 pub use simulate::{
     evaluate, run_reference, run_reference_traced, run_sampled, run_sampled_traced,
 };
+// The statistical layer underneath the adaptive policy, re-exported so
+// downstream crates (campaign, bench) need not depend on
+// `taskpoint-accuracy` directly.
+pub use taskpoint_accuracy::{
+    AccuracyReport, AdaptiveConfig, AdaptiveController, AdaptiveParams, ClusterAccuracy,
+    ClusterMap, ClusteredAdaptiveController,
+};
+pub use taskpoint_stats::Confidence;

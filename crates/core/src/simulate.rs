@@ -56,6 +56,12 @@ pub fn run_sampled(
 
 /// Like [`run_sampled`], with an explicit [`TraceProvider`] for the
 /// detailed instruction streams (see [`run_reference_traced`]).
+///
+/// Dispatches on `config.policy`: the lazy and periodic policies run the
+/// base [`TaskPointController`]; [`SamplingPolicy::Adaptive`](crate::SamplingPolicy::Adaptive)
+/// runs the confidence-driven controller (use
+/// [`run_adaptive_traced`](crate::run_adaptive_traced) directly to also
+/// get the per-cluster accuracy report).
 pub fn run_sampled_traced(
     program: &Program,
     machine: MachineConfig,
@@ -63,6 +69,11 @@ pub fn run_sampled_traced(
     config: TaskPointConfig,
     traces: Box<dyn TraceProvider>,
 ) -> (SimResult, SamplingStats) {
+    if config.policy.is_adaptive() {
+        let (result, stats, _) =
+            crate::adaptive::run_adaptive_traced(program, machine, workers, config, traces);
+        return (result, stats);
+    }
     let mut controller = TaskPointController::new(config);
     let result = Simulation::builder(program, machine)
         .workers(workers)

@@ -10,6 +10,9 @@
 //!   normalizes every task instance's IPC to the mean IPC of its task type,
 //! * error and speedup metrics ([`error`]) for the accuracy evaluation
 //!   (Figs. 6–10),
+//! * streaming moments ([`StreamingMoments`]) and pinned Student-t
+//!   critical values ([`student_t_critical`]) — the statistical substrate
+//!   of the confidence-driven adaptive sampling policy,
 //! * a tiny deterministic RNG ([`rng::Xoshiro256pp`]) so workload generation
 //!   and the simulator's noise model are reproducible bit-for-bit without
 //!   depending on the `rand` crate's stream stability.
@@ -31,12 +34,16 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod moments;
 pub mod normalize;
 pub mod percentile;
 pub mod rng;
+pub mod student_t;
 pub mod summary;
 
 pub use error::{geometric_mean, relative_error_percent, speedup, ErrorSummary};
+pub use moments::StreamingMoments;
 pub use normalize::normalize_by_group;
 pub use percentile::{percentile, BoxplotStats};
+pub use student_t::{student_t_critical, Confidence};
 pub use summary::Summary;

@@ -1,0 +1,72 @@
+//! Property tests for [`StreamingMoments`]: merging arbitrary partitions
+//! of a stream must reproduce the whole-stream moments.
+
+use proptest::prelude::*;
+use taskpoint_stats::StreamingMoments;
+
+proptest! {
+    #[test]
+    fn merged_moments_equal_whole_stream(
+        xs in prop::collection::vec(-1e4f64..1e4, 0..300),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let whole: StreamingMoments = xs.iter().copied().collect();
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let mut left: StreamingMoments = xs[..split].iter().copied().collect();
+        let right: StreamingMoments = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-7);
+        prop_assert!(
+            (left.sample_variance() - whole.sample_variance()).abs()
+                < 1e-6 * (1.0 + whole.sample_variance())
+        );
+    }
+
+    #[test]
+    fn three_way_merge_is_order_insensitive(
+        xs in prop::collection::vec(0.01f64..100.0, 3..120),
+        a in 1usize..40,
+        b in 1usize..40,
+    ) {
+        let a = a.min(xs.len() - 2);
+        let b = (a + b).min(xs.len() - 1);
+        let parts: [StreamingMoments; 3] = [
+            xs[..a].iter().copied().collect(),
+            xs[a..b].iter().copied().collect(),
+            xs[b..].iter().copied().collect(),
+        ];
+        let whole: StreamingMoments = xs.iter().copied().collect();
+        // Merge in two different orders; both must match the whole stream.
+        let mut fwd = parts[0];
+        fwd.merge(&parts[1]);
+        fwd.merge(&parts[2]);
+        let mut rev = parts[2];
+        rev.merge(&parts[1]);
+        rev.merge(&parts[0]);
+        for merged in [fwd, rev] {
+            prop_assert_eq!(merged.count(), whole.count());
+            prop_assert!((merged.mean() - whole.mean()).abs() < 1e-7);
+            prop_assert!(
+                (merged.sample_variance() - whole.sample_variance()).abs()
+                    < 1e-6 * (1.0 + whole.sample_variance())
+            );
+        }
+    }
+
+    #[test]
+    fn std_error_shrinks_with_replication(
+        xs in prop::collection::vec(0.5f64..2.0, 2..50),
+    ) {
+        // Duplicating a stream k times divides the standard error by ~sqrt(k)
+        // when the variance is nonzero; at minimum it must not grow.
+        let once: StreamingMoments = xs.iter().copied().collect();
+        let four: StreamingMoments =
+            xs.iter().copied().chain(xs.iter().copied()).chain(xs.iter().copied())
+                .chain(xs.iter().copied()).collect();
+        let (Some(se1), Some(se4)) = (once.std_error(), four.std_error()) else {
+            return Err(TestCaseError::fail("std_error missing"));
+        };
+        prop_assert!(se4 <= se1 + 1e-12);
+    }
+}

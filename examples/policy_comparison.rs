@@ -41,6 +41,11 @@ fn main() {
         })
         .collect();
     configs.push(("lazy".to_string(), TaskPointConfig::lazy()));
+    // The confidence-driven policy at three CI targets: the error/speedup
+    // frontier the accuracy subsystem adds on top of the paper's policies.
+    for target in [0.10, 0.05, 0.02] {
+        configs.push((format!("ci={:.0}%", 100.0 * target), TaskPointConfig::adaptive(target)));
+    }
 
     for (name, config) in configs {
         let (outcome, stats) =

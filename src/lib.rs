@@ -4,6 +4,7 @@
 //! integration `tests/` can reach every layer through one dependency.
 
 pub use taskpoint;
+pub use taskpoint_accuracy as accuracy;
 pub use taskpoint_campaign as campaign;
 pub use taskpoint_runtime as runtime;
 pub use taskpoint_stats as stats;

@@ -1,0 +1,126 @@
+//! Integration tests of the adaptive accuracy subsystem: the
+//! confidence-driven policy against the fixed-budget policies, end to end
+//! through workload generation, simulation and the campaign layer.
+
+use std::sync::{Arc, OnceLock};
+
+use taskpoint_repro::campaign::{Campaign, CellSpec};
+use taskpoint_repro::sim::{MachineConfig, SimResult};
+use taskpoint_repro::taskpoint::{run_adaptive, run_sampled, TaskPointConfig};
+use taskpoint_repro::workloads::{Benchmark, ScaleConfig};
+
+fn quick() -> ScaleConfig {
+    ScaleConfig::quick()
+}
+
+/// The process-wide campaign: shared program + reference caches.
+fn campaign() -> &'static Campaign {
+    static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(Campaign::in_memory)
+}
+
+fn reference(bench: Benchmark, machine: MachineConfig, workers: u32) -> Arc<SimResult> {
+    campaign().reference(bench, quick(), machine, workers)
+}
+
+fn cycles_error_percent(sampled: &SimResult, reference: &SimResult) -> f64 {
+    100.0
+        * ((sampled.total_cycles as f64 - reference.total_cycles as f64)
+            / reference.total_cycles as f64)
+            .abs()
+}
+
+/// The acceptance criterion of the accuracy subsystem: on a kernel
+/// workload, the adaptive policy at a mid CI target must spend *strictly
+/// fewer* detailed instances than the paper's periodic policy while
+/// keeping the cycles error within the configured target.
+#[test]
+fn adaptive_mid_target_beats_periodic_budget_within_target_error() {
+    let bench = Benchmark::Cholesky;
+    let machine = MachineConfig::high_performance();
+    let workers = 4;
+    let target = 0.05; // the mid entry of ADAPTIVE_TARGETS
+    let r = reference(bench, machine.clone(), workers);
+    let program = campaign().program(bench, &quick());
+
+    let (periodic, _) =
+        run_sampled(&program, machine.clone(), workers, TaskPointConfig::periodic());
+    let (adaptive, _, accuracy) =
+        run_adaptive(&program, machine, workers, TaskPointConfig::adaptive(target));
+
+    assert!(
+        adaptive.detailed_tasks < periodic.detailed_tasks,
+        "adaptive must spend fewer detailed instances: {} vs periodic's {}",
+        adaptive.detailed_tasks,
+        periodic.detailed_tasks
+    );
+    let err = cycles_error_percent(&adaptive, &r);
+    assert!(
+        err <= 100.0 * target,
+        "adaptive cycles error {err:.2}% exceeds the {:.0}% target",
+        100.0 * target
+    );
+    // Every converged cluster ended within the target (or was a rare
+    // forced cluster, of which cholesky at this scale has none).
+    assert!(accuracy.converged_units() >= 1);
+    for c in &accuracy.clusters {
+        if c.converged && !c.forced {
+            if let Some(ci) = c.rel_ci {
+                assert!(ci <= target + 1e-12, "unit {}: rel CI {ci} > {target}", c.unit);
+            }
+        }
+    }
+}
+
+/// Tightening the target must never reduce detailed coverage, and the
+/// error at the tightest target should not exceed the loosest target's
+/// error band (the frontier is traded, not random).
+#[test]
+fn frontier_is_monotone_in_detail_spend() {
+    let bench = Benchmark::Spmv;
+    let machine = MachineConfig::low_power();
+    let workers = 4;
+    let program = campaign().program(bench, &quick());
+    let mut detailed = Vec::new();
+    for target in [0.10, 0.05, 0.02] {
+        let (result, _, _) =
+            run_adaptive(&program, machine.clone(), workers, TaskPointConfig::adaptive(target));
+        detailed.push(result.detailed_tasks);
+    }
+    assert!(
+        detailed.windows(2).all(|w| w[0] <= w[1]),
+        "tighter CI targets must not sample less: {detailed:?}"
+    );
+}
+
+/// The `adaptive` campaign sweep end to end at quick scale: every cell
+/// computes, adaptive cells carry CI fields, and the emitted JSONL is
+/// deterministic across worker counts.
+#[test]
+fn adaptive_sweep_emits_ci_fields_deterministically() {
+    use taskpoint_repro::campaign::{adaptive_specs, Executor, ResultStore};
+    let specs: Vec<CellSpec> = adaptive_specs(quick());
+    assert_eq!(specs.len(), 24);
+    // Keep the in-process sweep small: the two external workloads (the
+    // kernels are covered by the direct-run tests above, and CI runs the
+    // full sweep through the campaign CLI).
+    let external: Vec<CellSpec> =
+        specs.into_iter().filter(|s| s.bench.name().starts_with("external-")).collect();
+    assert_eq!(external.len(), 12);
+    let a = Campaign::new(ResultStore::disabled(), Executor::new(1)).run(&external);
+    let b = Campaign::new(ResultStore::disabled(), Executor::new(4)).run(&external);
+    assert_eq!(a.jsonl(), b.jsonl(), "canonical JSONL must not depend on worker count");
+    let mut adaptive_cells = 0;
+    for outcome in &a.outcomes {
+        if let Some(m) = outcome.record.metrics.as_eval() {
+            if let Some(target) = m.ci_target {
+                adaptive_cells += 1;
+                assert!(m.ci_confidence == Some(0.95));
+                assert!(m.ci_units.unwrap() >= 1);
+                assert!(outcome.record.to_json().contains("\"ci_target\":"));
+                assert!(target > 0.0);
+            }
+        }
+    }
+    assert_eq!(adaptive_cells, 6, "3 CI targets x 2 external workloads");
+}
