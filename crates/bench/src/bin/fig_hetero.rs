@@ -1,0 +1,17 @@
+//! Regenerates the heterogeneous big.LITTLE comparison: per-kernel
+//! reference and lazy-sampled runs on the big.LITTLE machine (with the
+//! per-group IPC split) against the homogeneous high-performance
+//! baseline at the same worker count.
+
+use taskpoint_bench::output::emit;
+use taskpoint_bench::{figures, Harness};
+
+fn main() {
+    let h = Harness::from_env();
+    let t = figures::hetero_figure(&h);
+    emit(
+        "fig_hetero",
+        "Heterogeneous big.LITTLE: reference vs lazy sampling vs homogeneous baseline",
+        &t.render(),
+    );
+}

@@ -82,6 +82,11 @@ fn main() {
         "Adaptive sampling: error/speedup frontier (confidence-driven CI targets)",
         &figures::adaptive_frontier(&h).render(),
     );
+    emit(
+        "fig_hetero",
+        "Heterogeneous big.LITTLE: reference vs lazy sampling vs homogeneous baseline",
+        &figures::hetero_figure(&h).render(),
+    );
 
     // Headline summary (abstract claim: 64 threads, lazy, avg err 1.8%,
     // max 15.0%, avg speedup 19.1).

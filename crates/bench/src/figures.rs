@@ -228,6 +228,78 @@ pub fn adaptive_frontier(h: &Harness) -> Table {
     table
 }
 
+/// Runs the heterogeneous big.LITTLE comparison: per kernel, the
+/// big.LITTLE reference with its per-group IPC split (little cores run at
+/// clock divider 2, so their IPC is per *core-local* cycle), a
+/// lazy-sampled run on the same machine, and the homogeneous
+/// high-performance baseline at the same worker count.
+pub fn hetero_figure(h: &Harness) -> Table {
+    let specs = taskpoint_campaign::hetero_specs(*h.scale());
+    let report = h.run(&specs);
+
+    let mut table = Table::new([
+        "workload",
+        "machine",
+        "policy",
+        "cycles",
+        "err%",
+        "speedup",
+        "big ipc",
+        "little ipc",
+    ]);
+    let dash = || "-".to_string();
+    for (bench, chunk) in
+        taskpoint_campaign::HETERO_KERNELS.into_iter().zip(report.outcomes.chunks(3))
+    {
+        let href = chunk[0].record.metrics.as_reference().expect("hetero reference cell");
+        let group_ipc = |name: &str| {
+            href.groups
+                .as_deref()
+                .unwrap_or_default()
+                .iter()
+                .find(|g| g.name == name)
+                .map(|g| {
+                    let busy_cycles = g.busy_ticks / g.clock_divider as u64;
+                    num(g.instructions as f64 / busy_cycles.max(1) as f64, 2)
+                })
+                .unwrap_or_else(dash)
+        };
+        table.row([
+            bench.name().to_string(),
+            "big.LITTLE".to_string(),
+            "reference".to_string(),
+            href.total_cycles.to_string(),
+            num(0.0, 2),
+            num(1.0, 1),
+            group_ipc("big"),
+            group_ipc("little"),
+        ]);
+        let m = chunk[1].record.metrics.as_eval().expect("sampled cell");
+        table.row([
+            bench.name().to_string(),
+            "big.LITTLE".to_string(),
+            "lazy".to_string(),
+            m.predicted_cycles.to_string(),
+            num(m.error_percent, 2),
+            num(chunk[1].timing.speedup.unwrap_or(0.0), 1),
+            dash(),
+            dash(),
+        ]);
+        let base = chunk[2].record.metrics.as_reference().expect("baseline reference cell");
+        table.row([
+            bench.name().to_string(),
+            "high-perf".to_string(),
+            "reference".to_string(),
+            base.total_cycles.to_string(),
+            dash(),
+            dash(),
+            dash(),
+            dash(),
+        ]);
+    }
+    table
+}
+
 /// Generates Table I: the benchmark inventory with *measured* detailed
 /// simulation wall times at 1 and 64 threads.
 pub fn table1(h: &Harness) -> Table {

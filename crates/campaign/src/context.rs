@@ -26,8 +26,8 @@ use tasksim::{
 };
 
 use crate::record::{
-    CellMetrics, CellOutcome, CellRecord, CellTiming, EvalMetrics, ExploreMetrics, RefMetrics,
-    StoredCell, VariationMetrics,
+    CellMetrics, CellOutcome, CellRecord, CellTiming, EvalMetrics, ExploreMetrics, GroupMetric,
+    RefMetrics, StoredCell, VariationMetrics,
 };
 use crate::spec::{CellKind, CellSpec};
 use crate::store::ResultStore;
@@ -77,6 +77,21 @@ fn strip_reports(mut result: SimResult) -> SimResult {
 /// inspecting task counts.
 fn reference_result_from_stored(stored: &StoredCell, workers: u32) -> SimResult {
     let m = stored.record.metrics.as_reference().expect("reference record");
+    let groups = m
+        .groups
+        .as_deref()
+        .unwrap_or_default()
+        .iter()
+        .map(|g| tasksim::GroupStats {
+            name: g.name.clone(),
+            cores: g.cores,
+            clock_divider: g.clock_divider,
+            detailed_tasks: g.detailed_tasks,
+            fast_tasks: 0,
+            instructions: g.instructions,
+            busy_ticks: g.busy_ticks,
+        })
+        .collect();
     SimResult {
         total_cycles: m.total_cycles,
         wall_seconds: stored.timing.wall_seconds,
@@ -90,7 +105,30 @@ fn reference_result_from_stored(stored: &StoredCell, workers: u32) -> SimResult 
         private_cache: Vec::new(),
         shared_cache: Vec::new(),
         workers,
+        groups,
     }
+}
+
+/// The per-group metrics a reference result persists: `None` for
+/// homogeneous machines (the record then omits the key entirely).
+fn group_metrics(result: &SimResult) -> Option<Vec<GroupMetric>> {
+    if result.groups.is_empty() {
+        return None;
+    }
+    Some(
+        result
+            .groups
+            .iter()
+            .map(|g| GroupMetric {
+                name: g.name.clone(),
+                cores: g.cores,
+                clock_divider: g.clock_divider,
+                detailed_tasks: g.detailed_tasks,
+                instructions: g.instructions,
+                busy_ticks: g.busy_ticks,
+            })
+            .collect(),
+    )
 }
 
 impl Context {
@@ -131,32 +169,20 @@ impl Context {
     }
 
     /// Returns (computing or cache-loading on first use) the reference
-    /// entry for a reference cell spec.
+    /// entry for a reference cell spec. `cached` in the entry is true iff
+    /// it was served from the persistent store.
     pub fn reference_entry(&self, store: &ResultStore, spec: &CellSpec) -> ReferenceEntry {
-        self.reference_entry_flagged(store, spec).0
-    }
-
-    /// Like [`Context::reference_entry`], additionally reporting whether
-    /// *this call* ran the simulation (false when another thread computed
-    /// it, or it came from the store).
-    fn reference_entry_flagged(
-        &self,
-        store: &ResultStore,
-        spec: &CellSpec,
-    ) -> (ReferenceEntry, bool) {
         debug_assert!(matches!(spec.kind, CellKind::Reference));
         let hash = spec.hash_hex();
         let slot = {
             let mut map = self.references.lock().expect("reference map poisoned");
             map.entry(hash.clone()).or_default().clone()
         };
-        let mut ran_sim = false;
         let entry = slot.get_or_init(|| {
             if let Some(stored) = store.load(&hash) {
                 let result = Arc::new(reference_result_from_stored(&stored, spec.workers));
                 return ReferenceEntry { result, stored, cached: true };
             }
-            ran_sim = true;
             let program = self.program(spec.bench, &spec.scale);
             let result = strip_reports(run_reference_traced(
                 &program,
@@ -176,6 +202,7 @@ impl Context {
                         total_cycles: result.total_cycles,
                         detailed_tasks: result.detailed_tasks,
                         instructions: result.total_instructions(),
+                        groups: group_metrics(&result),
                     }),
                 },
                 timing: CellTiming {
@@ -188,7 +215,7 @@ impl Context {
             store.save(&hash, &stored);
             ReferenceEntry { result: Arc::new(result), stored, cached: false }
         });
-        (entry.clone(), ran_sim)
+        entry.clone()
     }
 
     /// Convenience: the reference `SimResult` for a cell (shared, reports
@@ -206,17 +233,24 @@ impl Context {
     }
 
     /// Computes (or loads) one cell. `cached` in the returned outcome is
-    /// true whenever this call did not itself simulate — served from the
+    /// true whenever the process did not simulate it — served from the
     /// store, or deduplicated against a concurrent/earlier identical spec.
+    ///
+    /// For reference cells the flag deliberately reflects the *store*, not
+    /// which call won the in-memory init: a sampled cell that races ahead
+    /// of its reference's own spec computes the reference as a dependency,
+    /// and which thread wins that race is scheduling noise — counting it
+    /// as a cache hit would make `CampaignReport::computed` depend on
+    /// thread timing.
     pub fn compute(&self, store: &ResultStore, spec: &CellSpec) -> CellOutcome {
         let hash = spec.hash_hex();
         if let CellKind::Reference = spec.kind {
-            let (entry, ran_sim) = self.reference_entry_flagged(store, spec);
+            let entry = self.reference_entry(store, spec);
             return CellOutcome {
                 spec: spec.clone(),
                 record: entry.stored.record.clone(),
                 timing: entry.stored.timing.clone(),
-                cached: !ran_sim,
+                cached: entry.cached,
             };
         }
         let slot = {
@@ -595,5 +629,34 @@ mod tests {
         assert_eq!(stub.total_cycles, entry.result.total_cycles);
         assert_eq!(stub.detailed_tasks, entry.result.detailed_tasks);
         assert_eq!(stub.workers, 2);
+        assert!(stub.groups.is_empty(), "homogeneous stub has no groups");
+    }
+
+    #[test]
+    fn heterogeneous_reference_persists_per_group_metrics() {
+        let ctx = Context::new();
+        let store = ResultStore::disabled();
+        let machine = MachineConfig::big_little(2, 2);
+        let spec = CellSpec::reference(Benchmark::Cholesky, quick(), machine, 4);
+        let entry = ctx.reference_entry(&store, &spec);
+        // The live result carries groups, the record persists them, and
+        // the stub reconstructs them.
+        assert_eq!(entry.result.groups.len(), 2);
+        let m = entry.stored.record.metrics.as_reference().unwrap();
+        let groups = m.groups.as_ref().expect("hetero record stores groups");
+        assert_eq!(groups[0].name, "big");
+        assert_eq!(groups[1].name, "little");
+        assert_eq!(groups[1].clock_divider, 2);
+        // Little cores on a half clock must accumulate measurably
+        // different busy time than big cores (the issue's acceptance
+        // criterion at the campaign layer).
+        assert_ne!(groups[0].busy_ticks, groups[1].busy_ticks);
+        let stub = reference_result_from_stored(&entry.stored, spec.workers);
+        assert_eq!(stub.groups.len(), 2);
+        assert_eq!(stub.groups[0].detailed_tasks, groups[0].detailed_tasks);
+        // And the record's canonical JSON round-trips bit-identically.
+        let text = entry.stored.to_json();
+        assert!(text.contains("\"groups\":[{\"name\":\"big\""));
+        assert_eq!(StoredCell::from_json(&text).unwrap(), entry.stored);
     }
 }

@@ -61,14 +61,14 @@ pub use campaign::{Campaign, CampaignReport};
 pub use context::Context;
 pub use executor::Executor;
 pub use record::{
-    CellMetrics, CellOutcome, CellRecord, CellTiming, EvalMetrics, RefMetrics, StoredCell,
-    VariationMetrics,
+    CellMetrics, CellOutcome, CellRecord, CellTiming, EvalMetrics, GroupMetric, RefMetrics,
+    StoredCell, VariationMetrics,
 };
 pub use spec::{CellKind, CellSpec, RunScale, UnknownScaleError};
 pub use store::{code_fingerprint, ResultStore};
 pub use sweeps::{
-    adaptive_specs, adaptive_workloads, error_speedup_specs, sensitivity_configs,
+    adaptive_specs, adaptive_workloads, error_speedup_specs, hetero_specs, sensitivity_configs,
     sensitivity_specs, table1_specs, variation_specs, Sweep, SweepPart, ADAPTIVE_KERNELS,
-    ADAPTIVE_TARGETS, ADAPTIVE_WORKERS, FIG1_NOISE_SEED, HIGH_PERF_THREADS, LOW_POWER_THREADS,
-    SENSITIVITY_THREADS,
+    ADAPTIVE_TARGETS, ADAPTIVE_WORKERS, FIG1_NOISE_SEED, HETERO_KERNELS, HETERO_WORKERS,
+    HIGH_PERF_THREADS, LOW_POWER_THREADS, SENSITIVITY_THREADS,
 };

@@ -20,6 +20,24 @@ use taskpoint_workloads::ScaleConfig;
 use crate::json::{Object, ParseError, Value};
 use crate::spec::CellSpec;
 
+/// Deterministic per-core-group metrics of a heterogeneous cell, in the
+/// machine's group order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMetric {
+    /// Group name from the machine description.
+    pub name: String,
+    /// Cores in the group.
+    pub cores: u32,
+    /// The group's clock divider.
+    pub clock_divider: u32,
+    /// Task instances the group executed in detail.
+    pub detailed_tasks: u64,
+    /// Instructions the group executed.
+    pub instructions: u64,
+    /// Base-clock ticks the group's cores spent running tasks.
+    pub busy_ticks: u64,
+}
+
 /// Deterministic metrics of a reference (full-detail) cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RefMetrics {
@@ -29,6 +47,10 @@ pub struct RefMetrics {
     pub detailed_tasks: u64,
     /// Dynamic instructions simulated.
     pub instructions: u64,
+    /// Per-core-group metrics — present exactly for heterogeneous
+    /// machines (same pattern as the adaptive-only `ci_*` fields:
+    /// homogeneous records do not carry the key at all).
+    pub groups: Option<Vec<GroupMetric>>,
 }
 
 /// Deterministic metrics of a sampled (or clustered) cell.
@@ -269,6 +291,22 @@ fn metrics_json(metrics: &CellMetrics) -> Value {
             o.set("total_cycles", Value::Num(m.total_cycles as f64));
             o.set("detailed_tasks", Value::Num(m.detailed_tasks as f64));
             o.set("instructions", Value::Num(m.instructions as f64));
+            if let Some(groups) = &m.groups {
+                let arr = groups
+                    .iter()
+                    .map(|g| {
+                        let mut go = Object::new();
+                        go.set("name", Value::Str(g.name.clone()));
+                        go.set("cores", Value::Num(g.cores as f64));
+                        go.set("clock_divider", Value::Num(g.clock_divider as f64));
+                        go.set("detailed_tasks", Value::Num(g.detailed_tasks as f64));
+                        go.set("instructions", Value::Num(g.instructions as f64));
+                        go.set("busy_ticks", Value::Num(g.busy_ticks as f64));
+                        Value::Obj(go)
+                    })
+                    .collect();
+                o.set("groups", Value::Arr(arr));
+            }
         }
         CellMetrics::Eval(m) => {
             o.set("error_percent", Value::Num(m.error_percent));
@@ -367,12 +405,38 @@ fn shape(field: &str) -> RecordError {
     RecordError::Shape(format!("missing or mistyped field {field:?}"))
 }
 
+fn parse_groups(o: &Object) -> Result<Option<Vec<GroupMetric>>, RecordError> {
+    let Some(v) = o.get("groups") else { return Ok(None) };
+    let Value::Arr(items) = v else {
+        return Err(RecordError::Shape("groups is not an array".to_string()));
+    };
+    let mut groups = Vec::with_capacity(items.len());
+    for item in items {
+        let Value::Obj(g) = item else {
+            return Err(RecordError::Shape("group entry is not an object".to_string()));
+        };
+        groups.push(GroupMetric {
+            name: g.str("name").ok_or_else(|| shape("groups.name"))?.to_string(),
+            cores: g.u64("cores").ok_or_else(|| shape("groups.cores"))? as u32,
+            clock_divider: g.u64("clock_divider").ok_or_else(|| shape("groups.clock_divider"))?
+                as u32,
+            detailed_tasks: g
+                .u64("detailed_tasks")
+                .ok_or_else(|| shape("groups.detailed_tasks"))?,
+            instructions: g.u64("instructions").ok_or_else(|| shape("groups.instructions"))?,
+            busy_ticks: g.u64("busy_ticks").ok_or_else(|| shape("groups.busy_ticks"))?,
+        });
+    }
+    Ok(Some(groups))
+}
+
 fn parse_metrics(kind: &str, o: &Object) -> Result<CellMetrics, RecordError> {
     match kind {
         "reference" => Ok(CellMetrics::Reference(RefMetrics {
             total_cycles: o.u64("total_cycles").ok_or_else(|| shape("total_cycles"))?,
             detailed_tasks: o.u64("detailed_tasks").ok_or_else(|| shape("detailed_tasks"))?,
             instructions: o.u64("instructions").ok_or_else(|| shape("instructions"))?,
+            groups: parse_groups(o)?,
         })),
         "sampled" | "clustered" => Ok(CellMetrics::Eval(EvalMetrics {
             error_percent: o.num("error_percent").ok_or_else(|| shape("error_percent"))?,
@@ -568,6 +632,7 @@ mod tests {
                     total_cycles: 8_536_967,
                     detailed_tasks: 1024,
                     instructions: 9_700_000,
+                    groups: None,
                 }),
             ),
             (
@@ -634,6 +699,67 @@ mod tests {
         assert!(text.contains("\"ci_converged\":6"));
         let back = StoredCell::from_json(&text).unwrap();
         assert_eq!(back, stored);
+    }
+
+    #[test]
+    fn heterogeneous_group_metrics_round_trip() {
+        let groups = vec![
+            GroupMetric {
+                name: "big".to_string(),
+                cores: 2,
+                clock_divider: 1,
+                detailed_tasks: 700,
+                instructions: 7_000_000,
+                busy_ticks: 4_100_000,
+            },
+            GroupMetric {
+                name: "little".to_string(),
+                cores: 2,
+                clock_divider: 2,
+                detailed_tasks: 324,
+                instructions: 2_700_000,
+                busy_ticks: 3_900_000,
+            },
+        ];
+        let stored = StoredCell {
+            record: CellRecord {
+                kind: "reference".to_string(),
+                metrics: CellMetrics::Reference(RefMetrics {
+                    total_cycles: 5_000_000,
+                    detailed_tasks: 1024,
+                    instructions: 9_700_000,
+                    groups: Some(groups),
+                }),
+                ..eval_record()
+            },
+            timing: CellTiming {
+                wall_seconds: 1.0,
+                reference_wall_seconds: None,
+                speedup: None,
+                detailed_instr_per_sec: None,
+            },
+        };
+        let text = stored.to_json();
+        // The exact JSONL shape the hetero CI grep pins.
+        assert!(text.contains("\"groups\":[{\"name\":\"big\""), "{text}");
+        assert!(text.contains("\"clock_divider\":2"));
+        let back = StoredCell::from_json(&text).unwrap();
+        assert_eq!(back, stored);
+        // Homogeneous records must not carry the key at all.
+        let homogeneous = StoredCell {
+            record: CellRecord {
+                kind: "reference".to_string(),
+                metrics: CellMetrics::Reference(RefMetrics {
+                    total_cycles: 1,
+                    detailed_tasks: 1,
+                    instructions: 1,
+                    groups: None,
+                }),
+                ..eval_record()
+            },
+            timing: stored.timing.clone(),
+        };
+        assert!(!homogeneous.to_json().contains("groups"));
     }
 
     #[test]

@@ -183,27 +183,46 @@ fn hash_policy(h: &mut StableHasher, config: &TaskPointConfig) {
     h.write_f64(config.concurrency_change_ratio);
 }
 
+fn hash_core(h: &mut StableHasher, core: &tasksim::CoreConfig) {
+    h.write_u32(core.rob_size);
+    h.write_u32(core.issue_width);
+    h.write_u32(core.commit_width);
+    h.write_u32(core.mshrs);
+    h.write_u32(core.mispredict_penalty);
+    for lat in [
+        core.latencies.int_alu,
+        core.latencies.int_mul,
+        core.latencies.int_div,
+        core.latencies.fp_alu,
+        core.latencies.fp_mul,
+        core.latencies.fp_div,
+        core.latencies.store,
+        core.latencies.branch,
+        core.latencies.atomic_extra,
+        core.latencies.fence,
+    ] {
+        h.write_u32(lat);
+    }
+}
+
 fn hash_machine(h: &mut StableHasher, m: &MachineConfig) {
     h.write_str(&m.name);
     h.write_u32(m.line_size);
-    h.write_u32(m.core.rob_size);
-    h.write_u32(m.core.issue_width);
-    h.write_u32(m.core.commit_width);
-    h.write_u32(m.core.mshrs);
-    h.write_u32(m.core.mispredict_penalty);
-    for lat in [
-        m.core.latencies.int_alu,
-        m.core.latencies.int_mul,
-        m.core.latencies.int_div,
-        m.core.latencies.fp_alu,
-        m.core.latencies.fp_mul,
-        m.core.latencies.fp_div,
-        m.core.latencies.store,
-        m.core.latencies.branch,
-        m.core.latencies.atomic_extra,
-        m.core.latencies.fence,
-    ] {
-        h.write_u32(lat);
+    hash_core(h, &m.core);
+    // Heterogeneous core groups, with explicit discriminants for the
+    // optional per-group core override so `None` and any `Some` key apart.
+    h.write_u64(m.core_groups.len() as u64);
+    for g in &m.core_groups {
+        h.write_str(&g.name);
+        h.write_u32(g.cores);
+        h.write_u32(g.clock_divider);
+        match &g.core {
+            None => h.write_u32(0),
+            Some(core) => {
+                h.write_u32(1);
+                hash_core(h, core);
+            }
+        }
     }
     h.write_u64(m.caches.len() as u64);
     for c in &m.caches {
@@ -270,8 +289,8 @@ impl CellSpec {
     pub fn hash_hex(&self) -> String {
         let mut h = StableHasher::new();
         // A format-version byte so future spec extensions re-key cleanly
-        // (v2: explicit policy discriminant + the adaptive policy).
-        h.write_u32(2);
+        // (v3: heterogeneous core groups in the machine hash).
+        h.write_u32(3);
         h.write_str(self.bench.name());
         h.write_f64(self.scale.instr_factor);
         h.write_u64(self.scale.seed);
@@ -376,6 +395,26 @@ mod tests {
             CellSpec { kind: CellKind::Explore { config: TaskPointConfig::lazy() }, ..b.clone() },
             CellSpec {
                 kind: CellKind::Explore { config: TaskPointConfig::periodic() },
+                ..b.clone()
+            },
+            CellSpec { machine: MachineConfig::big_little(2, 2), ..b.clone() },
+            CellSpec { machine: MachineConfig::big_little(1, 3), ..b.clone() },
+            CellSpec {
+                machine: {
+                    let mut m = MachineConfig::big_little(2, 2);
+                    m.core_groups[1].clock_divider = 3;
+                    m
+                },
+                ..b.clone()
+            },
+            CellSpec {
+                // A group with `core: None` must hash apart from one whose
+                // override equals the machine default (discriminant check).
+                machine: {
+                    let mut m = MachineConfig::big_little(2, 2);
+                    m.core_groups[0].core = Some(m.core.clone());
+                    m
+                },
                 ..b.clone()
             },
         ];

@@ -246,6 +246,7 @@ mod tests {
                     total_cycles: 10,
                     detailed_tasks: 1,
                     instructions: 10,
+                    groups: None,
                 }),
             },
             timing: CellTiming {

@@ -7,7 +7,7 @@
 
 use taskpoint::{SamplingPolicy, TaskPointConfig};
 use taskpoint_workloads::{Benchmark, ExternalWorkload, ScaleConfig};
-use tasksim::MachineConfig;
+use tasksim::{CoreGroupConfig, MachineConfig};
 
 use crate::spec::CellSpec;
 
@@ -116,7 +116,9 @@ pub const DESIGN_SPACE_ROBS: [u32; 3] = [64, 168, 256];
 pub const DESIGN_SPACE_L2_KB: [u64; 3] = [512, 2048, 4096];
 
 /// Exploration cells of the custom-machine design-space sweep: a 3×3
-/// ROB × L2 grid of variants of the high-performance machine, each
+/// ROB × L2 grid of variants of the high-performance machine, each taken
+/// both homogeneous and as a big.LITTLE split (4 big cores at full clock
+/// plus 4 little cores at divider 2 sharing the grid point's L2), each
 /// running cholesky at 8 threads under lazy sampling. No reference cells
 /// — ranking designs cheaply is the entire point (the full machine config
 /// is content-hashed, so every variant gets its own cache entry).
@@ -128,14 +130,52 @@ pub fn design_space_specs(scale: ScaleConfig) -> Vec<CellSpec> {
             machine.core.rob_size = rob;
             machine.caches[1].size_bytes = l2_kb * 1024;
             machine.name = format!("rob{rob}-l2_{l2_kb}k");
-            specs.push(CellSpec::explore(
-                Benchmark::Cholesky,
-                scale,
-                machine,
-                8,
-                TaskPointConfig::lazy(),
-            ));
+            let mut split = machine.clone();
+            split.name = format!("rob{rob}-l2_{l2_kb}k-biglittle");
+            split.core_groups = vec![
+                CoreGroupConfig { name: "big".into(), cores: 4, clock_divider: 1, core: None },
+                CoreGroupConfig { name: "little".into(), cores: 4, clock_divider: 2, core: None },
+            ];
+            for variant in [machine, split] {
+                specs.push(CellSpec::explore(
+                    Benchmark::Cholesky,
+                    scale,
+                    variant,
+                    8,
+                    TaskPointConfig::lazy(),
+                ));
+            }
         }
+    }
+    specs
+}
+
+/// Kernel workloads of the `hetero` sweep.
+pub const HETERO_KERNELS: [Benchmark; 2] = [Benchmark::Cholesky, Benchmark::Spmv];
+
+/// Simulated worker count of the `hetero` sweep (2 big + 2 little cores).
+pub const HETERO_WORKERS: u32 = 4;
+
+/// Cells of the `hetero` sweep: for each kernel, a full-detail reference
+/// and a lazy-sampled run on the big.LITTLE machine, plus a homogeneous
+/// high-performance reference at the same worker count as the baseline.
+/// The heterogeneous cells carry per-group metrics in their JSONL
+/// records; the homogeneous baseline proves the same record shape stays
+/// group-free.
+pub fn hetero_specs(scale: ScaleConfig) -> Vec<CellSpec> {
+    let hetero = MachineConfig::big_little(2, 2);
+    let baseline = MachineConfig::high_performance();
+    let mut specs = Vec::new();
+    for bench in HETERO_KERNELS {
+        specs.push(CellSpec::reference(bench, scale, hetero.clone(), HETERO_WORKERS));
+        specs.push(CellSpec::sampled(
+            bench,
+            scale,
+            hetero.clone(),
+            HETERO_WORKERS,
+            TaskPointConfig::lazy(),
+        ));
+        specs.push(CellSpec::reference(bench, scale, baseline.clone(), HETERO_WORKERS));
     }
     specs
 }
@@ -244,9 +284,12 @@ pub enum Sweep {
     Fig9,
     /// Fig. 10 (lazy, low-power).
     Fig10,
-    /// Custom-machine design-space exploration (ROB × L2 grid, explore
-    /// cells, no references).
+    /// Custom-machine design-space exploration (ROB × L2 grid, each point
+    /// homogeneous and big.LITTLE-split; explore cells, no references).
     DesignSpace,
+    /// Heterogeneous big.LITTLE cells: reference + lazy-sampled per
+    /// kernel, with a homogeneous reference baseline.
+    Hetero,
     /// Sampled-vs-reference cells over the external (ingested
     /// fixture-trace) workloads.
     Ingested,
@@ -254,13 +297,13 @@ pub enum Sweep {
     /// adaptive CI targets over kernels + external workloads.
     Adaptive,
     /// Every table and figure sweep (excludes `smoke`, `design-space`,
-    /// `ingested` and `adaptive`).
+    /// `hetero`, `ingested` and `adaptive`).
     All,
 }
 
 impl Sweep {
     /// Every named sweep, in CLI listing order.
-    pub const ALL: [Sweep; 15] = [
+    pub const ALL: [Sweep; 16] = [
         Sweep::Smoke,
         Sweep::Table1,
         Sweep::Fig1,
@@ -273,6 +316,7 @@ impl Sweep {
         Sweep::Fig9,
         Sweep::Fig10,
         Sweep::DesignSpace,
+        Sweep::Hetero,
         Sweep::Ingested,
         Sweep::Adaptive,
         Sweep::All,
@@ -293,6 +337,7 @@ impl Sweep {
             Sweep::Fig9 => "fig9",
             Sweep::Fig10 => "fig10",
             Sweep::DesignSpace => "design-space",
+            Sweep::Hetero => "hetero",
             Sweep::Ingested => "ingested",
             Sweep::Adaptive => "adaptive",
             Sweep::All => "all",
@@ -313,13 +358,18 @@ impl Sweep {
             Sweep::Fig8 => "Fig. 8 periodic sampling, low-power",
             Sweep::Fig9 => "Fig. 9 lazy sampling, high-performance",
             Sweep::Fig10 => "Fig. 10 lazy sampling, low-power",
-            Sweep::DesignSpace => "custom-machine DSE: 3x3 ROB x L2 grid, cholesky, lazy, explore",
+            Sweep::DesignSpace => {
+                "custom-machine DSE: 3x3 ROB x L2 grid x {homo, big.LITTLE}, cholesky, lazy"
+            }
+            Sweep::Hetero => {
+                "big.LITTLE machine: reference + lazy per kernel, vs homogeneous baseline"
+            }
             Sweep::Ingested => "external fixture traces: reference + lazy/periodic sampled cells",
             Sweep::Adaptive => {
                 "error/speedup frontier: lazy vs periodic vs 3 adaptive CI targets, low-power"
             }
             Sweep::All => {
-                "every table and figure sweep (excludes smoke, design-space, ingested, adaptive)"
+                "every table and figure sweep (excludes smoke, design-space, hetero, ingested, adaptive)"
             }
         }
     }
@@ -388,12 +438,13 @@ impl Sweep {
                 TaskPointConfig::lazy(),
             ),
             Sweep::DesignSpace => design_space_specs(scale),
+            Sweep::Hetero => hetero_specs(scale),
             Sweep::Ingested => ingested_specs(scale),
             Sweep::Adaptive => adaptive_specs(scale),
             Sweep::All => {
                 // `smoke` is a CI subset of other sweeps; `design-space`,
-                // `ingested` and `adaptive` are not paper tables/figures:
-                // none joins the union.
+                // `hetero`, `ingested` and `adaptive` are not paper
+                // tables/figures: none joins the union.
                 let mut specs = Vec::new();
                 for sweep in Sweep::ALL {
                     if !matches!(
@@ -401,6 +452,7 @@ impl Sweep {
                         Sweep::All
                             | Sweep::Smoke
                             | Sweep::DesignSpace
+                            | Sweep::Hetero
                             | Sweep::Ingested
                             | Sweep::Adaptive
                     ) {
@@ -437,7 +489,10 @@ mod tests {
         assert_eq!(Sweep::Table1.specs(scale).len(), 19 * 2);
         assert_eq!(Sweep::Fig1.specs(scale).len(), 19);
         assert_eq!(Sweep::Smoke.specs(scale).len(), 7);
-        assert_eq!(Sweep::DesignSpace.specs(scale).len(), 9);
+        // 3x3 ROB x L2 grid, each point homogeneous + big.LITTLE-split.
+        assert_eq!(Sweep::DesignSpace.specs(scale).len(), 9 * 2);
+        // 2 kernels x (hetero reference + hetero lazy + homogeneous ref).
+        assert_eq!(Sweep::Hetero.specs(scale).len(), 2 * 3);
         assert_eq!(Sweep::Ingested.specs(scale).len(), 2 * 3);
         // (2 kernels + 2 external) x (reference + lazy + periodic + 3 CI
         // targets).
@@ -471,6 +526,7 @@ mod tests {
                     Sweep::All
                         | Sweep::Smoke
                         | Sweep::DesignSpace
+                        | Sweep::Hetero
                         | Sweep::Ingested
                         | Sweep::Adaptive
                 )
@@ -490,6 +546,7 @@ mod tests {
             Sweep::Table1,
             Sweep::Fig1,
             Sweep::DesignSpace,
+            Sweep::Hetero,
             Sweep::Ingested,
             Sweep::Adaptive,
         ] {

@@ -66,6 +66,7 @@ mod tests {
             private_cache: vec![],
             shared_cache: vec![],
             workers: 1,
+            groups: vec![],
         }
     }
 

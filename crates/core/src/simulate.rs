@@ -176,4 +176,26 @@ mod tests {
         assert_eq!(r.detailed_tasks, 50);
         assert_eq!(r.fast_tasks, 0);
     }
+
+    #[test]
+    fn sampling_works_on_heterogeneous_machines() {
+        // The whole sampling path — reference, sampled, comparison — must
+        // run unchanged on a big.LITTLE machine, with per-group stats in
+        // both results.
+        let p = uniform_program(200);
+        let machine = MachineConfig::big_little(2, 2);
+        let reference = run_reference(&p, machine.clone(), 4);
+        assert_eq!(reference.groups.len(), 2);
+        assert_eq!(
+            reference.groups[0].detailed_tasks + reference.groups[1].detailed_tasks,
+            reference.detailed_tasks
+        );
+        let (outcome, stats) = evaluate(&p, machine, 4, TaskPointConfig::lazy(), Some(&reference));
+        assert!(outcome.error_percent.is_finite());
+        assert!(stats.fast_tasks > 0, "sampling must fast-forward on hetero machines too");
+        // Per-type IPC differs across groups, so sampling error is larger
+        // than on a homogeneous machine — but it must stay bounded for
+        // identically shaped tasks.
+        assert!(outcome.error_percent < 60.0, "hetero error {}%", outcome.error_percent);
+    }
 }

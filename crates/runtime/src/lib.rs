@@ -49,5 +49,7 @@ pub use depgraph::{DependenceGraph, ReadySet};
 pub use ingest::program_from_ingested;
 pub use program::{Program, ProgramBuilder};
 pub use regions::{AccessMode, RegionAccess};
-pub use scheduler::{FifoScheduler, LifoScheduler, LocalityScheduler, Scheduler, WorkerId};
+pub use scheduler::{
+    FifoScheduler, LifoScheduler, LocalityScheduler, Scheduler, SizeTieredScheduler, WorkerId,
+};
 pub use task::{TaskInstance, TaskInstanceId, TaskType, TaskTypeId};

@@ -116,6 +116,38 @@ pub struct MemoryConfig {
     pub service_cycles: u32,
 }
 
+/// Largest accepted [`CoreGroupConfig::clock_divider`].
+///
+/// Far beyond any plausible frequency ratio, but small enough that
+/// converting core-local cycles to global base-clock ticks
+/// (`cycle · divider`) stays comfortably inside `u64` for any reachable
+/// simulated time.
+pub const MAX_CLOCK_DIVIDER: u32 = 1 << 20;
+
+/// A named group of identical cores within a heterogeneous machine.
+///
+/// Groups are listed big-to-little by convention: worker ids are assigned
+/// in listed order (group 0 gets the lowest ids), and the engine hands
+/// ready tasks to the lowest idle id first, so the leading group is
+/// preferred when several cores are free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreGroupConfig {
+    /// Group name for reports ("big", "little", ...). Must be unique
+    /// within the machine.
+    pub name: String,
+    /// Number of cores in the group. The group sizes of a machine must sum
+    /// to the simulation's worker count.
+    pub cores: u32,
+    /// Clock divider relative to the machine's base clock: a core in a
+    /// divider-`d` group advances one pipeline cycle every `d` global
+    /// ticks (divider 2 ≈ half frequency). Must be in
+    /// `1..=`[`MAX_CLOCK_DIVIDER`].
+    pub clock_divider: u32,
+    /// Pipeline parameters for this group, or `None` to inherit the
+    /// machine-wide [`MachineConfig::core`].
+    pub core: Option<CoreConfig>,
+}
+
 /// A complete simulated machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
@@ -132,7 +164,65 @@ pub struct MachineConfig {
     /// Maximum cycles a core may advance before yielding to the
     /// interleaving engine; bounds causal skew on shared state.
     pub chunk_cycles: u64,
+    /// Heterogeneous core groups. Empty (the default for all Table II
+    /// presets) means a homogeneous machine: every worker runs
+    /// [`MachineConfig::core`] at divider 1, exactly as before the
+    /// event-engine refactor.
+    pub core_groups: Vec<CoreGroupConfig>,
 }
+
+/// A structurally invalid heterogeneous machine description, reported by
+/// [`MachineConfig::validated`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineConfigError {
+    /// A core group has zero cores.
+    EmptyGroup {
+        /// Name of the offending group.
+        group: String,
+    },
+    /// A core group's clock divider is zero (a core that never advances).
+    ZeroClockDivider {
+        /// Name of the offending group.
+        group: String,
+    },
+    /// A core group's clock divider exceeds [`MAX_CLOCK_DIVIDER`].
+    ClockDividerTooLarge {
+        /// Name of the offending group.
+        group: String,
+        /// The rejected divider.
+        divider: u32,
+    },
+    /// Two core groups share a name, making per-group reports ambiguous.
+    DuplicateGroupName {
+        /// The repeated name.
+        group: String,
+    },
+}
+
+impl std::fmt::Display for MachineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyGroup { group } => {
+                write!(f, "core group '{group}' has zero cores")
+            }
+            Self::ZeroClockDivider { group } => {
+                write!(f, "core group '{group}' has clock divider 0 (cores would never advance)")
+            }
+            Self::ClockDividerTooLarge { group, divider } => {
+                write!(
+                    f,
+                    "core group '{group}' clock divider {divider} exceeds the maximum {}",
+                    MAX_CLOCK_DIVIDER
+                )
+            }
+            Self::DuplicateGroupName { group } => {
+                write!(f, "core group name '{group}' is used more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineConfigError {}
 
 impl MachineConfig {
     /// The paper's high-performance (server-class) configuration, Table II
@@ -178,6 +268,7 @@ impl MachineConfig {
             ],
             memory: MemoryConfig { latency: 180, channels: 4, service_cycles: 8 },
             chunk_cycles: 8192,
+            core_groups: Vec::new(),
         }
     }
 
@@ -216,6 +307,71 @@ impl MachineConfig {
             ],
             memory: MemoryConfig { latency: 150, channels: 1, service_cycles: 16 },
             chunk_cycles: 8192,
+            core_groups: Vec::new(),
+        }
+    }
+
+    /// A heterogeneous big.LITTLE machine: `big` server-class cores at the
+    /// base clock plus `little` narrow cores at clock divider 2, all
+    /// sharing one L2 whose banked service queue is the contention point
+    /// between the groups.
+    ///
+    /// Not part of the paper's Table II — this is the scenario the
+    /// discrete-event engine exists for (ROADMAP north star: sampling on
+    /// machines the original TaskSim substrate could not express).
+    pub fn big_little(big: u32, little: u32) -> Self {
+        Self {
+            name: format!("big-little-{big}b{little}l"),
+            line_size: 64,
+            core: CoreConfig {
+                rob_size: 168,
+                issue_width: 4,
+                commit_width: 4,
+                mshrs: 10,
+                mispredict_penalty: 14,
+                latencies: KindLatencies::default(),
+            },
+            caches: vec![
+                CacheLevelConfig {
+                    name: "L1".to_string(),
+                    size_bytes: 32 * 1024,
+                    associativity: 8,
+                    latency: 4,
+                    shared: false,
+                    service_cycles: 1,
+                },
+                CacheLevelConfig {
+                    name: "L2".to_string(),
+                    size_bytes: 4 * 1024 * 1024,
+                    associativity: 16,
+                    latency: 18,
+                    shared: true,
+                    service_cycles: 3,
+                },
+            ],
+            memory: MemoryConfig { latency: 160, channels: 2, service_cycles: 12 },
+            chunk_cycles: 8192,
+            core_groups: vec![
+                CoreGroupConfig {
+                    name: "big".to_string(),
+                    cores: big,
+                    clock_divider: 1,
+                    core: None,
+                },
+                CoreGroupConfig {
+                    name: "little".to_string(),
+                    cores: little,
+                    clock_divider: 2,
+                    core: Some(CoreConfig {
+                        rob_size: 40,
+                        issue_width: 2,
+                        commit_width: 2,
+                        mshrs: 6,
+                        mispredict_penalty: 10,
+                        latencies: KindLatencies::default(),
+                    }),
+                },
+            ],
         }
     }
 
@@ -253,7 +409,54 @@ impl MachineConfig {
             ],
             memory: MemoryConfig { latency: 60, channels: 1, service_cycles: 4 },
             chunk_cycles: 1024,
+            core_groups: Vec::new(),
         }
+    }
+
+    /// Whether the machine has heterogeneous core groups.
+    pub fn is_heterogeneous(&self) -> bool {
+        !self.core_groups.is_empty()
+    }
+
+    /// Total cores across all groups, or `None` for a homogeneous machine
+    /// (whose core count is the simulation's worker count).
+    pub fn total_group_cores(&self) -> Option<u32> {
+        if self.core_groups.is_empty() {
+            None
+        } else {
+            Some(self.core_groups.iter().map(|g| g.cores).sum())
+        }
+    }
+
+    /// Validates the heterogeneous core-group description, returning the
+    /// machine unchanged on success. The typed counterpart of
+    /// [`validate`](MachineConfig::validate) for the group axes — use it
+    /// when the description comes from user input rather than a preset.
+    pub fn validated(self) -> Result<Self, MachineConfigError> {
+        self.check_groups()?;
+        Ok(self)
+    }
+
+    fn check_groups(&self) -> Result<(), MachineConfigError> {
+        let mut seen = std::collections::HashSet::new();
+        for g in &self.core_groups {
+            if g.cores == 0 {
+                return Err(MachineConfigError::EmptyGroup { group: g.name.clone() });
+            }
+            if g.clock_divider == 0 {
+                return Err(MachineConfigError::ZeroClockDivider { group: g.name.clone() });
+            }
+            if g.clock_divider > MAX_CLOCK_DIVIDER {
+                return Err(MachineConfigError::ClockDividerTooLarge {
+                    group: g.name.clone(),
+                    divider: g.clock_divider,
+                });
+            }
+            if !seen.insert(g.name.as_str()) {
+                return Err(MachineConfigError::DuplicateGroupName { group: g.name.clone() });
+            }
+        }
+        Ok(())
     }
 
     /// Validates structural invariants.
@@ -261,7 +464,8 @@ impl MachineConfig {
     /// # Panics
     ///
     /// Panics if the configuration is malformed (no caches, zero widths,
-    /// non-power-of-two line size, cache smaller than a line, ...).
+    /// non-power-of-two line size, cache smaller than a line, an invalid
+    /// core-group description, ...).
     pub fn validate(&self) {
         assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
         assert!(self.core.rob_size > 0, "zero ROB");
@@ -281,6 +485,9 @@ impl MachineConfig {
         }
         assert!(self.memory.channels > 0, "zero DRAM channels");
         assert!(self.chunk_cycles > 0, "zero chunk size");
+        if let Err(e) = self.check_groups() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -355,5 +562,94 @@ mod tests {
     #[test]
     fn tiny_config_is_valid() {
         MachineConfig::tiny_test().validate();
+    }
+
+    #[test]
+    fn big_little_preset_is_valid_and_heterogeneous() {
+        let m = MachineConfig::big_little(2, 2);
+        m.validate();
+        assert!(m.is_heterogeneous());
+        assert_eq!(m.total_group_cores(), Some(4));
+        assert_eq!(m.core_groups[0].clock_divider, 1);
+        assert_eq!(m.core_groups[1].clock_divider, 2);
+        assert!(m.core_groups[1].core.is_some(), "little cores have their own pipeline");
+        assert!(m.caches[1].shared, "groups contend on the shared L2");
+    }
+
+    #[test]
+    fn homogeneous_presets_have_no_groups() {
+        for m in [
+            MachineConfig::tiny_test(),
+            MachineConfig::low_power(),
+            MachineConfig::high_performance(),
+        ] {
+            assert!(!m.is_heterogeneous());
+            assert_eq!(m.total_group_cores(), None);
+        }
+    }
+
+    #[test]
+    fn validated_accepts_the_presets() {
+        assert!(MachineConfig::big_little(1, 3).validated().is_ok());
+        assert!(MachineConfig::high_performance().validated().is_ok());
+    }
+
+    #[test]
+    fn validated_rejects_empty_group() {
+        let mut m = MachineConfig::big_little(2, 2);
+        m.core_groups[1].cores = 0;
+        assert_eq!(
+            m.validated().unwrap_err(),
+            MachineConfigError::EmptyGroup { group: "little".to_string() }
+        );
+    }
+
+    #[test]
+    fn validated_rejects_zero_clock_divider() {
+        let mut m = MachineConfig::big_little(2, 2);
+        m.core_groups[0].clock_divider = 0;
+        assert_eq!(
+            m.validated().unwrap_err(),
+            MachineConfigError::ZeroClockDivider { group: "big".to_string() }
+        );
+    }
+
+    #[test]
+    fn validated_rejects_overflowing_clock_divider() {
+        let mut m = MachineConfig::big_little(2, 2);
+        m.core_groups[1].clock_divider = MAX_CLOCK_DIVIDER + 1;
+        assert_eq!(
+            m.validated().unwrap_err(),
+            MachineConfigError::ClockDividerTooLarge {
+                group: "little".to_string(),
+                divider: MAX_CLOCK_DIVIDER + 1
+            }
+        );
+    }
+
+    #[test]
+    fn validated_rejects_duplicate_group_names() {
+        let mut m = MachineConfig::big_little(2, 2);
+        m.core_groups[1].name = "big".to_string();
+        assert_eq!(
+            m.validated().unwrap_err(),
+            MachineConfigError::DuplicateGroupName { group: "big".to_string() }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "clock divider 0")]
+    fn validate_panics_on_bad_groups() {
+        let mut m = MachineConfig::big_little(2, 2);
+        m.core_groups[0].clock_divider = 0;
+        m.validate();
+    }
+
+    #[test]
+    fn error_messages_name_the_group() {
+        let e =
+            MachineConfigError::ClockDividerTooLarge { group: "little".into(), divider: 1 << 21 };
+        let msg = e.to_string();
+        assert!(msg.contains("little") && msg.contains("2097152"), "{msg}");
     }
 }

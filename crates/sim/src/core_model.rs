@@ -66,6 +66,14 @@ pub struct RobCore {
     /// Completion cycles of outstanding cache misses.
     outstanding: Vec<u64>,
     last_commit: u64,
+    /// Clock divider relative to the machine's base clock (see
+    /// [`CoreGroupConfig`](crate::config::CoreGroupConfig)). The pipeline
+    /// runs entirely in *core-local* cycles; the divider is applied only
+    /// at the memory boundary — access timestamps are converted to global
+    /// base-clock ticks (`cycle · divider`) and returned latencies back to
+    /// local cycles (`ceil(latency / divider)`). Divider 1 (every
+    /// homogeneous machine) makes both conversions exact identities.
+    clock_divider: u64,
 }
 
 impl RobCore {
@@ -97,6 +105,37 @@ impl RobCore {
             serial_until: 0,
             outstanding: Vec::with_capacity(cfg.mshrs as usize),
             last_commit: 0,
+            clock_divider: 1,
+        }
+    }
+
+    /// Sets the clock divider (see the field docs). Must be at least 1.
+    pub fn set_clock_divider(&mut self, divider: u64) {
+        assert!(divider >= 1, "clock divider must be at least 1");
+        self.clock_divider = divider;
+    }
+
+    /// Converts a core-local cycle to the global base-clock tick it occurs
+    /// at. The `== 1` fast path keeps the homogeneous hot loop free of a
+    /// multiply per memory access.
+    #[inline]
+    fn to_global(&self, cycle: u64) -> u64 {
+        if self.clock_divider == 1 {
+            cycle
+        } else {
+            cycle * self.clock_divider
+        }
+    }
+
+    /// Converts a latency in global base-clock ticks to the core-local
+    /// cycles it spans (conservatively rounded up: the data is usable at
+    /// the first local cycle at or after arrival).
+    #[inline]
+    fn to_local_latency(&self, ticks: u64) -> u64 {
+        if self.clock_divider == 1 {
+            ticks
+        } else {
+            ticks.div_ceil(self.clock_divider)
         }
     }
 
@@ -235,26 +274,30 @@ impl RobCore {
             }
         }
 
-        // Execute.
+        // Execute. Memory accesses cross the clock-domain boundary: the
+        // hierarchy lives on the global base clock, the pipeline on the
+        // core-local clock.
         let complete = match kind {
             InstKind::Load => {
-                let r = mem.access(core_id, addr, false, d);
+                let r = mem.access(core_id, addr, false, self.to_global(d));
+                let lat = self.to_local_latency(r.latency);
                 if r.l1_miss {
-                    self.outstanding.push(d + r.latency);
+                    self.outstanding.push(d + lat);
                 }
-                d + r.latency
+                d + lat
             }
             InstKind::Atomic => {
-                let r = mem.access(core_id, addr, true, d);
+                let r = mem.access(core_id, addr, true, self.to_global(d));
+                let lat = self.to_local_latency(r.latency);
                 if r.l1_miss {
-                    self.outstanding.push(d + r.latency);
+                    self.outstanding.push(d + lat);
                 }
-                d + r.latency + self.lat_atomic_extra
+                d + lat + self.lat_atomic_extra
             }
             InstKind::Store => {
                 // Write-allocate + coherence happen now; the store itself
                 // retires through the write buffer at store latency.
-                let _ = mem.access(core_id, addr, true, d);
+                let _ = mem.access(core_id, addr, true, self.to_global(d));
                 d + self.lat_store
             }
             _ => d + self.lat[kind as usize],
@@ -489,6 +532,33 @@ mod tests {
         let big_rob = run(&m.core);
         let small_rob = run(&small);
         assert!(small_rob >= big_rob, "smaller ROB cannot be faster: {small_rob} vs {big_rob}");
+    }
+
+    #[test]
+    fn clock_divider_rescales_memory_latency() {
+        // A miss-bound load stream on a divided clock: every DRAM access
+        // costs ceil(latency / divider) *local* cycles, so the local
+        // cycle count shrinks — but the same run takes more global ticks
+        // (local · divider) than at divider 1.
+        let m = MachineConfig::high_performance();
+        let run = |divider: u64| {
+            let mut core = RobCore::new(&m.core);
+            core.set_clock_divider(divider);
+            let mut mem = MemorySystem::new(&m, 1);
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            let mut crng = Xoshiro256pp::seed_from_u64(109);
+            core.reset(0);
+            let mut last = 0;
+            for i in 0..500u64 {
+                let inst = Instruction::memory(InstKind::Load, i * 4096, 8);
+                last = core.execute(0, &inst, NO_EVENTS, &mut mem, &mut rng, &mut crng);
+            }
+            last
+        };
+        let base = run(1);
+        let halved = run(4);
+        assert!(halved < base, "local cycles must shrink: {halved} vs {base}");
+        assert!(halved * 4 > base, "global ticks must grow: {} vs {base}", halved * 4);
     }
 
     #[test]

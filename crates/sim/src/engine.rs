@@ -1,30 +1,39 @@
-//! The multi-core interleaving engine.
+//! The discrete-event multi-core engine.
 //!
-//! Executes a [`Program`] on a simulated machine: worker cores advance in
-//! bounded time chunks (a min-heap orders them by local clock, so causal
-//! skew on shared state never exceeds one chunk), the scheduler hands ready
-//! task instances to idle workers, and a [`ModeController`] decides per
-//! task instance whether it runs through the detailed core model or is
+//! Executes a [`Program`] on a simulated machine: each worker core is a
+//! [`Component`] driven by the deterministic [`EventScheduler`] (ties
+//! break on stable component id), the runtime scheduler hands ready task
+//! instances to idle workers, and a [`ModeController`] decides per task
+//! instance whether it runs through the detailed core model or is
 //! fast-forwarded at a prescribed IPC. Mode switching therefore happens
 //! exactly at task boundaries, matching the paper's mechanism; tasks that
 //! started before a global mode transition simply finish in the mode they
 //! started in.
 //!
-//! The engine is single-threaded and fully deterministic: heap ties break
-//! on worker id, schedulers are deterministic, and all randomness (trace
-//! content, mispredictions, noise) is derived from per-instance seeds.
+//! Detailed cores still advance in bounded time chunks (causal skew on
+//! shared state never exceeds one chunk), but the time base is now the
+//! machine's **base clock**: a core in a group with clock divider `d`
+//! runs its pipeline in core-local cycles and occupies the event timeline
+//! only on multiples of `d` (see the [`event`](crate::event) module docs
+//! for the conversion rules). Homogeneous machines run every core at
+//! divider 1, where all conversions are identities — results are
+//! bit-identical to the pre-event lockstep engine (pinned by
+//! `tests/block_equivalence.rs`).
+//!
+//! The engine is single-threaded and fully deterministic: event ties
+//! break on component id, schedulers are deterministic, and all
+//! randomness (trace content, mispredictions, noise) is derived from
+//! per-instance seeds.
 //!
 //! Detailed tasks consume their instruction stream through the batched
 //! block pipeline: a [`TraceProvider`] hands each task a
 //! [`TraceSource`] (procedural by default, recorded via
-//! [`RecordedTraces`](crate::traces::RecordedTraces)), the engine refills a
-//! structure-of-arrays [`InstBlock`] per worker, and
+//! [`RecordedTraces`](crate::traces::RecordedTraces)), the core component
+//! refills a structure-of-arrays [`InstBlock`], and
 //! [`RobCore::execute_block`] walks it. Chunk boundaries are enforced per
 //! instruction inside the block walk, so simulated timing is bit-identical
 //! for every block capacity (pinned by `tests/block_equivalence.rs`).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use taskpoint_runtime::{FifoScheduler, Program, ReadySet, Scheduler, TaskInstanceId, WorkerId};
@@ -34,10 +43,11 @@ use taskpoint_trace::{InstBlock, TraceSource, BLOCK_CAPACITY};
 use crate::burst::burst_duration;
 use crate::config::MachineConfig;
 use crate::core_model::{RobCore, TaskParams};
+use crate::event::{Component, ComponentId, EventCtx, EventScheduler};
 use crate::hierarchy::MemorySystem;
 use crate::mode::{ExecMode, ModeController, TaskStart};
 use crate::noise::NoiseModel;
-use crate::report::{SimMode, SimResult, TaskReport};
+use crate::report::{GroupStats, SimMode, SimResult, TaskReport};
 use crate::traces::{ProceduralTraces, TraceProvider};
 
 /// Domain-separation constant for per-task pipeline randomness (branch and
@@ -112,31 +122,70 @@ impl<'p> Simulation<'p> {
         if prewarm {
             prewarm_memory(&mut mem, program, machine.line_size);
         }
+        // Worker cores are components 0..num_workers, assigned to groups
+        // in the machine's listed order (group 0 gets the lowest ids, so
+        // the idle policy "lowest id first" prefers the leading — big —
+        // group). A homogeneous machine is one implicit divider-1 group.
+        let mut components = Vec::with_capacity(num_workers as usize);
+        if machine.core_groups.is_empty() {
+            for w in 0..num_workers {
+                components.push(CoreComponent::new(
+                    w,
+                    RobCore::new(&machine.core),
+                    1,
+                    0,
+                    machine.chunk_cycles,
+                ));
+            }
+        } else {
+            let mut w = 0u32;
+            for (gi, g) in machine.core_groups.iter().enumerate() {
+                let cfg = g.core.as_ref().unwrap_or(&machine.core);
+                for _ in 0..g.cores {
+                    let mut core = RobCore::new(cfg);
+                    core.set_clock_divider(g.clock_divider as u64);
+                    components.push(CoreComponent::new(
+                        w,
+                        core,
+                        g.clock_divider as u64,
+                        gi as u32,
+                        machine.chunk_cycles,
+                    ));
+                    w += 1;
+                }
+            }
+        }
+        let group_stats: Vec<GroupStats> = machine
+            .core_groups
+            .iter()
+            .map(|g| GroupStats {
+                name: g.name.clone(),
+                cores: g.cores,
+                clock_divider: g.clock_divider,
+                detailed_tasks: 0,
+                fast_tasks: 0,
+                instructions: 0,
+                busy_ticks: 0,
+            })
+            .collect();
         let mut engine = Engine {
             program,
             mem,
-            workers: (0..num_workers)
-                .map(|_| WorkerState {
-                    core: RobCore::new(&machine.core),
-                    local_time: 0,
-                    running: None,
-                    spare_block: None,
-                })
-                .collect(),
+            components,
             scheduler,
             ready_set: program.graph().ready_set(),
             ready_at: vec![0; program.num_instances()],
-            heap: BinaryHeap::new(),
+            sched: EventScheduler::new(),
             idle: (0..num_workers).rev().collect(),
             running_count: 0,
             num_workers,
-            chunk_cycles: machine.chunk_cycles,
             noise,
             collect_reports,
             traces,
             block_capacity,
             stats: RunStats::default(),
             reports: Vec::new(),
+            group_stats,
         };
         for root in program.graph().roots() {
             engine.scheduler.task_ready(root);
@@ -167,6 +216,7 @@ impl<'p> Simulation<'p> {
                 .map(|l| engine.mem.shared_stats(l))
                 .collect(),
             workers: num_workers,
+            groups: engine.group_stats,
         }
     }
 }
@@ -175,143 +225,59 @@ impl<'p> Simulation<'p> {
 struct Engine<'p> {
     program: &'p Program,
     mem: MemorySystem,
-    workers: Vec<WorkerState>,
+    components: Vec<CoreComponent>,
     scheduler: Box<dyn Scheduler>,
     ready_set: ReadySet,
     /// Earliest start cycle of each task: the maximum completion time of
-    /// its predecessors. Completions are processed in *heap* order, which
+    /// its predecessors. Completions are processed in *event* order, which
     /// can differ from end-time order when a task's commit tail extends
     /// past its final chunk — without this, a successor could start before
     /// a predecessor's actual end.
     ready_at: Vec<u64>,
-    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    sched: EventScheduler,
     /// Idle worker ids, kept sorted descending so `pop` yields lowest id.
     idle: Vec<u32>,
     running_count: u32,
     num_workers: u32,
-    chunk_cycles: u64,
     noise: Option<NoiseModel>,
     collect_reports: bool,
     traces: Box<dyn TraceProvider>,
     block_capacity: usize,
     stats: RunStats,
     reports: Vec<TaskReport>,
+    /// Per-group accumulators, in machine group order (empty for
+    /// homogeneous machines).
+    group_stats: Vec<GroupStats>,
 }
 
 impl<'p> Engine<'p> {
     fn event_loop<C: ModeController>(&mut self, controller: &mut C) {
-        while let Some(Reverse((t, w))) = self.heap.pop() {
-            let widx = w as usize;
-            let running = self.workers[widx].running.take().expect("scheduled worker has a task");
-            match running {
-                Running::Detailed {
-                    task,
-                    mut source,
-                    mut block,
-                    mut cursor,
-                    mut data_rng,
-                    mut code_rng,
-                    params,
-                    start,
-                    mut executed,
-                    concurrency,
-                } => {
-                    let chunk_end =
-                        self.workers[widx].core.dispatch_cycle().max(t) + self.chunk_cycles;
-                    let mut finished = false;
-                    {
-                        // Batched consumption: refill the SoA block from the
-                        // trace source, then let the core model walk it. The
-                        // chunk boundary is enforced per instruction inside
-                        // `execute_block`, so timing is bit-identical to
-                        // per-instruction execution for any block capacity.
-                        let worker = &mut self.workers[widx];
-                        while worker.core.dispatch_cycle() < chunk_end {
-                            if cursor == block.len() {
-                                if source.fill(&mut block) == 0 {
-                                    finished = true;
-                                    break;
-                                }
-                                cursor = 0;
-                            }
-                            let n = worker.core.execute_block(
-                                w,
-                                &block,
-                                cursor,
-                                chunk_end,
-                                params,
-                                &mut self.mem,
-                                &mut data_rng,
-                                &mut code_rng,
-                            );
-                            cursor += n;
-                            executed += n as u64;
-                        }
-                    }
-                    if finished {
-                        // Park the block for the worker's next detailed task
-                        // (refill allocations are per worker, not per task).
-                        block.clear();
-                        self.workers[widx].spare_block = Some(block);
-                        let raw_end = self.workers[widx].core.last_commit().max(start + 1);
-                        let end = match &self.noise {
-                            Some(n) => {
-                                let f = n.factor(self.program.instance(task).trace().seed());
-                                let dur = ((raw_end - start) as f64 * f).round() as u64;
-                                start + dur.max(1)
-                            }
-                            None => raw_end,
-                        };
-                        let report = TaskReport {
-                            task,
-                            type_id: self.program.instance(task).type_id(),
-                            worker: WorkerId(w),
-                            start,
-                            end,
-                            instructions: executed,
-                            mode: SimMode::Detailed,
-                            concurrency,
-                        };
-                        self.complete(w, report, controller);
-                    } else {
-                        let now = self.workers[widx].core.dispatch_cycle();
-                        self.workers[widx].local_time = now;
-                        self.workers[widx].running = Some(Running::Detailed {
-                            task,
-                            source,
-                            block,
-                            cursor,
-                            data_rng,
-                            code_rng,
-                            params,
-                            start,
-                            executed,
-                            concurrency,
-                        });
-                        self.heap.push(Reverse((now, w)));
-                    }
-                }
-                Running::Burst { task, start, end, instructions, concurrency } => {
-                    debug_assert_eq!(t, end);
-                    let report = TaskReport {
-                        task,
-                        type_id: self.program.instance(task).type_id(),
-                        worker: WorkerId(w),
-                        start,
-                        end,
-                        instructions,
-                        mode: SimMode::Fast,
-                        concurrency,
-                    };
-                    self.complete(w, report, controller);
-                }
+        while let Some((t, id)) = self.sched.pop() {
+            // Tick the component with split borrows of the shared fabric,
+            // then re-schedule it from its own next_tick — components
+            // never touch the event heap directly.
+            let completions = {
+                let mut ctx =
+                    EventCtx::new(t, id, &mut self.mem, self.program, self.noise.as_ref());
+                self.components[id.index()].tick(&mut ctx);
+                ctx.into_completions()
+            };
+            if let Some(next) = self.components[id.index()].next_tick() {
+                self.sched.schedule(next, id);
+            }
+            // Completion effects run synchronously, inside this event:
+            // deferring them to a same-tick follow-up event would batch
+            // completions and change observable concurrency values.
+            for report in completions {
+                self.complete(report, controller);
             }
         }
     }
 
     /// Records a completed task, releases its worker and assigns any newly
     /// ready work.
-    fn complete<C: ModeController>(&mut self, w: u32, report: TaskReport, controller: &mut C) {
+    fn complete<C: ModeController>(&mut self, report: TaskReport, controller: &mut C) {
+        let w = report.worker.0;
         match report.mode {
             SimMode::Detailed => {
                 self.stats.detailed_tasks += 1;
@@ -323,6 +289,16 @@ impl<'p> Engine<'p> {
             }
         }
         self.stats.max_end = self.stats.max_end.max(report.end);
+        if !self.group_stats.is_empty() {
+            let g = self.components[w as usize].group as usize;
+            let gs = &mut self.group_stats[g];
+            match report.mode {
+                SimMode::Detailed => gs.detailed_tasks += 1,
+                SimMode::Fast => gs.fast_tasks += 1,
+            }
+            gs.instructions += report.instructions;
+            gs.busy_ticks += report.end - report.start;
+        }
         self.running_count -= 1;
         controller.on_task_complete(&report);
         if self.collect_reports {
@@ -336,7 +312,7 @@ impl<'p> Engine<'p> {
         for t in newly {
             self.scheduler.task_ready(t);
         }
-        self.workers[w as usize].local_time = report.end;
+        self.components[w as usize].local_time = report.end;
         self.idle.push(w);
         self.idle.sort_unstable_by(|a, b| b.cmp(a));
         self.assign_ready_tasks(controller, report.end);
@@ -352,7 +328,7 @@ impl<'p> Engine<'p> {
                 break;
             };
             let widx = w as usize;
-            let start = self.workers[widx].local_time.max(now).max(self.ready_at[task.index()]);
+            let start = self.components[widx].local_time.max(now).max(self.ready_at[task.index()]);
             let inst = self.program.instance(task);
             self.running_count += 1;
             let ctx = TaskStart {
@@ -367,12 +343,17 @@ impl<'p> Engine<'p> {
             match controller.mode_for_task(&ctx) {
                 ExecMode::Detailed => {
                     let spec = inst.trace();
-                    self.workers[widx].core.reset(start);
-                    let block = self.workers[widx]
+                    let comp = &mut self.components[widx];
+                    // The pipeline clock lives on the core-local grid: the
+                    // first local cycle at or after the global start.
+                    // Divider 1 (homogeneous) makes this the identity.
+                    let local_start = start.div_ceil(comp.divider);
+                    comp.core.reset(local_start);
+                    let block = comp
                         .spare_block
                         .take()
                         .unwrap_or_else(|| InstBlock::with_capacity(self.block_capacity));
-                    self.workers[widx].running = Some(Running::Detailed {
+                    comp.running = Some(Running::Detailed {
                         task,
                         source: self.traces.source(task, spec),
                         block,
@@ -393,22 +374,27 @@ impl<'p> Engine<'p> {
                         executed: 0,
                         concurrency: self.running_count,
                     });
-                    self.workers[widx].local_time = start;
-                    self.heap.push(Reverse((start, w)));
+                    comp.local_time = start;
+                    comp.next_tick = Some(local_start * comp.divider);
                 }
                 ExecMode::Fast { ipc } => {
-                    let end = start + burst_duration(inst.instructions(), ipc);
-                    self.workers[widx].running = Some(Running::Burst {
+                    let comp = &mut self.components[widx];
+                    // A slower clock stretches the burst on the global
+                    // timeline by the divider.
+                    let end = start + burst_duration(inst.instructions(), ipc) * comp.divider;
+                    comp.running = Some(Running::Burst {
                         task,
                         start,
                         end,
                         instructions: inst.instructions(),
                         concurrency: self.running_count,
                     });
-                    self.workers[widx].local_time = start;
-                    self.heap.push(Reverse((end, w)));
+                    comp.local_time = start;
+                    comp.next_tick = Some(end);
                 }
             }
+            let next = self.components[widx].next_tick().expect("fresh task is scheduled");
+            self.sched.schedule(next, ComponentId(w));
         }
     }
 }
@@ -476,7 +462,7 @@ struct RunStats {
     max_end: u64,
 }
 
-/// What a worker is currently doing.
+/// What a worker core is currently doing.
 ///
 /// `Detailed` dwarfs `Burst` (it carries the trace source, the refill
 /// block and two RNGs), but there is exactly one `Running` per worker, so
@@ -507,17 +493,172 @@ enum Running {
     },
 }
 
-struct WorkerState {
+/// One worker core as a schedulable [`Component`].
+///
+/// Owns the pipeline model, the group membership and the clock divider;
+/// everything shared (caches, DRAM, the program, noise) arrives through
+/// the [`EventCtx`]. All fields the engine coordinates through
+/// (`running`, `local_time`, `next_tick`, `spare_block`) are crate-private
+/// plumbing, not part of the component contract.
+struct CoreComponent {
+    /// Worker id — also the component's [`ComponentId`] and the scheduler
+    /// tie-breaker.
+    id: u32,
     core: RobCore,
+    /// Clock divider of the core's group (1 for homogeneous machines).
+    divider: u64,
+    /// Index into the machine's `core_groups` (0 for homogeneous).
+    group: u32,
+    chunk_cycles: u64,
+    /// The core's notion of "now" on the global timeline, used when the
+    /// next task is assigned.
     local_time: u64,
     running: Option<Running>,
     /// Cleared instruction block recycled across this worker's detailed
     /// tasks.
     spare_block: Option<InstBlock>,
+    /// When this core next needs the event scheduler (`None` while idle).
+    next_tick: Option<u64>,
+}
+
+impl CoreComponent {
+    fn new(id: u32, core: RobCore, divider: u64, group: u32, chunk_cycles: u64) -> Self {
+        Self {
+            id,
+            core,
+            divider,
+            group,
+            chunk_cycles,
+            local_time: 0,
+            running: None,
+            spare_block: None,
+            next_tick: None,
+        }
+    }
+}
+
+impl Component for CoreComponent {
+    fn name(&self) -> &str {
+        "core"
+    }
+
+    fn next_tick(&self) -> Option<u64> {
+        self.next_tick
+    }
+
+    fn tick(&mut self, ctx: &mut EventCtx<'_>) {
+        let running = self.running.take().expect("scheduled core has a task");
+        match running {
+            Running::Detailed {
+                task,
+                mut source,
+                mut block,
+                mut cursor,
+                mut data_rng,
+                mut code_rng,
+                params,
+                start,
+                mut executed,
+                concurrency,
+            } => {
+                // Events for this core fire only on multiples of its
+                // divider, so the local-cycle conversion is exact.
+                let t_local = ctx.now() / self.divider;
+                let chunk_end = self.core.dispatch_cycle().max(t_local) + self.chunk_cycles;
+                let mut finished = false;
+                // Batched consumption: refill the SoA block from the
+                // trace source, then let the core model walk it. The
+                // chunk boundary is enforced per instruction inside
+                // `execute_block`, so timing is bit-identical to
+                // per-instruction execution for any block capacity.
+                while self.core.dispatch_cycle() < chunk_end {
+                    if cursor == block.len() {
+                        if source.fill(&mut block) == 0 {
+                            finished = true;
+                            break;
+                        }
+                        cursor = 0;
+                    }
+                    let n = self.core.execute_block(
+                        self.id,
+                        &block,
+                        cursor,
+                        chunk_end,
+                        params,
+                        ctx.mem,
+                        &mut data_rng,
+                        &mut code_rng,
+                    );
+                    cursor += n;
+                    executed += n as u64;
+                }
+                if finished {
+                    // Park the block for the worker's next detailed task
+                    // (refill allocations are per worker, not per task).
+                    block.clear();
+                    self.spare_block = Some(block);
+                    let raw_end = (self.core.last_commit() * self.divider).max(start + 1);
+                    let end = match ctx.noise {
+                        Some(n) => {
+                            let f = n.factor(ctx.program.instance(task).trace().seed());
+                            let dur = ((raw_end - start) as f64 * f).round() as u64;
+                            start + dur.max(1)
+                        }
+                        None => raw_end,
+                    };
+                    let report = TaskReport {
+                        task,
+                        type_id: ctx.program.instance(task).type_id(),
+                        worker: WorkerId(self.id),
+                        start,
+                        end,
+                        instructions: executed,
+                        mode: SimMode::Detailed,
+                        concurrency,
+                    };
+                    self.next_tick = None;
+                    ctx.complete(report);
+                } else {
+                    let now_local = self.core.dispatch_cycle();
+                    self.local_time = now_local * self.divider;
+                    self.running = Some(Running::Detailed {
+                        task,
+                        source,
+                        block,
+                        cursor,
+                        data_rng,
+                        code_rng,
+                        params,
+                        start,
+                        executed,
+                        concurrency,
+                    });
+                    self.next_tick = Some(now_local * self.divider);
+                }
+            }
+            Running::Burst { task, start, end, instructions, concurrency } => {
+                debug_assert_eq!(ctx.now(), end);
+                let report = TaskReport {
+                    task,
+                    type_id: ctx.program.instance(task).type_id(),
+                    worker: WorkerId(self.id),
+                    start,
+                    end,
+                    instructions,
+                    mode: SimMode::Fast,
+                    concurrency,
+                };
+                self.next_tick = None;
+                ctx.complete(report);
+            }
+        }
+    }
 }
 
 impl<'p> SimulationBuilder<'p> {
     /// Sets the number of simulated worker threads (default 1, max 64).
+    /// For a heterogeneous machine this must equal the sum of its group
+    /// sizes.
     pub fn workers(mut self, n: u32) -> Self {
         self.workers = n;
         self
@@ -579,11 +720,19 @@ impl<'p> SimulationBuilder<'p> {
     /// # Panics
     ///
     /// Panics if the worker count is 0 or exceeds 64, the block capacity
-    /// is 0, or the machine configuration is invalid.
+    /// is 0, the machine configuration is invalid, or a heterogeneous
+    /// machine's group sizes do not sum to the worker count.
     pub fn build(self) -> Simulation<'p> {
         assert!(self.workers >= 1 && self.workers <= 64, "1..=64 workers");
         assert!(self.block_capacity >= 1, "instruction block needs capacity >= 1");
         self.machine.validate();
+        if let Some(total) = self.machine.total_group_cores() {
+            assert_eq!(
+                total, self.workers,
+                "core groups define {total} cores but the simulation has {} workers",
+                self.workers
+            );
+        }
         Simulation {
             program: self.program,
             machine: self.machine,
@@ -791,5 +940,102 @@ mod tests {
     fn zero_workers_rejected() {
         let p = independent_program(1, 1);
         let _ = Simulation::builder(&p, MachineConfig::tiny_test()).workers(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "core groups define 4 cores")]
+    fn group_worker_mismatch_rejected() {
+        let p = independent_program(1, 1);
+        let _ = Simulation::builder(&p, MachineConfig::big_little(2, 2)).workers(3).build();
+    }
+
+    #[test]
+    fn homogeneous_runs_report_no_groups() {
+        let p = independent_program(4, 200);
+        let r = Simulation::builder(&p, MachineConfig::tiny_test())
+            .workers(2)
+            .build()
+            .run(&mut DetailedOnly);
+        assert!(r.groups.is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_groups_split_the_work() {
+        let p = independent_program(32, 600);
+        let r = Simulation::builder(&p, MachineConfig::big_little(2, 2))
+            .workers(4)
+            .collect_reports(true)
+            .build()
+            .run(&mut DetailedOnly);
+        assert_eq!(r.groups.len(), 2);
+        let (big, little) = (&r.groups[0], &r.groups[1]);
+        assert_eq!(big.name, "big");
+        assert_eq!(little.name, "little");
+        assert_eq!(big.detailed_tasks + little.detailed_tasks, 32);
+        assert!(big.detailed_tasks > 0 && little.detailed_tasks > 0);
+        // Little cores: half clock, narrower pipeline — on identical
+        // independent tasks they must be measurably slower per task.
+        let avg = |g: &GroupStats| g.busy_ticks as f64 / g.detailed_tasks as f64;
+        assert!(avg(little) > 1.5 * avg(big), "little avg {} vs big avg {}", avg(little), avg(big));
+        // Group accounting covers exactly the reported tasks.
+        let ticks: u64 = r.reports.iter().map(|t| t.cycles()).sum();
+        assert_eq!(big.busy_ticks + little.busy_ticks, ticks);
+    }
+
+    #[test]
+    fn heterogeneous_runs_are_deterministic() {
+        let p = independent_program(24, 500);
+        let run = || {
+            Simulation::builder(&p, MachineConfig::big_little(1, 3))
+                .workers(4)
+                .collect_reports(true)
+                .build()
+                .run(&mut DetailedOnly)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.groups, b.groups);
+    }
+
+    #[test]
+    fn divider_only_group_slows_the_machine_down() {
+        // Same pipeline everywhere; the only difference is the clock.
+        let p = independent_program(16, 800);
+        let base = MachineConfig::tiny_test();
+        let mut divided = base.clone();
+        divided.core_groups = vec![crate::config::CoreGroupConfig {
+            name: "half".to_string(),
+            cores: 2,
+            clock_divider: 2,
+            core: None,
+        }];
+        divided.name = "tiny-half-clock".to_string();
+        let fast = Simulation::builder(&p, base).workers(2).build().run(&mut DetailedOnly);
+        let slow = Simulation::builder(&p, divided).workers(2).build().run(&mut DetailedOnly);
+        assert!(
+            slow.total_cycles > fast.total_cycles,
+            "half clock cannot be faster: {} vs {}",
+            slow.total_cycles,
+            fast.total_cycles
+        );
+        assert_eq!(slow.detailed_instructions, fast.detailed_instructions);
+    }
+
+    #[test]
+    fn burst_mode_respects_the_clock_divider() {
+        let p = independent_program(4, 1000);
+        let mut m = MachineConfig::tiny_test();
+        m.core_groups = vec![crate::config::CoreGroupConfig {
+            name: "half".to_string(),
+            cores: 4,
+            clock_divider: 2,
+            core: None,
+        }];
+        let r = Simulation::builder(&p, m).workers(4).build().run(&mut FixedIpc(2.0));
+        // 1000 instr at IPC 2 = 500 local cycles = 1000 global ticks.
+        assert_eq!(r.total_cycles, 1000);
+        assert_eq!(r.groups[0].fast_tasks, 4);
     }
 }

@@ -163,6 +163,23 @@ impl SnoopFilter {
     }
 }
 
+/// The memory system is a *passive* [`Component`](crate::event::Component):
+/// it never schedules events of its own. Cores advance its bandwidth and
+/// contention queues synchronously, from inside their accesses, at the exact
+/// global tick the access occurs — which keeps shared-state causality on
+/// the chunk granularity the engine already enforces.
+impl crate::event::Component for MemorySystem {
+    fn name(&self) -> &str {
+        "memory-hierarchy"
+    }
+
+    fn next_tick(&self) -> Option<u64> {
+        None
+    }
+
+    fn tick(&mut self, _ctx: &mut crate::event::EventCtx<'_>) {}
+}
+
 /// The complete memory system of the simulated machine.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {

@@ -45,6 +45,7 @@ pub mod cache;
 pub mod config;
 pub mod core_model;
 pub mod engine;
+pub mod event;
 pub mod hierarchy;
 pub mod mode;
 pub mod noise;
@@ -52,10 +53,14 @@ pub mod report;
 pub mod traces;
 
 pub use burst::burst_duration;
-pub use config::{CacheLevelConfig, CoreConfig, KindLatencies, MachineConfig, MemoryConfig};
+pub use config::{
+    CacheLevelConfig, CoreConfig, CoreGroupConfig, KindLatencies, MachineConfig,
+    MachineConfigError, MemoryConfig, MAX_CLOCK_DIVIDER,
+};
 pub use engine::{Simulation, SimulationBuilder};
+pub use event::{Component, ComponentId, EventCtx, EventScheduler};
 pub use hierarchy::{LevelStats, MemorySystem};
 pub use mode::{DetailedOnly, ExecMode, FixedIpc, ModeController, TaskStart};
 pub use noise::NoiseModel;
-pub use report::{SimMode, SimResult, TaskReport};
+pub use report::{GroupStats, SimMode, SimResult, TaskReport};
 pub use traces::{ProceduralTraces, RecordedTraces, TraceMismatch, TraceProvider};

@@ -50,6 +50,48 @@ impl TaskReport {
     }
 }
 
+/// Aggregate statistics of one heterogeneous core group.
+///
+/// Only produced for machines with
+/// [`core_groups`](crate::config::MachineConfig::core_groups); homogeneous
+/// runs leave [`SimResult::groups`] empty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// Group name from the machine description.
+    pub name: String,
+    /// Cores in the group.
+    pub cores: u32,
+    /// The group's clock divider relative to the base clock.
+    pub clock_divider: u32,
+    /// Task instances the group ran in detailed mode.
+    pub detailed_tasks: u64,
+    /// Task instances the group fast-forwarded.
+    pub fast_tasks: u64,
+    /// Instructions executed by the group (both modes).
+    pub instructions: u64,
+    /// Global base-clock ticks the group's cores spent running tasks
+    /// (summed over cores; divide by [`GroupStats::clock_divider`] for
+    /// core-local cycles).
+    pub busy_ticks: u64,
+}
+
+impl GroupStats {
+    /// Busy time in core-local cycles (what the group's pipelines saw).
+    pub fn busy_core_cycles(&self) -> u64 {
+        self.busy_ticks / self.clock_divider.max(1) as u64
+    }
+
+    /// The group's achieved instructions per core-local cycle.
+    pub fn ipc(&self) -> f64 {
+        let cycles = self.busy_core_cycles();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / cycles as f64
+        }
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
@@ -80,6 +122,9 @@ pub struct SimResult {
     pub shared_cache: Vec<LevelStats>,
     /// Number of worker threads simulated.
     pub workers: u32,
+    /// Per-core-group statistics, in the machine's group order. Empty for
+    /// homogeneous machines.
+    pub groups: Vec<GroupStats>,
 }
 
 impl SimResult {
@@ -151,11 +196,29 @@ mod tests {
             private_cache: vec![],
             shared_cache: vec![],
             workers: 1,
+            groups: vec![],
         };
         assert!((res.detail_fraction() - 0.3).abs() < 1e-12);
         assert_eq!(res.total_instructions(), 100);
         res.detailed_instructions = 0;
         res.fast_instructions = 0;
         assert_eq!(res.detail_fraction(), 0.0);
+    }
+
+    #[test]
+    fn group_stats_convert_ticks_to_core_cycles() {
+        let g = GroupStats {
+            name: "little".to_string(),
+            cores: 2,
+            clock_divider: 2,
+            detailed_tasks: 10,
+            fast_tasks: 0,
+            instructions: 600,
+            busy_ticks: 1200,
+        };
+        assert_eq!(g.busy_core_cycles(), 600, "divider 2: half the global ticks");
+        assert_eq!(g.ipc(), 1.0);
+        let idle = GroupStats { busy_ticks: 0, instructions: 0, ..g };
+        assert_eq!(idle.ipc(), 0.0);
     }
 }

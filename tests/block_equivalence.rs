@@ -161,6 +161,91 @@ fn simulation_results_match_pre_refactor_goldens() {
     }
 }
 
+/// FNV checksum over the complete collected report stream: every field of
+/// every [`TaskReport`](taskpoint_repro::sim::TaskReport) in completion
+/// order. Far stricter than the aggregate grid above — a single shifted
+/// start cycle, worker assignment or concurrency value changes the sum.
+fn report_checksum(r: &SimResult) -> u64 {
+    let mut bytes = Vec::new();
+    for t in &r.reports {
+        bytes.extend_from_slice(&t.task.index().to_le_bytes());
+        bytes.extend_from_slice(&t.type_id.0.to_le_bytes());
+        bytes.extend_from_slice(&t.worker.0.to_le_bytes());
+        bytes.extend_from_slice(&t.start.to_le_bytes());
+        bytes.extend_from_slice(&t.end.to_le_bytes());
+        bytes.extend_from_slice(&t.instructions.to_le_bytes());
+        bytes.extend_from_slice(&t.concurrency.to_le_bytes());
+    }
+    fnv(&bytes)
+}
+
+/// Golden grid extension captured from the chunked lockstep engine
+/// immediately before the discrete-event refactor: a Cholesky benchmark
+/// grid over all three homogeneous machines. The event engine must
+/// reproduce every cell exactly — heterogeneity changes what the
+/// simulator *can* model, not what it *does* model.
+#[test]
+fn event_engine_preserves_pre_refactor_cholesky_goldens() {
+    /// (benchmark, machine index, workers, total_cycles, detailed_tasks,
+    /// detailed_instructions, invalidations, dram_accesses)
+    type GoldenCell = (Benchmark, usize, u32, u64, u64, u64, u64, u64);
+    let machines =
+        [MachineConfig::tiny_test(), MachineConfig::low_power(), MachineConfig::high_performance()];
+    #[rustfmt::skip]
+    let goldens: [GoldenCell; 6] = [
+        (Benchmark::Cholesky, 0, 1, 3_325_737, 19_600, 1_449_669, 0, 36_874),
+        (Benchmark::Cholesky, 0, 4, 833_204, 19_600, 1_449_669, 1574, 36_875),
+        (Benchmark::Cholesky, 1, 1, 6_272_562, 19_600, 1_449_669, 0, 34_152),
+        (Benchmark::Cholesky, 1, 4, 1_571_907, 19_600, 1_449_669, 1547, 34_149),
+        (Benchmark::Cholesky, 2, 1, 1_119_812, 19_600, 1_449_669, 0, 0),
+        (Benchmark::Cholesky, 2, 4, 282_965, 19_600, 1_449_669, 1596, 0),
+    ];
+    let program = Benchmark::Cholesky.generate(&ScaleConfig::quick());
+    for (bench, machine_idx, workers, cycles, tasks, instrs, invalidations, dram) in goldens {
+        let machine = &machines[machine_idx];
+        let r = Simulation::builder(&program, machine.clone())
+            .workers(workers)
+            .build()
+            .run(&mut DetailedOnly);
+        let what = format!("{bench}/{}/{workers}t", machine.name);
+        assert_eq!(r.total_cycles, cycles, "{what}: total_cycles");
+        assert_eq!(r.detailed_tasks, tasks, "{what}: detailed_tasks");
+        assert_eq!(r.detailed_instructions, instrs, "{what}: detailed_instructions");
+        assert_eq!(r.invalidations, invalidations, "{what}: invalidations");
+        assert_eq!(r.dram_accesses, dram, "{what}: dram_accesses");
+    }
+}
+
+/// Report-stream checksums captured from the chunked lockstep engine
+/// immediately before the discrete-event refactor. These pin the *entire*
+/// per-task timeline (start/end/worker/concurrency of every instance),
+/// so any reordering introduced by the event scheduler — even one that
+/// leaves aggregate counters intact — fails here.
+#[test]
+fn event_engine_preserves_pre_refactor_report_streams() {
+    let machines =
+        [MachineConfig::tiny_test(), MachineConfig::low_power(), MachineConfig::high_performance()];
+    #[rustfmt::skip]
+    let goldens: [(Benchmark, usize, u32, u64, u64); 4] = [
+        (Benchmark::Spmv,      0, 2, 0x3c4185bc0aa688c2, 1_107_927),
+        (Benchmark::Cholesky,  1, 4, 0x2d227659ca7aee93, 1_571_907),
+        (Benchmark::Histogram, 2, 4, 0xa451b8c889862bb0, 924_852),
+        (Benchmark::Freqmine,  0, 1, 0x489d418a2adf1071, 4_727_018),
+    ];
+    let scale = ScaleConfig::quick();
+    for (bench, machine_idx, workers, checksum, cycles) in goldens {
+        let program = bench.generate(&scale);
+        let r = Simulation::builder(&program, machines[machine_idx].clone())
+            .workers(workers)
+            .collect_reports(true)
+            .build()
+            .run(&mut DetailedOnly);
+        let what = format!("{bench}/{}/{workers}t", machines[machine_idx].name);
+        assert_eq!(r.total_cycles, cycles, "{what}: total_cycles");
+        assert_eq!(report_checksum(&r), checksum, "{what}: report stream drifted");
+    }
+}
+
 /// Block capacity 1 degenerates to per-instruction execution; results of
 /// every capacity must coincide bit for bit (chunk boundaries are
 /// enforced per instruction, not per block).

@@ -3,8 +3,9 @@
 //!
 //! Supports the subset the workspace uses: the `proptest!` macro (with an
 //! optional `#![proptest_config(..)]` inner attribute), `prop_assert!` /
-//! `prop_assert_eq!`, numeric-range strategies, `any::<T>()`, and
-//! `prop::collection::vec`. Cases are generated from a deterministic
+//! `prop_assert_eq!`, numeric-range strategies, `any::<T>()`, tuples of
+//! strategies, and `prop::collection::vec`. Cases are generated from a
+//! deterministic
 //! per-test RNG (seeded from the test name), so failures reproduce
 //! bit-for-bit across runs and platforms. There is no shrinking: a failing
 //! case reports its inputs via the assertion message instead.
@@ -141,6 +142,24 @@ macro_rules! impl_float_range_strategy {
 }
 
 impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+}
 
 /// Types `any::<T>()` can produce.
 pub trait ArbitraryValue {
