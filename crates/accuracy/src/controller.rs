@@ -32,6 +32,7 @@ use std::collections::HashMap;
 
 use taskpoint_runtime::TaskTypeId;
 use taskpoint_stats::StreamingMoments;
+use taskpoint_telemetry::{FidelityAction, SimEvent, Sink, Telemetry};
 use tasksim::{ExecMode, ModeController, SimMode, TaskReport, TaskStart};
 
 use crate::ci::{ci_target_met, relative_ci_half_width};
@@ -152,6 +153,9 @@ pub struct AdaptiveController {
     workers_known: bool,
     warmup_complete: bool,
     stats: AdaptiveStats,
+    /// Receiver of per-cluster fidelity-decision events (disabled by
+    /// default; attach with [`set_telemetry`](Self::set_telemetry)).
+    telemetry: Telemetry,
 }
 
 impl AdaptiveController {
@@ -173,7 +177,22 @@ impl AdaptiveController {
             since_unconverged: Vec::new(),
             workers_known: false,
             stats: AdaptiveStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; a recording one makes the controller
+    /// emit one [`SimEvent::Fidelity`] per cluster decision (opened,
+    /// sampled, converged, rare-converged) with the CI half-width at
+    /// decision time.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Builder-style form of [`set_telemetry`](Self::set_telemetry).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The configuration in use.
@@ -232,12 +251,25 @@ impl AdaptiveController {
     }
 
     /// Force-converges every cluster that has any estimate at all.
-    fn force_converge_rare(&mut self) {
-        for st in self.clusters.values_mut() {
+    /// Clusters are visited in unit-id order so the emitted telemetry is
+    /// independent of hash-map iteration order (the per-cluster updates
+    /// commute, so the order is otherwise unobservable).
+    fn force_converge_rare(&mut self, now: u64) {
+        let mut units: Vec<TaskTypeId> = self.clusters.keys().copied().collect();
+        units.sort_unstable();
+        for unit in units {
+            let st = self.clusters.get_mut(&unit).expect("listed cluster exists");
             if !st.converged && st.ipc().is_some() {
                 st.converged = true;
                 st.forced = true;
                 self.stats.rare_forced += 1;
+                self.telemetry.event(SimEvent::Fidelity {
+                    tick: now,
+                    unit: unit.0,
+                    action: FidelityAction::RareConverged,
+                    samples: st.valid.count(),
+                    rel_ci: relative_ci_half_width(&st.valid, self.config.params.confidence),
+                });
             }
         }
         for c in &mut self.since_unconverged {
@@ -257,6 +289,15 @@ impl ModeController for AdaptiveController {
         self.ensure_workers(start.total_workers);
         let state = self.clusters.entry(start.type_id).or_default();
         state.seen += 1;
+        if state.seen == 1 {
+            self.telemetry.event(SimEvent::Fidelity {
+                tick: start.time,
+                unit: start.type_id.0,
+                action: FidelityAction::ClusterOpened,
+                samples: 0,
+                rel_ci: None,
+            });
+        }
         if !self.warmup_complete {
             return ExecMode::Detailed;
         }
@@ -315,8 +356,24 @@ impl ModeController for AdaptiveController {
                         state.valid.add(ipc);
                         state.all.add(ipc);
                         *self.stats.valid_samples.entry(report.type_id.0).or_insert(0) += 1;
+                        let rel_ci =
+                            relative_ci_half_width(&state.valid, self.config.params.confidence);
+                        self.telemetry.event(SimEvent::Fidelity {
+                            tick: report.end,
+                            unit: report.type_id.0,
+                            action: FidelityAction::Sampled,
+                            samples: state.valid.count(),
+                            rel_ci,
+                        });
                         if ci_target_met(&state.valid, &self.config.params) {
                             state.converged = true;
+                            self.telemetry.event(SimEvent::Fidelity {
+                                tick: report.end,
+                                unit: report.type_id.0,
+                                action: FidelityAction::Converged,
+                                samples: state.valid.count(),
+                                rel_ci,
+                            });
                         }
                     }
                     self.reset_cutoff_clock();
@@ -324,7 +381,7 @@ impl ModeController for AdaptiveController {
             }
         }
         if self.rare_cutoff_expired() {
-            self.force_converge_rare();
+            self.force_converge_rare(report.end);
         }
     }
 }
@@ -352,6 +409,12 @@ impl ClusteredAdaptiveController {
     /// Number of distinct `(type, size-class)` sampling units seen.
     pub fn num_clusters(&self) -> usize {
         self.map.num_clusters()
+    }
+
+    /// Attaches a telemetry handle (events carry virtual unit ids; see
+    /// [`AdaptiveController::set_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.inner.set_telemetry(telemetry);
     }
 
     /// The per-cluster accuracy picture (units are virtual ids).

@@ -50,8 +50,21 @@ fn main() {
     let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").unwrap());
     let crates_root = manifest.parent().expect("crates/ parent").to_path_buf();
 
-    // Every crate whose code can influence a simulation result.
-    let watched = ["core", "runtime", "trace", "stats", "workloads", "sim", "campaign"];
+    // Every crate whose code can influence a simulation result. The
+    // telemetry crate is watched too: recording must never perturb
+    // results, but a bug there would — better to recompute than to serve
+    // a cache poisoned by an instrumentation regression.
+    let watched = [
+        "core",
+        "runtime",
+        "trace",
+        "stats",
+        "workloads",
+        "sim",
+        "campaign",
+        "accuracy",
+        "telemetry",
+    ];
     let mut files = Vec::new();
     for name in watched {
         let dir = crates_root.join(name);

@@ -16,7 +16,9 @@
 
 use std::path::PathBuf;
 
-use taskpoint_campaign::{code_fingerprint, Campaign, Executor, ResultStore, RunScale, Sweep};
+use taskpoint_campaign::{
+    code_fingerprint, Campaign, Executor, ProgressSnapshot, ResultStore, RunScale, Sweep,
+};
 
 struct Args {
     command: String,
@@ -25,20 +27,22 @@ struct Args {
     store: Option<PathBuf>,
     out: Option<PathBuf>,
     cell: Option<String>,
+    telemetry_dir: Option<PathBuf>,
     all: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         campaign list\n  \
-         campaign run --sweep NAME [--sweep NAME ...] [--quick] [--jobs N] [--store DIR] [--out FILE]\n  \
+         campaign list [--quick] [--store DIR]\n  \
+         campaign run --sweep NAME [--sweep NAME ...] [--quick] [--jobs N] [--store DIR] [--out FILE] [--telemetry-dir DIR]\n  \
          campaign status [--sweep NAME] [--quick] [--store DIR]\n  \
          campaign invalidate (--all | --sweep NAME [--quick] | --cell HASH) [--store DIR]\n\n\
          sweeps: {}\n\
          scale:  --quick or TASKPOINT_SCALE=quick|full (default full)\n\
          jobs:   --jobs N or TASKPOINT_JOBS (default: host parallelism, max 8)\n\
-         store:  --store DIR or TASKPOINT_CAMPAIGN_DIR (default results/campaign)",
+         store:  --store DIR or TASKPOINT_CAMPAIGN_DIR (default results/campaign)\n\
+         telemetry: --telemetry-dir DIR exports per-cell Chrome traces + tptrace timelines",
         Sweep::ALL.map(Sweep::name).join(" ")
     );
     std::process::exit(2);
@@ -54,6 +58,7 @@ fn parse_args() -> Args {
         store: None,
         out: None,
         cell: None,
+        telemetry_dir: None,
         all: false,
     };
     let rest: Vec<String> = args.collect();
@@ -96,6 +101,9 @@ fn parse_args() -> Args {
             "--store" => parsed.store = Some(PathBuf::from(value(&rest, &mut i, "--store"))),
             "--out" => parsed.out = Some(PathBuf::from(value(&rest, &mut i, "--out"))),
             "--cell" => parsed.cell = Some(value(&rest, &mut i, "--cell")),
+            "--telemetry-dir" => {
+                parsed.telemetry_dir = Some(PathBuf::from(value(&rest, &mut i, "--telemetry-dir")))
+            }
             "--all" => parsed.all = true,
             "--quick" => {} // consumed by RunScale::from_env_and_args
             other => {
@@ -115,14 +123,22 @@ fn open_store(args: &Args) -> ResultStore {
     }
 }
 
-fn cmd_list(scale: RunScale) {
-    println!("available sweeps (cell counts at {} scale):", scale.name());
+fn cmd_list(args: &Args, scale: RunScale) {
+    let store = open_store(args);
+    println!(
+        "available sweeps (cell counts at {} scale; cached against {}):",
+        scale.name(),
+        store.root().map(|p| p.display().to_string()).unwrap_or_else(|| "(none)".into()),
+    );
     let scale_config = scale.scale_config();
     for sweep in Sweep::ALL {
+        let specs = sweep.specs(scale_config);
+        let cached = specs.iter().filter(|s| store.contains(&s.hash_hex())).count();
         println!(
-            "  {:<8} {:>4} cells  {}",
+            "  {:<8} {:>4} cells  {:>4} cached  {}",
             sweep.name(),
-            sweep.specs(scale_config).len(),
+            specs.len(),
+            cached,
             sweep.description()
         );
     }
@@ -150,11 +166,15 @@ fn cmd_run(args: &Args, scale: RunScale) {
         root.display(),
         code_fingerprint(),
     );
-    let campaign = Campaign::new(store, executor);
+    let mut campaign = Campaign::new(store, executor);
+    if let Some(dir) = &args.telemetry_dir {
+        campaign = campaign.with_telemetry_dir(dir.clone());
+    }
     let mut failures = 0;
     for &sweep in &args.sweeps {
         let specs = sweep.specs(scale.scale_config());
-        let report = campaign.run(&specs);
+        let label = format!("{}.{}", sweep.name(), scale.name());
+        let report = campaign.run_labeled(&label, &specs);
         let out = args
             .out
             .clone()
@@ -167,14 +187,19 @@ fn cmd_run(args: &Args, scale: RunScale) {
                 "(failed)".to_string()
             }
         };
+        let telemetry_note = campaign
+            .telemetry_dir()
+            .map(|d| format!(" telemetry={}", d.display()))
+            .unwrap_or_default();
         println!(
-            "sweep={} cells={} computed={} cached={} wall={:.1}s out={}",
+            "sweep={} cells={} computed={} cached={} wall={:.1}s out={}{}",
             sweep.name(),
             report.outcomes.len(),
             report.computed,
             report.cached,
             report.wall_seconds,
             emitted,
+            telemetry_note,
         );
     }
     if failures > 0 {
@@ -190,6 +215,27 @@ fn cmd_status(args: &Args, scale: RunScale) {
         store.fingerprint(),
         store.len(),
     );
+    if let Some(snap) = store.root().and_then(ProgressSnapshot::read) {
+        let age = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs().saturating_sub(snap.updated_unix))
+            .unwrap_or(0);
+        let live = snap.in_flight > 0 || snap.computed + snap.cached < snap.total;
+        let throughput = snap
+            .rolling_minstr_per_sec
+            .map(|m| format!(" rolling={m:.2} Minstr/s"))
+            .unwrap_or_default();
+        println!(
+            "{} batch: label={} cells={} computed={} cached={} in_flight={}{} updated={age}s ago",
+            if live { "running" } else { "last" },
+            snap.label,
+            snap.total,
+            snap.computed,
+            snap.cached,
+            snap.in_flight,
+            throughput,
+        );
+    }
     let stale: Vec<String> =
         store.fingerprints_present().into_iter().filter(|f| f != store.fingerprint()).collect();
     if !stale.is_empty() {
@@ -255,7 +301,7 @@ fn main() {
     let args = parse_args();
     let scale = RunScale::from_env_or_exit();
     match args.command.as_str() {
-        "list" => cmd_list(scale),
+        "list" => cmd_list(&args, scale),
         "run" => cmd_run(&args, scale),
         "status" => cmd_status(&args, scale),
         "invalidate" => cmd_invalidate(&args, scale),

@@ -7,6 +7,8 @@
 //! trace-convert convert  TRACE --text OUT         # -> canonical text encoding
 //! trace-convert convert  TRACE --binary OUT       # -> canonical binary encoding
 //! trace-convert simulate TRACE [--workers N]      # reference + lazy sampled run
+//! trace-convert timeline TRACE [--workers N] [--width N] [--out DIR]
+//!                                            # simulate with telemetry; textual Gantt
 //! trace-convert synth    NAME --out FILE    # regenerate a fixture recipe
 //!                                             # (*.tptraceb extension -> binary)
 //! ```
@@ -20,7 +22,10 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use taskpoint::{run_reference_traced, run_sampled_traced, ExperimentOutcome, TaskPointConfig};
+use taskpoint::{
+    run_reference_traced, run_sampled_observed, run_sampled_traced, ExperimentOutcome,
+    TaskPointConfig, Telemetry,
+};
 use taskpoint_runtime::program_from_ingested;
 use taskpoint_trace::IngestedTrace;
 use taskpoint_workloads::external::{synthesize, ExternalWorkload};
@@ -32,6 +37,7 @@ fn usage() -> ExitCode {
          trace-convert inspect  TRACE\n  \
          trace-convert convert  TRACE [--bundle FILE] [--text FILE] [--binary FILE]\n  \
          trace-convert simulate TRACE [--workers N]\n  \
+         trace-convert timeline TRACE [--workers N] [--width N] [--out DIR]\n  \
          trace-convert synth    NAME --out FILE\n\n\
          TRACE is a *.tptrace file in the text or binary encoding (auto-detected).\n\
          synth NAMEs: {}",
@@ -195,6 +201,95 @@ fn cmd_simulate(path: &Path, flags: &[(String, String)]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Simulates the trace with a recording telemetry handle and renders the
+/// resulting schedule as a textual Gantt chart. With `--out DIR` it also
+/// exports the Chrome trace-event JSON and the `*.tptrace` timeline, and
+/// proves the export round-trips by re-parsing it through the ingest path.
+fn cmd_timeline(path: &Path, flags: &[(String, String)]) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let parse_num = |name: &str, default: u32| -> Result<u32, ExitCode> {
+        match flags.iter().find(|(f, _)| f == name) {
+            None => Ok(default),
+            Some((_, v)) => match v.parse::<u32>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(fail(format!("--{name} needs a positive integer, got {v:?}"))),
+            },
+        }
+    };
+    let workers = match parse_num("workers", 2) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let width = match parse_num("width", 100) {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let program = program_from_ingested("ingested", &trace);
+    let bundle = RecordedTraces::from_ingested(&trace);
+    let telemetry = Telemetry::recording();
+    let (sampled, stats) = run_sampled_observed(
+        &program,
+        MachineConfig::low_power(),
+        workers,
+        TaskPointConfig::lazy(),
+        Box::new(bundle),
+        telemetry.clone(),
+    );
+    let report = telemetry.take_report().expect("recording handle yields a report");
+    print!("{}", report.render_gantt(width as usize));
+    println!(
+        "sampled: {} cycles ({} detailed / {} fast tasks, {} resamples)",
+        sampled.total_cycles,
+        sampled.detailed_tasks,
+        sampled.fast_tasks,
+        stats.resamples.len()
+    );
+    println!(
+        "telemetry: {} events, {} counters, fnv64={:016x}",
+        report.events.len(),
+        report.counters.len(),
+        report.fnv64()
+    );
+    for name in ["mem.dram_accesses", "mem.contended_accesses", "mem.queue_delay_cycles"] {
+        println!("  counter {name}={}", report.counter_total(name));
+    }
+    if let Some((_, out)) = flags.iter().find(|(f, _)| f == "out") {
+        let dir = PathBuf::from(out);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            return fail(format!("cannot create {}: {e}", dir.display()));
+        }
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("timeline");
+        let chrome = dir.join(format!("{stem}.trace.json"));
+        if let Err(e) = std::fs::write(&chrome, report.chrome_trace_json()) {
+            return fail(format!("cannot write {}: {e}", chrome.display()));
+        }
+        println!("wrote {} (chrome trace)", chrome.display());
+        let text = match report.tptrace_timeline() {
+            Ok(t) => t,
+            Err(e) => return fail(format!("cannot render timeline: {e}")),
+        };
+        let tpt = dir.join(format!("{stem}.timeline.tptrace"));
+        if let Err(e) = std::fs::write(&tpt, &text) {
+            return fail(format!("cannot write {}: {e}", tpt.display()));
+        }
+        // Round-trip guarantee: the exported timeline is itself a valid
+        // ingest input describing exactly the tasks the schedule finished.
+        match IngestedTrace::parse_text(&text) {
+            Ok(reingested) => println!(
+                "wrote {} (round-trips: {} tasks, {} threads)",
+                tpt.display(),
+                reingested.num_tasks(),
+                reingested.threads()
+            ),
+            Err(e) => return fail(format!("exported timeline does not re-ingest: {e}")),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_synth(name: &str, flags: &[(String, String)]) -> ExitCode {
     let Some(workload) = ExternalWorkload::by_name(name) else {
         return fail(format!(
@@ -227,7 +322,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { return usage() };
     let (flags, positional) =
-        match parse_flags(&args[1..], &["bundle", "text", "binary", "workers", "out"]) {
+        match parse_flags(&args[1..], &["bundle", "text", "binary", "workers", "width", "out"]) {
             Ok(parsed) => parsed,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -254,6 +349,10 @@ fn main() -> ExitCode {
         },
         "simulate" => match one_positional("TRACE file") {
             Ok(p) => cmd_simulate(Path::new(p), &flags),
+            Err(code) => code,
+        },
+        "timeline" => match one_positional("TRACE file") {
+            Ok(p) => cmd_timeline(Path::new(p), &flags),
             Err(code) => code,
         },
         "synth" => match one_positional("fixture NAME") {

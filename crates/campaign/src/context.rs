@@ -14,14 +14,14 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use taskpoint::{
-    run_adaptive_traced, run_clustered_adaptive_traced, run_clustered_traced, run_reference_traced,
-    run_sampled_traced, AccuracyReport, ExperimentOutcome, ResampleCause,
+    run_adaptive_observed, run_clustered_adaptive_observed, run_clustered_observed,
+    run_reference_observed, run_sampled_observed, AccuracyReport, ExperimentOutcome, ResampleCause,
 };
 use taskpoint_runtime::Program;
 use taskpoint_stats::{normalize_by_group, BoxplotStats};
 use taskpoint_workloads::{Benchmark, ExternalWorkload, ScaleConfig};
 use tasksim::{
-    DetailedOnly, NoiseModel, ProceduralTraces, RecordedTraces, SimResult, Simulation,
+    DetailedOnly, NoiseModel, ProceduralTraces, RecordedTraces, SimResult, Simulation, Telemetry,
     TraceProvider,
 };
 
@@ -172,6 +172,18 @@ impl Context {
     /// entry for a reference cell spec. `cached` in the entry is true iff
     /// it was served from the persistent store.
     pub fn reference_entry(&self, store: &ResultStore, spec: &CellSpec) -> ReferenceEntry {
+        self.reference_entry_observed(store, spec, &Telemetry::disabled())
+    }
+
+    /// Like [`Context::reference_entry`], recording the reference run into
+    /// `telemetry` when this call performs the simulation. Cache hits (in
+    /// memory or on disk) record nothing — there is no run to observe.
+    pub fn reference_entry_observed(
+        &self,
+        store: &ResultStore,
+        spec: &CellSpec,
+        telemetry: &Telemetry,
+    ) -> ReferenceEntry {
         debug_assert!(matches!(spec.kind, CellKind::Reference));
         let hash = spec.hash_hex();
         let slot = {
@@ -184,11 +196,12 @@ impl Context {
                 return ReferenceEntry { result, stored, cached: true };
             }
             let program = self.program(spec.bench, &spec.scale);
-            let result = strip_reports(run_reference_traced(
+            let result = strip_reports(run_reference_observed(
                 &program,
                 spec.machine.clone(),
                 spec.workers,
                 self.provider(spec.bench),
+                telemetry.clone(),
             ));
             let stored = StoredCell {
                 record: CellRecord {
@@ -243,9 +256,22 @@ impl Context {
     /// as a cache hit would make `CampaignReport::computed` depend on
     /// thread timing.
     pub fn compute(&self, store: &ResultStore, spec: &CellSpec) -> CellOutcome {
+        self.compute_observed(store, spec, &Telemetry::disabled())
+    }
+
+    /// Like [`Context::compute`], recording the cell's own simulation into
+    /// `telemetry` when this call performs it. Cache hits record nothing,
+    /// and dependency work (a sampled cell computing its reference) stays
+    /// unobserved so each cell's event stream describes exactly one run.
+    pub fn compute_observed(
+        &self,
+        store: &ResultStore,
+        spec: &CellSpec,
+        telemetry: &Telemetry,
+    ) -> CellOutcome {
         let hash = spec.hash_hex();
         if let CellKind::Reference = spec.kind {
-            let entry = self.reference_entry(store, spec);
+            let entry = self.reference_entry_observed(store, spec, telemetry);
             return CellOutcome {
                 spec: spec.clone(),
                 record: entry.stored.record.clone(),
@@ -263,7 +289,7 @@ impl Context {
                 return stored;
             }
             ran_sim = true;
-            let stored = self.simulate_cell(store, spec, &hash);
+            let stored = self.simulate_cell(store, spec, &hash, telemetry);
             store.save(&hash, &stored);
             stored
         });
@@ -275,8 +301,15 @@ impl Context {
         }
     }
 
-    /// Runs the simulation behind one non-reference cell.
-    fn simulate_cell(&self, store: &ResultStore, spec: &CellSpec, hash: &str) -> StoredCell {
+    /// Runs the simulation behind one non-reference cell. `telemetry`
+    /// observes the cell's own run; dependency references stay unobserved.
+    fn simulate_cell(
+        &self,
+        store: &ResultStore,
+        spec: &CellSpec,
+        hash: &str,
+        telemetry: &Telemetry,
+    ) -> StoredCell {
         match &spec.kind {
             CellKind::Reference => unreachable!("reference cells go through reference_entry"),
             CellKind::Sampled { config } => {
@@ -287,21 +320,23 @@ impl Context {
                 // controller and keep its per-cluster CI report for the
                 // record's accuracy fields.
                 let (sampled, stats, accuracy) = if config.policy.is_adaptive() {
-                    let (sampled, stats, accuracy) = run_adaptive_traced(
+                    let (sampled, stats, accuracy) = run_adaptive_observed(
                         &program,
                         spec.machine.clone(),
                         spec.workers,
                         *config,
                         self.provider(spec.bench),
+                        telemetry.clone(),
                     );
                     (sampled, stats, Some(accuracy))
                 } else {
-                    let (sampled, stats) = run_sampled_traced(
+                    let (sampled, stats) = run_sampled_observed(
                         &program,
                         spec.machine.clone(),
                         spec.workers,
                         *config,
                         self.provider(spec.bench),
+                        telemetry.clone(),
                     );
                     (sampled, stats, None)
                 };
@@ -315,23 +350,25 @@ impl Context {
                     &spec.reference_spec().expect("clustered has reference"),
                 );
                 let (sampled, stats, clusters, accuracy) = if config.policy.is_adaptive() {
-                    let (sampled, stats, accuracy, clusters) = run_clustered_adaptive_traced(
+                    let (sampled, stats, accuracy, clusters) = run_clustered_adaptive_observed(
                         &program,
                         spec.machine.clone(),
                         spec.workers,
                         *config,
                         *granularity,
                         self.provider(spec.bench),
+                        telemetry.clone(),
                     );
                     (sampled, stats, clusters, Some(accuracy))
                 } else {
-                    let (sampled, stats, clusters) = run_clustered_traced(
+                    let (sampled, stats, clusters) = run_clustered_observed(
                         &program,
                         spec.machine.clone(),
                         spec.workers,
                         *config,
                         *granularity,
                         self.provider(spec.bench),
+                        telemetry.clone(),
                     );
                     (sampled, stats, clusters, None)
                 };
@@ -350,7 +387,8 @@ impl Context {
                 let program = self.program(spec.bench, &spec.scale);
                 let mut builder = Simulation::builder(&program, spec.machine.clone())
                     .workers(spec.workers)
-                    .collect_reports(true);
+                    .collect_reports(true)
+                    .telemetry(telemetry.clone());
                 builder = builder.traces(self.provider(spec.bench));
                 if let Some(seed) = noise_seed {
                     builder = builder.noise(NoiseModel::native_execution(*seed));
@@ -385,12 +423,13 @@ impl Context {
             }
             CellKind::Explore { config } => {
                 let program = self.program(spec.bench, &spec.scale);
-                let (sampled, stats) = run_sampled_traced(
+                let (sampled, stats) = run_sampled_observed(
                     &program,
                     spec.machine.clone(),
                     spec.workers,
                     *config,
                     self.provider(spec.bench),
+                    telemetry.clone(),
                 );
                 StoredCell {
                     record: CellRecord {

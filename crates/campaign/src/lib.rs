@@ -57,7 +57,7 @@ pub mod spec;
 pub mod store;
 pub mod sweeps;
 
-pub use campaign::{Campaign, CampaignReport};
+pub use campaign::{Campaign, CampaignReport, ProgressSnapshot};
 pub use context::Context;
 pub use executor::Executor;
 pub use record::{

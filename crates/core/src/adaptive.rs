@@ -11,7 +11,7 @@
 
 use taskpoint_accuracy::{AccuracyReport, AdaptiveController, ClusteredAdaptiveController};
 use taskpoint_runtime::Program;
-use tasksim::{MachineConfig, SimResult, Simulation, TraceProvider};
+use tasksim::{MachineConfig, SimResult, Simulation, Telemetry, TraceProvider};
 
 use crate::config::TaskPointConfig;
 use crate::controller::SamplingStats;
@@ -78,10 +78,27 @@ pub fn run_adaptive_traced(
     config: TaskPointConfig,
     traces: Box<dyn TraceProvider>,
 ) -> (SimResult, SamplingStats, AccuracyReport) {
-    let mut controller = AdaptiveController::new(adaptive_config(&config));
+    run_adaptive_observed(program, machine, workers, config, traces, Telemetry::disabled())
+}
+
+/// Like [`run_adaptive_traced`], with a [`Telemetry`] handle threaded
+/// through both the engine (schedule events, counters) and the adaptive
+/// controller (per-cluster fidelity decisions). Pass
+/// [`Telemetry::disabled`] for the uninstrumented fast path.
+pub fn run_adaptive_observed(
+    program: &Program,
+    machine: MachineConfig,
+    workers: u32,
+    config: TaskPointConfig,
+    traces: Box<dyn TraceProvider>,
+    telemetry: Telemetry,
+) -> (SimResult, SamplingStats, AccuracyReport) {
+    let mut controller =
+        AdaptiveController::new(adaptive_config(&config)).with_telemetry(telemetry.clone());
     let result = Simulation::builder(program, machine)
         .workers(workers)
         .traces(traces)
+        .telemetry(telemetry)
         .build()
         .run(&mut controller);
     let (stats, report) = controller.into_parts();
@@ -118,10 +135,35 @@ pub fn run_clustered_adaptive_traced(
     granularity: u32,
     traces: Box<dyn TraceProvider>,
 ) -> (SimResult, SamplingStats, AccuracyReport, usize) {
+    run_clustered_adaptive_observed(
+        program,
+        machine,
+        workers,
+        config,
+        granularity,
+        traces,
+        Telemetry::disabled(),
+    )
+}
+
+/// Like [`run_clustered_adaptive_traced`], with a [`Telemetry`] handle
+/// (fidelity events carry virtual cluster unit ids).
+#[allow(clippy::too_many_arguments)]
+pub fn run_clustered_adaptive_observed(
+    program: &Program,
+    machine: MachineConfig,
+    workers: u32,
+    config: TaskPointConfig,
+    granularity: u32,
+    traces: Box<dyn TraceProvider>,
+    telemetry: Telemetry,
+) -> (SimResult, SamplingStats, AccuracyReport, usize) {
     let mut controller = ClusteredAdaptiveController::new(adaptive_config(&config), granularity);
+    controller.set_telemetry(telemetry.clone());
     let result = Simulation::builder(program, machine)
         .workers(workers)
         .traces(traces)
+        .telemetry(telemetry)
         .build()
         .run(&mut controller);
     let clusters = controller.num_clusters();

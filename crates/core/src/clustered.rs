@@ -131,14 +131,39 @@ pub fn run_clustered_traced(
     granularity: u32,
     traces: Box<dyn tasksim::TraceProvider>,
 ) -> (tasksim::SimResult, SamplingStats, usize) {
+    run_clustered_observed(
+        program,
+        machine,
+        workers,
+        config,
+        granularity,
+        traces,
+        tasksim::Telemetry::disabled(),
+    )
+}
+
+/// Like [`run_clustered_traced`], with a [`Telemetry`](tasksim::Telemetry)
+/// handle attached to the engine (and to the adaptive controller when the
+/// policy dispatches there).
+#[allow(clippy::too_many_arguments)]
+pub fn run_clustered_observed(
+    program: &taskpoint_runtime::Program,
+    machine: tasksim::MachineConfig,
+    workers: u32,
+    config: TaskPointConfig,
+    granularity: u32,
+    traces: Box<dyn tasksim::TraceProvider>,
+    telemetry: tasksim::Telemetry,
+) -> (tasksim::SimResult, SamplingStats, usize) {
     if config.policy.is_adaptive() {
-        let (result, stats, _, clusters) = crate::adaptive::run_clustered_adaptive_traced(
+        let (result, stats, _, clusters) = crate::adaptive::run_clustered_adaptive_observed(
             program,
             machine,
             workers,
             config,
             granularity,
             traces,
+            telemetry,
         );
         return (result, stats, clusters);
     }
@@ -146,6 +171,7 @@ pub fn run_clustered_traced(
     let result = tasksim::Simulation::builder(program, machine)
         .workers(workers)
         .traces(traces)
+        .telemetry(telemetry)
         .build()
         .run(&mut controller);
     let clusters = controller.num_clusters();

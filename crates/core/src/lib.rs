@@ -65,16 +65,22 @@ pub mod metrics;
 pub mod simulate;
 
 pub use adaptive::{
-    run_adaptive, run_adaptive_traced, run_clustered_adaptive, run_clustered_adaptive_traced,
+    run_adaptive, run_adaptive_observed, run_adaptive_traced, run_clustered_adaptive,
+    run_clustered_adaptive_observed, run_clustered_adaptive_traced,
 };
-pub use clustered::{run_clustered, run_clustered_traced, ClusteredController};
+pub use clustered::{
+    run_clustered, run_clustered_observed, run_clustered_traced, ClusteredController,
+};
 pub use config::{ConfigError, SamplingPolicy, TaskPointConfig};
 pub use controller::{Phase, ResampleCause, SamplingStats, TaskPointController};
 pub use history::{SampleHistory, TypeHistories};
 pub use metrics::ExperimentOutcome;
 pub use simulate::{
-    evaluate, run_reference, run_reference_traced, run_sampled, run_sampled_traced,
+    evaluate, run_reference, run_reference_observed, run_reference_traced, run_sampled,
+    run_sampled_observed, run_sampled_traced,
 };
+// Observability handle, re-exported for the same reason.
+pub use tasksim::{Telemetry, TelemetryReport};
 // The statistical layer underneath the adaptive policy, re-exported so
 // downstream crates (campaign, bench) need not depend on
 // `taskpoint-accuracy` directly.

@@ -1,7 +1,7 @@
 //! High-level entry points: run a program sampled, detailed, or both.
 
 use taskpoint_runtime::Program;
-use tasksim::{DetailedOnly, MachineConfig, SimResult, Simulation, TraceProvider};
+use tasksim::{DetailedOnly, MachineConfig, SimResult, Simulation, Telemetry, TraceProvider};
 
 use crate::config::TaskPointConfig;
 use crate::controller::{SamplingStats, TaskPointController};
@@ -36,9 +36,23 @@ pub fn run_reference_traced(
     workers: u32,
     traces: Box<dyn TraceProvider>,
 ) -> SimResult {
+    run_reference_observed(program, machine, workers, traces, Telemetry::disabled())
+}
+
+/// Like [`run_reference_traced`], with a [`Telemetry`] handle attached to
+/// the engine: a recording handle captures the full detailed schedule
+/// (assignments, completions, queue depths) and end-of-run counters.
+pub fn run_reference_observed(
+    program: &Program,
+    machine: MachineConfig,
+    workers: u32,
+    traces: Box<dyn TraceProvider>,
+    telemetry: Telemetry,
+) -> SimResult {
     Simulation::builder(program, machine)
         .workers(workers)
         .traces(traces)
+        .telemetry(telemetry)
         .build()
         .run(&mut DetailedOnly)
 }
@@ -69,15 +83,31 @@ pub fn run_sampled_traced(
     config: TaskPointConfig,
     traces: Box<dyn TraceProvider>,
 ) -> (SimResult, SamplingStats) {
+    run_sampled_observed(program, machine, workers, config, traces, Telemetry::disabled())
+}
+
+/// Like [`run_sampled_traced`], with a [`Telemetry`] handle attached to
+/// the engine (and, for adaptive policies, to the controller's fidelity
+/// decisions too).
+pub fn run_sampled_observed(
+    program: &Program,
+    machine: MachineConfig,
+    workers: u32,
+    config: TaskPointConfig,
+    traces: Box<dyn TraceProvider>,
+    telemetry: Telemetry,
+) -> (SimResult, SamplingStats) {
     if config.policy.is_adaptive() {
-        let (result, stats, _) =
-            crate::adaptive::run_adaptive_traced(program, machine, workers, config, traces);
+        let (result, stats, _) = crate::adaptive::run_adaptive_observed(
+            program, machine, workers, config, traces, telemetry,
+        );
         return (result, stats);
     }
     let mut controller = TaskPointController::new(config);
     let result = Simulation::builder(program, machine)
         .workers(workers)
         .traces(traces)
+        .telemetry(telemetry)
         .build()
         .run(&mut controller);
     (result, controller.into_stats())

@@ -38,6 +38,7 @@ use std::time::Instant;
 
 use taskpoint_runtime::{FifoScheduler, Program, ReadySet, Scheduler, TaskInstanceId, WorkerId};
 use taskpoint_stats::rng::{mix_seed, Xoshiro256pp};
+use taskpoint_telemetry::{NopSink, SimEvent, Sink, Telemetry};
 use taskpoint_trace::{InstBlock, TraceSource, BLOCK_CAPACITY};
 
 use crate::burst::burst_duration;
@@ -66,6 +67,7 @@ pub struct Simulation<'p> {
     prewarm: bool,
     traces: Box<dyn TraceProvider>,
     block_capacity: usize,
+    telemetry: Telemetry,
 }
 
 /// Builder for [`Simulation`].
@@ -79,6 +81,7 @@ pub struct SimulationBuilder<'p> {
     prewarm: bool,
     traces: Option<Box<dyn TraceProvider>>,
     block_capacity: usize,
+    telemetry: Telemetry,
 }
 
 impl<'p> Simulation<'p> {
@@ -94,6 +97,7 @@ impl<'p> Simulation<'p> {
             prewarm: true,
             traces: None,
             block_capacity: BLOCK_CAPACITY,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -106,6 +110,18 @@ impl<'p> Simulation<'p> {
     /// running — impossible with the provided schedulers) or the controller
     /// returns an invalid fast-forward IPC.
     pub fn run<C: ModeController>(self, controller: &mut C) -> SimResult {
+        // Monomorphize the whole engine per sink: the common disabled case
+        // runs with [`NopSink`], whose inlined empty methods compile the
+        // instrumentation out of the hot path entirely.
+        if self.telemetry.is_recording() {
+            let sink = self.telemetry.clone();
+            self.run_impl(controller, sink)
+        } else {
+            self.run_impl(controller, NopSink)
+        }
+    }
+
+    fn run_impl<C: ModeController, S: Sink>(self, controller: &mut C, sink: S) -> SimResult {
         let Simulation {
             program,
             machine,
@@ -116,6 +132,7 @@ impl<'p> Simulation<'p> {
             prewarm,
             traces,
             block_capacity,
+            telemetry: _,
         } = self;
         let wall_start = Instant::now();
         let mut mem = MemorySystem::new(&machine, num_workers);
@@ -186,7 +203,15 @@ impl<'p> Simulation<'p> {
             stats: RunStats::default(),
             reports: Vec::new(),
             group_stats,
+            sink,
         };
+        if engine.sink.enabled() {
+            for ty in program.types() {
+                engine
+                    .sink
+                    .event(SimEvent::TypeDecl { id: ty.id().0, name: ty.name().to_string() });
+            }
+        }
         for root in program.graph().roots() {
             engine.scheduler.task_ready(root);
         }
@@ -198,6 +223,7 @@ impl<'p> Simulation<'p> {
             "simulation stalled with {} tasks pending (scheduler lost tasks?)",
             engine.ready_set.pending()
         );
+        engine.emit_final_counters();
 
         SimResult {
             total_cycles: engine.stats.max_end,
@@ -222,7 +248,7 @@ impl<'p> Simulation<'p> {
 }
 
 /// Live state of a run (separated from `Simulation` so borrows stay local).
-struct Engine<'p> {
+struct Engine<'p, S: Sink> {
     program: &'p Program,
     mem: MemorySystem,
     components: Vec<CoreComponent>,
@@ -248,11 +274,15 @@ struct Engine<'p> {
     /// Per-group accumulators, in machine group order (empty for
     /// homogeneous machines).
     group_stats: Vec<GroupStats>,
+    /// Telemetry receiver — [`NopSink`] unless the simulation was built
+    /// with a recording [`Telemetry`] handle.
+    sink: S,
 }
 
-impl<'p> Engine<'p> {
+impl<'p, S: Sink> Engine<'p, S> {
     fn event_loop<C: ModeController>(&mut self, controller: &mut C) {
         while let Some((t, id)) = self.sched.pop() {
+            self.sink.counter("scheduler.pops", id.0, 1);
             // Tick the component with split borrows of the shared fabric,
             // then re-schedule it from its own next_tick — components
             // never touch the event heap directly.
@@ -289,6 +319,16 @@ impl<'p> Engine<'p> {
             }
         }
         self.stats.max_end = self.stats.max_end.max(report.end);
+        self.sink.event(SimEvent::TaskFinished {
+            start: report.start,
+            end: report.end,
+            worker: w,
+            task: report.task.0,
+            type_id: report.type_id.0,
+            detailed: report.mode == SimMode::Detailed,
+            instructions: report.instructions,
+            concurrency: report.concurrency,
+        });
         if !self.group_stats.is_empty() {
             let g = self.components[w as usize].group as usize;
             let gs = &mut self.group_stats[g];
@@ -340,7 +380,15 @@ impl<'p> Engine<'p> {
                 concurrency: self.running_count,
                 total_workers: self.num_workers,
             };
-            match controller.mode_for_task(&ctx) {
+            let mode = controller.mode_for_task(&ctx);
+            self.sink.event(SimEvent::TaskAssigned {
+                tick: start,
+                worker: w,
+                task: task.0,
+                type_id: inst.type_id().0,
+                detailed: matches!(mode, ExecMode::Detailed),
+            });
+            match mode {
                 ExecMode::Detailed => {
                     let spec = inst.trace();
                     let comp = &mut self.components[widx];
@@ -395,6 +443,38 @@ impl<'p> Engine<'p> {
             }
             let next = self.components[widx].next_tick().expect("fresh task is scheduled");
             self.sched.schedule(next, ComponentId(w));
+        }
+        self.sink.event(SimEvent::QueueDepth {
+            tick: now,
+            ready: self.scheduler.ready_count() as u64,
+            running: self.running_count,
+        });
+    }
+
+    /// Emits the end-of-run counter snapshot: memory-system totals,
+    /// per-level cache hits/misses, per-group busy ticks and instructions.
+    fn emit_final_counters(&mut self) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.counter("mem.dram_accesses", 0, self.mem.dram_accesses());
+        self.sink.counter("mem.invalidations", 0, self.mem.invalidations());
+        self.sink.counter("mem.prefetches", 0, self.mem.prefetches());
+        self.sink.counter("mem.queue_delay_cycles", 0, self.mem.queue_delay_cycles());
+        self.sink.counter("mem.contended_accesses", 0, self.mem.contended_accesses());
+        for l in 0..self.mem.private_levels() {
+            let s = self.mem.private_stats(l);
+            self.sink.counter("mem.private_hits", l as u32, s.hits);
+            self.sink.counter("mem.private_misses", l as u32, s.misses);
+        }
+        for l in 0..self.mem.shared_levels() {
+            let s = self.mem.shared_stats(l);
+            self.sink.counter("mem.shared_hits", l as u32, s.hits);
+            self.sink.counter("mem.shared_misses", l as u32, s.misses);
+        }
+        for (g, gs) in self.group_stats.iter().enumerate() {
+            self.sink.counter("group.busy_ticks", g as u32, gs.busy_ticks);
+            self.sink.counter("group.instructions", g as u32, gs.instructions);
         }
     }
 }
@@ -701,6 +781,16 @@ impl<'p> SimulationBuilder<'p> {
         self
     }
 
+    /// Attaches a telemetry handle. A recording handle makes the run emit
+    /// tick-stamped schedule events, fidelity decisions and end-of-run
+    /// counters into it; the default disabled handle monomorphizes the
+    /// engine over [`NopSink`], compiling the instrumentation out
+    /// entirely (golden results are pinned bit-identical either way).
+    pub fn telemetry(mut self, t: Telemetry) -> Self {
+        self.telemetry = t;
+        self
+    }
+
     /// Sets the instruction-block capacity of the detailed pipeline
     /// (default [`BLOCK_CAPACITY`]). Simulated timing is independent of
     /// this value — it only trades refill overhead against block
@@ -743,6 +833,7 @@ impl<'p> SimulationBuilder<'p> {
             prewarm: self.prewarm,
             traces: self.traces.unwrap_or_else(|| Box::new(ProceduralTraces)),
             block_capacity: self.block_capacity,
+            telemetry: self.telemetry,
         }
     }
 }

@@ -203,6 +203,11 @@ pub struct MemorySystem {
     /// sequential-confirmation check.
     prefetch_last: Vec<u64>,
     prefetches: u64,
+    /// Total cycles requests spent waiting in shared-level and DRAM
+    /// service queues (bandwidth contention).
+    queue_delay_cycles: u64,
+    /// Accesses that hit a non-empty service queue (paid any queue delay).
+    contended_accesses: u64,
 }
 
 impl MemorySystem {
@@ -265,6 +270,8 @@ impl MemorySystem {
             dram_accesses: 0,
             prefetch_last: vec![u64::MAX - 1; cores as usize],
             prefetches: 0,
+            queue_delay_cycles: 0,
+            contended_accesses: 0,
         }
     }
 
@@ -306,6 +313,8 @@ impl MemorySystem {
         self.invalidations = 0;
         self.dram_accesses = 0;
         self.prefetches = 0;
+        self.queue_delay_cycles = 0;
+        self.contended_accesses = 0;
     }
 
     /// Total capacity of the last shared level in lines (0 when none).
@@ -358,7 +367,7 @@ impl MemorySystem {
                     break;
                 }
             }
-            match shared_hit {
+            let lat = match shared_hit {
                 Some(lat) => lat,
                 None => {
                     // 3. DRAM: channel queueing on top of the deepest level's
@@ -369,7 +378,12 @@ impl MemorySystem {
                     queue_delay += self.dram_queues[ch].delay(now);
                     deepest_shared_latency + self.dram_latency as u64 + queue_delay
                 }
+            };
+            if queue_delay > 0 {
+                self.queue_delay_cycles += queue_delay;
+                self.contended_accesses += 1;
             }
+            lat
         };
 
         // 4. Stream prefetch: a simple next-line prefetcher with
@@ -414,6 +428,16 @@ impl MemorySystem {
     /// Total remote-copy invalidations performed.
     pub fn invalidations(&self) -> u64 {
         self.invalidations
+    }
+
+    /// Total cycles spent waiting in shared-level and DRAM service queues.
+    pub fn queue_delay_cycles(&self) -> u64 {
+        self.queue_delay_cycles
+    }
+
+    /// Number of accesses that paid a non-zero queue delay.
+    pub fn contended_accesses(&self) -> u64 {
+        self.contended_accesses
     }
 
     /// Total DRAM line fetches.

@@ -63,4 +63,8 @@ pub use hierarchy::{LevelStats, MemorySystem};
 pub use mode::{DetailedOnly, ExecMode, FixedIpc, ModeController, TaskStart};
 pub use noise::NoiseModel;
 pub use report::{GroupStats, SimMode, SimResult, TaskReport};
+pub use taskpoint_telemetry as telemetry;
+pub use taskpoint_telemetry::{
+    FidelityAction, NopSink, ProfileSpan, SimEvent, Sink, Telemetry, TelemetryReport,
+};
 pub use traces::{ProceduralTraces, RecordedTraces, TraceMismatch, TraceProvider};

@@ -1,0 +1,243 @@
+//! Chrome trace-event JSON exporter (`chrome://tracing` / Perfetto).
+//!
+//! Mapping:
+//!
+//! * [`SimEvent::TaskFinished`] → complete (`"ph":"X"`) events on pid 0,
+//!   one tid per worker, `ts`/`dur` in simulated ticks (the viewer's
+//!   "microseconds" axis reads as ticks), category `detailed` or `fast`.
+//! * [`SimEvent::QueueDepth`] → counter (`"ph":"C"`) samples of
+//!   `ready_tasks`.
+//! * [`SimEvent::Fidelity`] → instant (`"ph":"i"`) markers on the unit's
+//!   own tid row of pid 0.
+//! * [`ProfileSpan`]s → complete events on pid 1 (wall-clock process),
+//!   one tid per executor worker.
+//! * Counters → one `telemetry.counters` metadata instant with all
+//!   `name[index]=value` cells in its args.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::event::{mode_tag, ProfileSpan, SimEvent};
+use crate::report::TelemetryReport;
+
+/// Renders `report` as a Chrome trace-event JSON document (an object with
+/// a `traceEvents` array, loadable by `chrome://tracing` and Perfetto).
+pub fn chrome_trace_json(report: &TelemetryReport) -> String {
+    let names: HashMap<u32, &str> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            SimEvent::TypeDecl { id, name } => Some((*id, name.as_str())),
+            _ => None,
+        })
+        .collect();
+    let type_name = |id: u32| -> String {
+        names.get(&id).map(|n| (*n).to_string()).unwrap_or_else(|| format!("type{id}"))
+    };
+
+    let mut entries: Vec<String> = Vec::new();
+    entries.push(
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"simulated ticks\"}}"
+            .to_string(),
+    );
+    if !report.profile.is_empty() {
+        entries.push(
+            "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"wall clock\"}}"
+                .to_string(),
+        );
+    }
+
+    for event in &report.events {
+        match event {
+            SimEvent::TypeDecl { .. } | SimEvent::TaskAssigned { .. } => {}
+            SimEvent::TaskFinished {
+                start,
+                end,
+                worker,
+                task,
+                type_id,
+                detailed,
+                instructions,
+                concurrency,
+            } => {
+                let dur = end.saturating_sub(*start).max(1);
+                let mut e = String::new();
+                let _ = write!(
+                    e,
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{worker},\"ts\":{start},\"dur\":{dur},\
+                     \"name\":{},\"cat\":\"{}\",\"args\":{{\"task\":{task},\
+                     \"instructions\":{instructions},\"concurrency\":{concurrency}}}}}",
+                    json_string(&type_name(*type_id)),
+                    mode_tag(*detailed),
+                );
+                entries.push(e);
+            }
+            SimEvent::QueueDepth { tick, ready, running } => {
+                entries.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{tick},\"name\":\"ready_tasks\",\
+                     \"args\":{{\"ready\":{ready},\"running\":{running}}}}}"
+                ));
+            }
+            SimEvent::Fidelity { tick, unit, action, samples, rel_ci } => {
+                let mut e = String::new();
+                let _ = write!(
+                    e,
+                    "{{\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{unit},\"ts\":{tick},\
+                     \"name\":{},\"args\":{{\"unit\":{unit},\"samples\":{samples}",
+                    json_string(&format!("fidelity.{}", action.tag())),
+                );
+                if let Some(ci) = rel_ci {
+                    let _ = write!(e, ",\"rel_ci\":{}", json_f64(*ci));
+                }
+                e.push_str("}}");
+                entries.push(e);
+            }
+        }
+    }
+
+    for span in &report.profile {
+        entries.push(profile_entry(span));
+    }
+
+    if !report.counters.is_empty() {
+        let mut e = String::new();
+        e.push_str(
+            "{\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":0,\
+             \"name\":\"telemetry.counters\",\"args\":{",
+        );
+        for (i, c) in report.counters.iter().enumerate() {
+            if i > 0 {
+                e.push(',');
+            }
+            let _ = write!(e, "{}:{}", json_string(&format!("{}[{}]", c.name, c.index)), c.value);
+        }
+        e.push_str("}}");
+        entries.push(e);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+fn profile_entry(span: &ProfileSpan) -> String {
+    let mut e = String::new();
+    let _ = write!(
+        e,
+        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":{},\
+         \"cat\":\"profile\",\"args\":{{\"key\":{}}}}}",
+        span.worker,
+        span.wall_start_us,
+        span.wall_dur_us.max(1),
+        json_string(&span.name),
+        json_string(&span.key),
+    );
+    e
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a valid JSON number (never `NaN`/`inf` literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on a whole float prints no decimal point; that is still
+        // valid JSON, so pass it through.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FidelityAction;
+    use crate::report::Counter;
+
+    #[test]
+    fn exports_tasks_counters_and_instants() {
+        let report = TelemetryReport {
+            events: vec![
+                SimEvent::TypeDecl { id: 1, name: "potrf".into() },
+                SimEvent::TaskFinished {
+                    start: 2,
+                    end: 9,
+                    worker: 3,
+                    task: 11,
+                    type_id: 1,
+                    detailed: false,
+                    instructions: 40,
+                    concurrency: 2,
+                },
+                SimEvent::QueueDepth { tick: 9, ready: 4, running: 1 },
+                SimEvent::Fidelity {
+                    tick: 9,
+                    unit: 1,
+                    action: FidelityAction::Converged,
+                    samples: 5,
+                    rel_ci: Some(0.04),
+                },
+            ],
+            counters: vec![Counter { name: "scheduler.pops".into(), index: 0, value: 12 }],
+            profile: vec![],
+        };
+        let json = chrome_trace_json(&report);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"potrf\""));
+        assert!(json.contains("\"cat\":\"fast\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("fidelity.converged"));
+        assert!(json.contains("\"scheduler.pops[0]\":12"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn zero_duration_tasks_are_visible() {
+        let report = TelemetryReport {
+            events: vec![SimEvent::TaskFinished {
+                start: 5,
+                end: 5,
+                worker: 0,
+                task: 0,
+                type_id: 0,
+                detailed: true,
+                instructions: 0,
+                concurrency: 1,
+            }],
+            counters: vec![],
+            profile: vec![],
+        };
+        assert!(chrome_trace_json(&report).contains("\"dur\":1"));
+    }
+}

@@ -1,0 +1,234 @@
+//! The event taxonomy: what the instrumented stack can say.
+//!
+//! Simulation-channel events ([`SimEvent`]) carry **simulated-tick**
+//! timestamps only — they are part of the deterministic record of a run.
+//! Wall-clock observations live in [`ProfileSpan`]s on the separate
+//! profiling channel and never mix into the simulation stream.
+
+use std::fmt::Write as _;
+
+/// One event on the (deterministic, tick-stamped) simulation channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// Declares a task type at run start (engine-emitted, one per program
+    /// type), so exporters can label timeline slices by source name.
+    TypeDecl {
+        /// The type id instances reference.
+        id: u32,
+        /// The source-level name (e.g. `"gemm"`).
+        name: String,
+    },
+    /// The runtime scheduler handed a ready task instance to an idle
+    /// worker, and the mode controller decided its fidelity.
+    TaskAssigned {
+        /// Simulated tick the task starts at.
+        tick: u64,
+        /// Worker (core) id executing it.
+        worker: u32,
+        /// Task instance id.
+        task: u64,
+        /// Task type id (or virtual cluster unit under clustering).
+        type_id: u32,
+        /// `true` for the detailed cycle-level model, `false` for a
+        /// fast-forward burst.
+        detailed: bool,
+    },
+    /// A task instance completed.
+    TaskFinished {
+        /// Simulated start tick.
+        start: u64,
+        /// Simulated end tick (the event's timestamp).
+        end: u64,
+        /// Worker (core) id that executed it.
+        worker: u32,
+        /// Task instance id.
+        task: u64,
+        /// Task type id.
+        type_id: u32,
+        /// Whether it ran through the detailed model.
+        detailed: bool,
+        /// Instructions executed (detailed) or fast-forwarded (burst).
+        instructions: u64,
+        /// Concurrently running tasks at its start, including itself.
+        concurrency: u32,
+    },
+    /// Ready-queue depth after an assignment round.
+    QueueDepth {
+        /// Simulated tick of the observation.
+        tick: u64,
+        /// Tasks ready but unassigned.
+        ready: u64,
+        /// Tasks currently running.
+        running: u32,
+    },
+    /// A fidelity decision by the adaptive accuracy controller.
+    Fidelity {
+        /// Simulated tick of the decision.
+        tick: u64,
+        /// The sampling unit (type id, or virtual cluster id).
+        unit: u32,
+        /// What happened.
+        action: FidelityAction,
+        /// Valid samples the unit held at decision time.
+        samples: u64,
+        /// Relative CI half-width of the unit's mean IPC at decision time
+        /// (`None` while undefined, i.e. fewer than two valid samples).
+        rel_ci: Option<f64>,
+    },
+}
+
+/// The kinds of fidelity decision the adaptive controller reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FidelityAction {
+    /// A sampling unit was observed for the first time (opens detailed).
+    ClusterOpened,
+    /// A valid detailed sample was recorded for an unconverged unit.
+    Sampled,
+    /// The unit met the CI stopping rule and switched to fast-forward.
+    Converged,
+    /// The rare-cluster cutoff force-converged the unit on whatever
+    /// estimate it had.
+    RareConverged,
+}
+
+impl FidelityAction {
+    /// Stable lowercase tag used in canonical text and exports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FidelityAction::ClusterOpened => "opened",
+            FidelityAction::Sampled => "sampled",
+            FidelityAction::Converged => "converged",
+            FidelityAction::RareConverged => "rare-converged",
+        }
+    }
+}
+
+impl SimEvent {
+    /// The event's simulated-tick timestamp (`0` for run-start
+    /// declarations).
+    pub fn tick(&self) -> u64 {
+        match self {
+            SimEvent::TypeDecl { .. } => 0,
+            SimEvent::TaskAssigned { tick, .. }
+            | SimEvent::QueueDepth { tick, .. }
+            | SimEvent::Fidelity { tick, .. } => *tick,
+            SimEvent::TaskFinished { end, .. } => *end,
+        }
+    }
+
+    /// Appends the canonical one-line text form (no trailing newline).
+    ///
+    /// The format is stable and fully determined by the event fields;
+    /// [`TelemetryReport::canonical_text`](crate::TelemetryReport::canonical_text)
+    /// concatenates these lines to state the byte-identity guarantee.
+    pub fn write_canonical(&self, out: &mut String) {
+        match self {
+            SimEvent::TypeDecl { id, name } => {
+                let _ = write!(out, "type id={id} name={name}");
+            }
+            SimEvent::TaskAssigned { tick, worker, task, type_id, detailed } => {
+                let _ = write!(
+                    out,
+                    "assign tick={tick} worker={worker} task={task} type={type_id} mode={}",
+                    mode_tag(*detailed)
+                );
+            }
+            SimEvent::TaskFinished {
+                start,
+                end,
+                worker,
+                task,
+                type_id,
+                detailed,
+                instructions,
+                concurrency,
+            } => {
+                let _ = write!(
+                    out,
+                    "finish tick={end} start={start} worker={worker} task={task} type={type_id} \
+                     mode={} instr={instructions} conc={concurrency}",
+                    mode_tag(*detailed)
+                );
+            }
+            SimEvent::QueueDepth { tick, ready, running } => {
+                let _ = write!(out, "queue tick={tick} ready={ready} running={running}");
+            }
+            SimEvent::Fidelity { tick, unit, action, samples, rel_ci } => {
+                let _ = write!(
+                    out,
+                    "fidelity tick={tick} unit={unit} action={} samples={samples}",
+                    action.tag()
+                );
+                if let Some(ci) = rel_ci {
+                    let _ = write!(out, " rel_ci={ci}");
+                }
+            }
+        }
+    }
+}
+
+/// The canonical mode tag (`detailed` / `fast`).
+pub(crate) fn mode_tag(detailed: bool) -> &'static str {
+    if detailed {
+        "detailed"
+    } else {
+        "fast"
+    }
+}
+
+/// One span on the **profiling channel**: wall-clock observations of host
+/// execution (campaign cell lifecycle, export costs). Deliberately kept
+/// out of the simulation stream — wall clock is not deterministic, and
+/// determinism guarantees are stated over the simulation channel only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSpan {
+    /// Span kind, e.g. `"cell.computed"`, `"cell.cached"`.
+    pub name: String,
+    /// Subject key, e.g. a campaign cell hash.
+    pub key: String,
+    /// Executor worker index that performed the work.
+    pub worker: u32,
+    /// Microseconds since the profiling epoch (the campaign batch start).
+    pub wall_start_us: u64,
+    /// Span duration in microseconds (0 for instant markers).
+    pub wall_dur_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_lines_are_stable() {
+        let mut out = String::new();
+        SimEvent::TaskAssigned { tick: 5, worker: 1, task: 7, type_id: 2, detailed: true }
+            .write_canonical(&mut out);
+        assert_eq!(out, "assign tick=5 worker=1 task=7 type=2 mode=detailed");
+        out.clear();
+        SimEvent::Fidelity {
+            tick: 9,
+            unit: 3,
+            action: FidelityAction::Converged,
+            samples: 4,
+            rel_ci: Some(0.25),
+        }
+        .write_canonical(&mut out);
+        assert_eq!(out, "fidelity tick=9 unit=3 action=converged samples=4 rel_ci=0.25");
+    }
+
+    #[test]
+    fn ticks_are_reported() {
+        assert_eq!(SimEvent::TypeDecl { id: 0, name: "x".into() }.tick(), 0);
+        let finish = SimEvent::TaskFinished {
+            start: 3,
+            end: 11,
+            worker: 0,
+            task: 0,
+            type_id: 0,
+            detailed: false,
+            instructions: 1,
+            concurrency: 1,
+        };
+        assert_eq!(finish.tick(), 11);
+    }
+}

@@ -1,0 +1,173 @@
+//! Textual Gantt rendering of a recorded schedule for terminals.
+//!
+//! One row per worker, one column per time bucket. A bucket shows the
+//! task type that occupied most of it: uppercase letters for detailed
+//! execution, lowercase for fast-forward, `.` for idle. A legend maps
+//! letters back to type names, and each row ends with the worker's busy
+//! percentage.
+
+use std::collections::BTreeMap;
+
+use crate::event::SimEvent;
+use crate::report::TelemetryReport;
+
+/// Renders the finished-task schedule in `report` as a textual Gantt
+/// chart, `width` columns of simulated time per worker row (clamped to a
+/// sane minimum). Returns a note instead of a chart when the report holds
+/// no finished tasks.
+pub fn render_gantt(report: &TelemetryReport, width: usize) -> String {
+    let width = width.clamp(10, 400);
+    struct Span {
+        start: u64,
+        end: u64,
+        worker: u32,
+        type_id: u32,
+        detailed: bool,
+    }
+    let mut spans: Vec<Span> = Vec::new();
+    let mut names: BTreeMap<u32, String> = BTreeMap::new();
+    for event in &report.events {
+        match event {
+            SimEvent::TypeDecl { id, name } => {
+                names.insert(*id, name.clone());
+            }
+            SimEvent::TaskFinished { start, end, worker, type_id, detailed, .. } => {
+                spans.push(Span {
+                    start: *start,
+                    end: (*end).max(*start + 1),
+                    worker: *worker,
+                    type_id: *type_id,
+                    detailed: *detailed,
+                });
+            }
+            _ => {}
+        }
+    }
+    if spans.is_empty() {
+        return "(no finished tasks recorded)\n".to_string();
+    }
+
+    let horizon = spans.iter().map(|s| s.end).max().unwrap_or(1).max(1);
+    let workers: Vec<u32> = {
+        let mut w: Vec<u32> = spans.iter().map(|s| s.worker).collect();
+        w.sort_unstable();
+        w.dedup();
+        w
+    };
+    // Stable letter per type id: A, B, ... in sorted type-id order.
+    let used_types: Vec<u32> = {
+        let mut t: Vec<u32> = spans.iter().map(|s| s.type_id).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+    let letter = |type_id: u32| -> char {
+        let pos = used_types.iter().position(|t| *t == type_id).unwrap_or(0);
+        (b'A' + (pos % 26) as u8) as char
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline: {} ticks across {} columns ({} ticks/column), {} workers\n",
+        horizon,
+        width,
+        horizon.div_ceil(width as u64),
+        workers.len()
+    ));
+    for w in &workers {
+        // Per-bucket occupancy: ticks busy, and the dominant (type, mode).
+        let mut busy = vec![0u64; width];
+        let mut dominant: Vec<BTreeMap<(u32, bool), u64>> = vec![BTreeMap::new(); width];
+        let mut busy_ticks = 0u64;
+        for s in spans.iter().filter(|s| s.worker == *w) {
+            busy_ticks += s.end - s.start;
+            let lo = (s.start * width as u64 / horizon) as usize;
+            let hi = (((s.end - 1) * width as u64) / horizon) as usize;
+            for (b, cell) in busy.iter_mut().enumerate().take(hi.min(width - 1) + 1).skip(lo) {
+                let bucket_lo = b as u64 * horizon / width as u64;
+                let bucket_hi = (b as u64 + 1) * horizon / width as u64;
+                let overlap = s.end.min(bucket_hi).saturating_sub(s.start.max(bucket_lo));
+                if overlap > 0 || bucket_lo == bucket_hi {
+                    let credit = overlap.max(1);
+                    *cell += credit;
+                    *dominant[b].entry((s.type_id, s.detailed)).or_insert(0) += credit;
+                }
+            }
+        }
+        let mut row = String::with_capacity(width);
+        for b in 0..width {
+            if busy[b] == 0 {
+                row.push('.');
+            } else {
+                let ((type_id, detailed), _) = dominant[b]
+                    .iter()
+                    .max_by_key(|(key, credit)| (**credit, std::cmp::Reverse(**key)))
+                    .map(|(k, v)| (*k, *v))
+                    .expect("non-zero busy bucket has a dominant entry");
+                let ch = letter(type_id);
+                row.push(if detailed { ch } else { ch.to_ascii_lowercase() });
+            }
+        }
+        let pct = 100.0 * busy_ticks as f64 / horizon as f64;
+        out.push_str(&format!("w{w:<3} |{row}| {pct:5.1}% busy\n"));
+    }
+    out.push_str("legend: UPPER=detailed lower=fast .=idle");
+    for t in &used_types {
+        let name = names.get(t).cloned().unwrap_or_else(|| format!("type{t}"));
+        out.push_str(&format!("  {}={}", letter(*t), name));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_renders_note() {
+        assert!(render_gantt(&TelemetryReport::default(), 80).contains("no finished tasks"));
+    }
+
+    #[test]
+    fn rows_legend_and_modes_render() {
+        let report = TelemetryReport {
+            events: vec![
+                SimEvent::TypeDecl { id: 0, name: "gemm".into() },
+                SimEvent::TypeDecl { id: 1, name: "trsm".into() },
+                SimEvent::TaskFinished {
+                    start: 0,
+                    end: 50,
+                    worker: 0,
+                    task: 0,
+                    type_id: 0,
+                    detailed: true,
+                    instructions: 10,
+                    concurrency: 1,
+                },
+                SimEvent::TaskFinished {
+                    start: 50,
+                    end: 100,
+                    worker: 1,
+                    task: 1,
+                    type_id: 1,
+                    detailed: false,
+                    instructions: 10,
+                    concurrency: 1,
+                },
+            ],
+            counters: vec![],
+            profile: vec![],
+        };
+        let chart = render_gantt(&report, 20);
+        assert!(chart.contains("w0"), "{chart}");
+        assert!(chart.contains("w1"), "{chart}");
+        assert!(chart.contains("A=gemm"), "{chart}");
+        assert!(chart.contains("B=trsm"), "{chart}");
+        // Worker 0 ran detailed type A, worker 1 fast type B.
+        assert!(chart.lines().nth(1).unwrap().contains('A'), "{chart}");
+        assert!(chart.lines().nth(2).unwrap().contains('b'), "{chart}");
+        // Idle halves show as dots.
+        assert!(chart.lines().nth(1).unwrap().contains('.'), "{chart}");
+    }
+}

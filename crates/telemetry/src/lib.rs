@@ -1,0 +1,61 @@
+//! # taskpoint-telemetry — simulation timelines and layered counters
+//!
+//! Observability substrate for the TaskPoint reproduction. The design has
+//! three hard requirements, in priority order:
+//!
+//! 1. **Zero overhead when disabled.** Instrumented code is generic over
+//!    [`Sink`]; the default [`NopSink`] has empty `#[inline(always)]`
+//!    bodies, so a monomorphized hot path with telemetry off compiles to
+//!    exactly the uninstrumented code. The simulator's golden
+//!    bit-identity tests (`tests/block_equivalence.rs`) run through this
+//!    path and gate it.
+//! 2. **Deterministic when enabled.** Every event on the simulation
+//!    channel is timestamped in **simulated ticks**, never wall clock, so
+//!    two runs of a deterministic simulation produce byte-identical
+//!    telemetry streams ([`TelemetryReport::canonical_text`] /
+//!    [`TelemetryReport::fnv64`]). Host wall-clock measurements are
+//!    confined to the separate profiling channel ([`ProfileSpan`]).
+//! 3. **Exportable.** A finished [`TelemetryReport`] renders as a Chrome
+//!    trace-event JSON (`chrome://tracing` / Perfetto), as a `*.tptrace`
+//!    text timeline the repro's own ingest pipeline parses back, and as a
+//!    textual Gantt chart for terminals.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use taskpoint_telemetry::{SimEvent, Sink, Telemetry};
+//!
+//! let telemetry = Telemetry::recording();
+//! telemetry.event(SimEvent::TypeDecl { id: 0, name: "gemm".into() });
+//! telemetry.event(SimEvent::TaskFinished {
+//!     start: 0,
+//!     end: 500,
+//!     worker: 0,
+//!     task: 0,
+//!     type_id: 0,
+//!     detailed: true,
+//!     instructions: 1000,
+//!     concurrency: 1,
+//! });
+//! telemetry.counter("scheduler.pops", 0, 3);
+//! let report = telemetry.take_report().unwrap();
+//! assert_eq!(report.events.len(), 2);
+//! assert!(report.chrome_trace_json().contains("\"ph\":\"X\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod gantt;
+pub mod report;
+pub mod sink;
+pub mod tptrace;
+
+pub use chrome::chrome_trace_json;
+pub use event::{FidelityAction, ProfileSpan, SimEvent};
+pub use gantt::render_gantt;
+pub use report::{Counter, TelemetryReport};
+pub use sink::{NopSink, Sink, Telemetry};
+pub use tptrace::{tptrace_timeline, TimelineError};

@@ -1,0 +1,159 @@
+//! The finished artifact of a recording: events, counter snapshot, and
+//! profiling spans, with the canonical text form that states the
+//! determinism guarantee.
+
+use crate::event::{ProfileSpan, SimEvent};
+
+/// One counter cell in a [`TelemetryReport`] snapshot.
+///
+/// Counters are layered: a `name` identifies the quantity (e.g.
+/// `"mem.private_hits"`) and `index` selects the layer instance (cache
+/// level, core, core group). Scalar counters use index 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    /// Quantity name, dotted by subsystem (`scheduler.pops`,
+    /// `mem.dram_accesses`, `group.busy_ticks`, ...).
+    pub name: String,
+    /// Layer index (cache level, component id, group id; 0 for scalars).
+    pub index: u32,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Everything one recording captured.
+///
+/// `events` preserve emission order (which is deterministic for a
+/// deterministic simulation); `counters` are sorted by `(name, index)`;
+/// `profile` spans are wall-clock and excluded from the canonical text.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Simulation-channel events in emission order.
+    pub events: Vec<SimEvent>,
+    /// Counter snapshot, sorted by `(name, index)`.
+    pub counters: Vec<Counter>,
+    /// Wall-clock profiling spans (non-deterministic channel).
+    pub profile: Vec<ProfileSpan>,
+}
+
+impl TelemetryReport {
+    /// Looks up a counter value by name and layer index.
+    pub fn counter(&self, name: &str, index: u32) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name && c.index == index).map(|c| c.value)
+    }
+
+    /// Sums a counter across all layer indices.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|c| c.name == name).map(|c| c.value).sum()
+    }
+
+    /// The canonical text form of the deterministic channels: one line per
+    /// event in emission order, then one `counter name[index]=value` line
+    /// per counter in sorted order. Two runs of the same deterministic
+    /// simulation produce byte-identical canonical text; profiling spans
+    /// are deliberately excluded.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            event.write_canonical(&mut out);
+            out.push('\n');
+        }
+        for c in &self.counters {
+            out.push_str(&format!("counter {}[{}]={}\n", c.name, c.index, c.value));
+        }
+        out
+    }
+
+    /// FNV-1a 64-bit checksum of [`canonical_text`](Self::canonical_text)
+    /// — a compact fingerprint for determinism assertions.
+    pub fn fnv64(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.canonical_text().as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Renders the report as Chrome trace-event JSON. See
+    /// [`chrome_trace_json`](crate::chrome::chrome_trace_json).
+    pub fn chrome_trace_json(&self) -> String {
+        crate::chrome::chrome_trace_json(self)
+    }
+
+    /// Renders the finished-task timeline in the `*.tptrace` text format.
+    /// See [`tptrace_timeline`](crate::tptrace::tptrace_timeline).
+    pub fn tptrace_timeline(&self) -> Result<String, crate::tptrace::TimelineError> {
+        crate::tptrace::tptrace_timeline(self)
+    }
+
+    /// Renders a textual Gantt chart `width` columns wide. See
+    /// [`render_gantt`](crate::gantt::render_gantt).
+    pub fn render_gantt(&self, width: usize) -> String {
+        crate::gantt::render_gantt(self, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetryReport {
+        TelemetryReport {
+            events: vec![
+                SimEvent::TypeDecl { id: 0, name: "gemm".into() },
+                SimEvent::TaskFinished {
+                    start: 0,
+                    end: 10,
+                    worker: 0,
+                    task: 0,
+                    type_id: 0,
+                    detailed: true,
+                    instructions: 20,
+                    concurrency: 1,
+                },
+            ],
+            counters: vec![
+                Counter { name: "mem.private_hits".into(), index: 0, value: 7 },
+                Counter { name: "scheduler.pops".into(), index: 2, value: 3 },
+            ],
+            profile: vec![ProfileSpan {
+                name: "cell.computed".into(),
+                key: "abc".into(),
+                worker: 0,
+                wall_start_us: 1,
+                wall_dur_us: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn canonical_text_covers_events_and_counters_not_profile() {
+        let text = sample().canonical_text();
+        assert!(text.contains("type id=0 name=gemm\n"));
+        assert!(text.contains("finish tick=10 start=0"));
+        assert!(text.contains("counter mem.private_hits[0]=7\n"));
+        assert!(text.contains("counter scheduler.pops[2]=3\n"));
+        assert!(!text.contains("cell.computed"));
+    }
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.fnv64(), b.fnv64());
+        // Profiling spans do not affect the checksum...
+        b.profile.clear();
+        assert_eq!(a.fnv64(), b.fnv64());
+        // ...but simulation events do.
+        b.events.pop();
+        assert_ne!(a.fnv64(), b.fnv64());
+    }
+
+    #[test]
+    fn counter_lookup() {
+        let r = sample();
+        assert_eq!(r.counter("scheduler.pops", 2), Some(3));
+        assert_eq!(r.counter("scheduler.pops", 0), None);
+        assert_eq!(r.counter_total("scheduler.pops"), 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! The sink API: where instrumented code sends events.
+//!
+//! Instrumentation sites are generic over [`Sink`], so the choice between
+//! "no telemetry" and "recording" is made by monomorphization, not by a
+//! branch on the hot path:
+//!
+//! * [`NopSink`] — a zero-sized type whose methods are empty and
+//!   `#[inline(always)]`: the compiled artifact of an instrumented
+//!   function is identical to its uninstrumented form.
+//! * [`Telemetry`] — a cloneable runtime handle. Disabled handles carry no
+//!   recorder (emissions are a single `Option` check); recording handles
+//!   share an internal recorder behind a mutex, so one handle can be
+//!   threaded through an engine, a controller and an exporter and all
+//!   emissions land in one ordered stream.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{ProfileSpan, SimEvent};
+use crate::report::{Counter, TelemetryReport};
+
+/// Receiver of telemetry emissions.
+///
+/// Methods take `&self`: recording sinks use interior mutability, and
+/// instrumented code stays free of extra `&mut` plumbing.
+pub trait Sink {
+    /// Whether emissions are observed. Instrumentation sites that must
+    /// allocate to build an event (e.g. type names) guard on this; sites
+    /// emitting plain-integer events call unconditionally and rely on the
+    /// no-op body compiling to nothing.
+    fn enabled(&self) -> bool;
+
+    /// Records a simulation-channel event.
+    fn event(&self, event: SimEvent);
+
+    /// Adds `delta` to the indexed counter `name[index]` (e.g.
+    /// `scheduler.pops[core]`, `mem.private_hits[level]`). Scalar counters
+    /// use index 0.
+    fn counter(&self, name: &'static str, index: u32, delta: u64);
+
+    /// Records a wall-clock span on the profiling channel.
+    fn profile(&self, span: ProfileSpan);
+}
+
+/// The do-nothing sink: telemetry compiled out.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopSink;
+
+impl Sink for NopSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn event(&self, _event: SimEvent) {}
+
+    #[inline(always)]
+    fn counter(&self, _name: &'static str, _index: u32, _delta: u64) {}
+
+    #[inline(always)]
+    fn profile(&self, _span: ProfileSpan) {}
+}
+
+/// What a recording handle accumulates.
+#[derive(Debug, Default)]
+struct Recorder {
+    events: Vec<SimEvent>,
+    /// `(name, index) -> value`. A `BTreeMap` so snapshots list counters
+    /// in a deterministic order regardless of emission order.
+    counters: BTreeMap<(&'static str, u32), u64>,
+    profile: Vec<ProfileSpan>,
+}
+
+impl Recorder {
+    fn report(&mut self) -> TelemetryReport {
+        TelemetryReport {
+            events: std::mem::take(&mut self.events),
+            counters: std::mem::take(&mut self.counters)
+                .into_iter()
+                .map(|((name, index), value)| Counter { name: name.to_string(), index, value })
+                .collect(),
+            profile: std::mem::take(&mut self.profile),
+        }
+    }
+}
+
+/// A cloneable telemetry handle: either disabled (no recorder, emissions
+/// are a single pointer check) or recording into a shared stream.
+///
+/// `Default` is [`Telemetry::disabled`].
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<Recorder>>>,
+}
+
+impl Telemetry {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A fresh recording handle. Clones share the same stream.
+    pub fn recording() -> Self {
+        Self { inner: Some(Arc::new(Mutex::new(Recorder::default()))) }
+    }
+
+    /// Whether this handle records.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Takes the recorded report out of the handle, leaving it empty (and
+    /// still recording). `None` for disabled handles.
+    pub fn take_report(&self) -> Option<TelemetryReport> {
+        self.inner.as_ref().map(|r| r.lock().expect("telemetry recorder poisoned").report())
+    }
+}
+
+impl Sink for Telemetry {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn event(&self, event: SimEvent) {
+        if let Some(r) = &self.inner {
+            r.lock().expect("telemetry recorder poisoned").events.push(event);
+        }
+    }
+
+    fn counter(&self, name: &'static str, index: u32, delta: u64) {
+        if let Some(r) = &self.inner {
+            *r.lock()
+                .expect("telemetry recorder poisoned")
+                .counters
+                .entry((name, index))
+                .or_insert(0) += delta;
+        }
+    }
+
+    fn profile(&self, span: ProfileSpan) {
+        if let Some(r) = &self.inner {
+            r.lock().expect("telemetry recorder poisoned").profile.push(span);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_recording());
+        t.event(SimEvent::QueueDepth { tick: 0, ready: 0, running: 0 });
+        t.counter("x", 0, 1);
+        assert!(t.take_report().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let t = Telemetry::recording();
+        let u = t.clone();
+        t.event(SimEvent::QueueDepth { tick: 1, ready: 2, running: 3 });
+        u.event(SimEvent::QueueDepth { tick: 4, ready: 5, running: 6 });
+        u.counter("scheduler.pops", 0, 2);
+        t.counter("scheduler.pops", 0, 3);
+        let report = t.take_report().unwrap();
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.counter("scheduler.pops", 0), Some(5));
+        // Taking drains but keeps recording.
+        t.event(SimEvent::QueueDepth { tick: 7, ready: 0, running: 0 });
+        assert_eq!(t.take_report().unwrap().events.len(), 1);
+    }
+
+    #[test]
+    fn nop_sink_is_disabled() {
+        assert!(!NopSink.enabled());
+        NopSink.event(SimEvent::QueueDepth { tick: 0, ready: 0, running: 0 });
+        NopSink.counter("x", 0, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Re-exports a recorded timeline in the repo's own `*.tptrace` text
+//! format (see `docs/TRACE_FORMATS.md`), closing the loop: a simulation's
+//! telemetry can be fed back through `trace::ingest` and re-simulated.
+//!
+//! The export reconstructs the schedule from [`SimEvent::TaskFinished`]
+//! events: each finished task becomes a `B:`/`E:` pair on its worker's
+//! thread, ordered by simulated tick (ends before begins on ties, so
+//! back-to-back tasks on one worker stay well-formed). The format has no
+//! timestamps, but the event *order* is the timeline. Instruction bodies
+//! are summarized — `I:` lines are emitted as a bounded placeholder body
+//! (the ingest validator rejects empty tasks), with true instruction
+//! counts preserved in a comment per task.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::SimEvent;
+use crate::report::TelemetryReport;
+
+/// Placeholder instruction lines emitted per task, capped so exports of
+/// long runs stay small: `min(instructions, CAP).max(1)`.
+const INST_LINE_CAP: u64 = 16;
+
+/// Why a report could not be rendered as a tptrace timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineError {
+    /// The report holds no finished-task events — there is no schedule to
+    /// export (e.g. telemetry was disabled, or only counters were
+    /// recorded).
+    NoTasks,
+}
+
+impl std::fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimelineError::NoTasks => {
+                write!(f, "telemetry report contains no finished tasks to export")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
+/// Renders the finished-task schedule in `report` as a `*.tptrace` text
+/// document parseable by the repo's own ingest pipeline.
+///
+/// # Errors
+///
+/// [`TimelineError::NoTasks`] if the report holds no
+/// [`SimEvent::TaskFinished`] events.
+pub fn tptrace_timeline(report: &TelemetryReport) -> Result<String, TimelineError> {
+    struct Task {
+        start: u64,
+        end: u64,
+        worker: u32,
+        task: u64,
+        type_id: u32,
+        detailed: bool,
+        instructions: u64,
+    }
+
+    let mut tasks: Vec<Task> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            SimEvent::TaskFinished {
+                start,
+                end,
+                worker,
+                task,
+                type_id,
+                detailed,
+                instructions,
+                ..
+            } => Some(Task {
+                start: *start,
+                end: *end,
+                worker: *worker,
+                task: *task,
+                type_id: *type_id,
+                detailed: *detailed,
+                instructions: *instructions,
+            }),
+            _ => None,
+        })
+        .collect();
+    if tasks.is_empty() {
+        return Err(TimelineError::NoTasks);
+    }
+
+    // Declare only the types the exported tasks actually use (the ingest
+    // validator rejects unused declarations), with recorded names where a
+    // TypeDecl was seen.
+    let decl_names: BTreeMap<u32, &str> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            SimEvent::TypeDecl { id, name } => Some((*id, name.as_str())),
+            _ => None,
+        })
+        .collect();
+    let mut used: BTreeMap<u32, String> = BTreeMap::new();
+    for t in &tasks {
+        used.entry(t.type_id).or_insert_with(|| {
+            decl_names
+                .get(&t.type_id)
+                .map(|n| sanitize_name(n))
+                .filter(|n| !n.is_empty())
+                .unwrap_or_else(|| format!("type{}", t.type_id))
+        });
+    }
+
+    // A thread may hold only one open task, so per-worker spans must not
+    // overlap in the edge ordering. The engine guarantees that for real
+    // ticks, but zero-length bursts (end == start) would put a task's end
+    // at its own begin tick; nudge such spans forward monotonically per
+    // worker (order-preserving, ordering keys only — the exported format
+    // carries no timestamps).
+    tasks.sort_by_key(|t| (t.start, t.end, t.worker, t.task));
+    let mut floor: BTreeMap<u32, u64> = BTreeMap::new();
+    for t in &mut tasks {
+        let at = floor.entry(t.worker).or_insert(0);
+        t.start = t.start.max(*at);
+        t.end = t.end.max(t.start + 1);
+        *at = t.end;
+    }
+
+    // Interleave begins and ends by tick; on a tie, ends come first so a
+    // worker's next task can begin on the tick its predecessor ended.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    enum Edge {
+        End,
+        Begin,
+    }
+    let mut edges: Vec<(u64, Edge, usize)> = Vec::with_capacity(tasks.len() * 2);
+    for (i, t) in tasks.iter().enumerate() {
+        edges.push((t.start, Edge::Begin, i));
+        edges.push((t.end, Edge::End, i));
+    }
+    edges.sort_by(|a, b| (a.0, &a.1, a.2).cmp(&(b.0, &b.1, b.2)));
+
+    let mut out = String::new();
+    out.push_str("%tptrace 1\n");
+    out.push_str("# exported from telemetry: event order is the simulated schedule\n");
+    for (id, name) in &used {
+        let _ = writeln!(out, "T:{id}:{name}");
+    }
+    for (tick, edge, i) in edges {
+        let t = &tasks[i];
+        match edge {
+            Edge::Begin => {
+                let _ = writeln!(
+                    out,
+                    "# tick={} mode={} instr={}",
+                    tick,
+                    crate::event::mode_tag(t.detailed),
+                    t.instructions
+                );
+                let _ = writeln!(out, "B:{}:{}:{}", t.worker, t.task, t.type_id);
+                for _ in 0..t.instructions.clamp(1, INST_LINE_CAP) {
+                    let _ = writeln!(out, "I:{}:int_alu", t.worker);
+                }
+            }
+            Edge::End => {
+                let _ = writeln!(out, "E:{}:{}", t.worker, t.task);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Makes a recorded type name safe for the colon-separated text grammar.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c == ':' || c == '#' || c.is_whitespace() || c.is_control() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finish(start: u64, end: u64, worker: u32, task: u64, type_id: u32) -> SimEvent {
+        SimEvent::TaskFinished {
+            start,
+            end,
+            worker,
+            task,
+            type_id,
+            detailed: true,
+            instructions: 3,
+            concurrency: 1,
+        }
+    }
+
+    #[test]
+    fn empty_report_is_an_error() {
+        assert_eq!(tptrace_timeline(&TelemetryReport::default()), Err(TimelineError::NoTasks));
+    }
+
+    #[test]
+    fn back_to_back_tasks_close_before_opening() {
+        let report = TelemetryReport {
+            events: vec![
+                SimEvent::TypeDecl { id: 0, name: "gemm".into() },
+                finish(0, 10, 0, 0, 0),
+                finish(10, 20, 0, 1, 0),
+            ],
+            counters: vec![],
+            profile: vec![],
+        };
+        let text = tptrace_timeline(&report).unwrap();
+        let e0 = text.find("E:0:0").unwrap();
+        let b1 = text.find("B:0:1:0").unwrap();
+        assert!(e0 < b1, "first task must end before the second begins:\n{text}");
+        assert!(text.contains("T:0:gemm"));
+    }
+
+    #[test]
+    fn only_used_types_are_declared_and_names_sanitized() {
+        let report = TelemetryReport {
+            events: vec![
+                SimEvent::TypeDecl { id: 0, name: "a:b c".into() },
+                SimEvent::TypeDecl { id: 9, name: "unused".into() },
+                finish(0, 5, 1, 0, 0),
+                finish(0, 5, 2, 1, 3),
+            ],
+            counters: vec![],
+            profile: vec![],
+        };
+        let text = tptrace_timeline(&report).unwrap();
+        assert!(text.contains("T:0:a_b_c"));
+        assert!(text.contains("T:3:type3"));
+        assert!(!text.contains("unused"));
+    }
+}

@@ -8,6 +8,7 @@ pub use taskpoint_accuracy as accuracy;
 pub use taskpoint_campaign as campaign;
 pub use taskpoint_runtime as runtime;
 pub use taskpoint_stats as stats;
+pub use taskpoint_telemetry as telemetry;
 pub use taskpoint_trace as trace;
 pub use taskpoint_workloads as workloads;
 pub use tasksim as sim;

@@ -272,6 +272,35 @@ fn block_capacity_does_not_affect_simulated_timing() {
     }
 }
 
+/// Attaching telemetry — disabled *or* recording — must not move a single
+/// simulated bit: the golden Cholesky cell still reproduces exactly, and
+/// the recording run's result is identical to the unobserved run's,
+/// per-task reports included. (The observer only watches; the no-op sink
+/// compiles to nothing and the recording sink only copies events out.)
+#[test]
+fn telemetry_does_not_perturb_golden_results() {
+    use taskpoint_repro::sim::Telemetry;
+    let program = Benchmark::Cholesky.generate(&ScaleConfig::quick());
+    let machine = MachineConfig::tiny_test();
+    let plain = run_detailed(&program, &machine, 4, 256);
+    assert_eq!(plain.total_cycles, 833_204, "golden cell (pre-telemetry capture)");
+    for telemetry in [Telemetry::disabled(), Telemetry::recording()] {
+        let recording = telemetry.is_recording();
+        let observed = Simulation::builder(&program, machine.clone())
+            .workers(4)
+            .collect_reports(true)
+            .telemetry(telemetry.clone())
+            .build()
+            .run(&mut DetailedOnly);
+        assert_identical(&observed, &plain, if recording { "recording" } else { "disabled" });
+        let report = telemetry.take_report();
+        assert_eq!(report.is_some(), recording);
+        if let Some(report) = report {
+            assert!(!report.events.is_empty(), "recording run captured events");
+        }
+    }
+}
+
 /// A simulation driven by recorded traces (binary `encode` format through
 /// `RecordedTraces`) reproduces the procedural run bit for bit.
 #[test]
