@@ -106,6 +106,7 @@ fn reference_result_from_stored(stored: &StoredCell, workers: u32) -> SimResult 
         shared_cache: Vec::new(),
         workers,
         groups,
+        parallel_epochs: Default::default(),
     }
 }
 
@@ -387,6 +388,7 @@ impl Context {
                 let program = self.program(spec.bench, &spec.scale);
                 let mut builder = Simulation::builder(&program, spec.machine.clone())
                     .workers(spec.workers)
+                    .detail_threads(tasksim::detail_threads_from_env())
                     .collect_reports(true)
                     .telemetry(telemetry.clone());
                 builder = builder.traces(self.provider(spec.bench));

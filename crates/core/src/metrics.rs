@@ -67,6 +67,7 @@ mod tests {
             shared_cache: vec![],
             workers: 1,
             groups: vec![],
+            parallel_epochs: Default::default(),
         }
     }
 

@@ -84,11 +84,39 @@ impl SetAssocCache {
         addr >> self.set_shift
     }
 
+    /// Position of `line` among `ways`, if present. Probes the flat
+    /// sentinel tag array in batches of four ways with no early exit
+    /// inside a batch: the equality tests become straight-line compares
+    /// the compiler can turn into SIMD lanes, where a per-way
+    /// `position()` scan is a chain of data-dependent branches. Tags are
+    /// unique within a set, so the first match is the only match.
+    #[inline]
+    fn find_way(ways: &[u64], line: u64) -> Option<usize> {
+        let mut i = 0;
+        while i + 4 <= ways.len() {
+            let m = (ways[i] == line) as u32
+                | ((ways[i + 1] == line) as u32) << 1
+                | ((ways[i + 2] == line) as u32) << 2
+                | ((ways[i + 3] == line) as u32) << 3;
+            if m != 0 {
+                return Some(i + m.trailing_zeros() as usize);
+            }
+            i += 4;
+        }
+        while i < ways.len() {
+            if ways[i] == line {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
     /// Accesses `line` (a line address): returns `Hit` and promotes it to
     /// MRU, or fills it (LRU eviction) and returns `Miss`.
     pub fn access(&mut self, line: u64) -> AccessOutcome {
         let ways = self.ways_mut(line);
-        if let Some(pos) = ways.iter().position(|&t| t == line) {
+        if let Some(pos) = Self::find_way(ways, line) {
             // Move to front (MRU): one bounded rotate, no allocation.
             ways[..=pos].rotate_right(1);
             self.hits += 1;
@@ -112,7 +140,7 @@ impl SetAssocCache {
     /// it was present.
     pub fn invalidate(&mut self, line: u64) -> bool {
         let ways = self.ways_mut(line);
-        if let Some(pos) = ways.iter().position(|&t| t == line) {
+        if let Some(pos) = Self::find_way(ways, line) {
             // Shift the tail up and leave an empty slot at the end,
             // preserving the LRU order of the remaining ways.
             ways[pos..].rotate_left(1);

@@ -16,15 +16,38 @@
 //! * **in-order commit** — at most `commit_width` instructions commit per
 //!   cycle, in program order, after completing execution.
 //!
-//! Loads get their completion latency from the [`MemorySystem`]; everything
+//! Loads get their completion latency from the
+//! [`MemorySystem`](crate::hierarchy::MemorySystem); everything
 //! else uses the configured latency table. The model keeps fractional-cycle
 //! bookkeeping with integer *ticks* (`1 tick = 1/width` cycles) so it is
 //! exact and fast.
 
 use crate::config::CoreConfig;
-use crate::hierarchy::MemorySystem;
+use crate::hierarchy::MemPort;
 use taskpoint_stats::rng::Xoshiro256pp;
 use taskpoint_trace::{InstBlock, InstKind, Instruction};
+
+// Instruction classes for dispatching off the SoA kind column. A table
+// lookup plus a dense 5-way match replaces three separate data-dependent
+// matches (MSHR guard, execute, serialization) per instruction.
+const CLASS_SIMPLE: u8 = 0;
+const CLASS_LOAD: u8 = 1;
+const CLASS_STORE: u8 = 2;
+const CLASS_ATOMIC: u8 = 3;
+const CLASS_BRANCH: u8 = 4;
+const CLASS_FENCE: u8 = 5;
+
+const fn kind_classes() -> [u8; 11] {
+    let mut t = [CLASS_SIMPLE; 11];
+    t[InstKind::Load as usize] = CLASS_LOAD;
+    t[InstKind::Store as usize] = CLASS_STORE;
+    t[InstKind::Atomic as usize] = CLASS_ATOMIC;
+    t[InstKind::Branch as usize] = CLASS_BRANCH;
+    t[InstKind::Fence as usize] = CLASS_FENCE;
+    t
+}
+
+const KIND_CLASS: [u8; 11] = kind_classes();
 
 /// Workload-dependent execution parameters of the current task, taken from
 /// its trace spec.
@@ -141,7 +164,8 @@ impl RobCore {
 
     /// Drains the pipeline and restarts the clocks at `start` — called at
     /// every task boundary (tasks never share pipeline state; caches, which
-    /// live in the [`MemorySystem`], do persist across tasks).
+    /// live in the [`MemorySystem`](crate::hierarchy::MemorySystem), do
+    /// persist across tasks).
     pub fn reset(&mut self, start: u64) {
         self.commit_ring.fill(start);
         self.ring_pos = 0;
@@ -183,16 +207,16 @@ impl RobCore {
     /// Executes one trace instruction on core `core_id`; returns its commit
     /// cycle. `rng` must be the task instance's private stream so replays
     /// are identical in every simulation mode.
-    pub fn execute(
+    pub fn execute<M: MemPort>(
         &mut self,
         core_id: u32,
         inst: &Instruction,
         params: TaskParams,
-        mem: &mut MemorySystem,
+        mem: &mut M,
         data_rng: &mut Xoshiro256pp,
         code_rng: &mut Xoshiro256pp,
     ) -> u64 {
-        self.step(core_id, inst.kind, inst.addr, params, mem, data_rng, code_rng)
+        self.step(core_id, inst.kind, inst.addr, params, mem, data_rng, code_rng).0
     }
 
     /// Executes instructions `from..` of a filled [`InstBlock`] until the
@@ -206,122 +230,148 @@ impl RobCore {
     /// least one instruction executes whenever the dispatch clock is below
     /// `chunk_end` at entry and the slice is non-empty, so callers always
     /// make progress.
+    ///
+    /// The boundary is enforced per *run*, not per instruction: dispatch
+    /// consumes at least one tick per instruction, so
+    /// `end_ticks - dispatch_ticks` instructions are guaranteed to stay
+    /// inside the chunk unless a stall (ROB window, serialization, MSHRs)
+    /// jumps the dispatch clock — `RobCore::step` reports exactly that,
+    /// and the run length is re-derived only then. The executed set is
+    /// identical to a per-instruction check.
     // Mirrors `execute`'s parameter list plus the block window; bundling
     // them into a context struct would just move the argument count into
     // every caller.
     #[allow(clippy::too_many_arguments)]
-    pub fn execute_block(
+    pub fn execute_block<M: MemPort>(
         &mut self,
         core_id: u32,
         block: &InstBlock,
         from: usize,
         chunk_end: u64,
         params: TaskParams,
-        mem: &mut MemorySystem,
+        mem: &mut M,
         data_rng: &mut Xoshiro256pp,
         code_rng: &mut Xoshiro256pp,
     ) -> usize {
         // dispatch_cycle() < chunk_end  ⟺  dispatch_ticks < chunk_end·width
-        // — hoist the multiplication out of the per-instruction check.
+        // — hoist the multiplication out of the boundary check.
         let end_ticks = chunk_end.saturating_mul(self.issue_width);
         let kinds = &block.kinds()[from..];
         let addrs = &block.addrs()[from..];
-        let mut executed = 0;
-        for (&kind, &addr) in kinds.iter().zip(addrs) {
-            if self.dispatch_ticks >= end_ticks {
-                break;
+        let len = kinds.len();
+        let mut executed = 0usize;
+        while executed < len && self.dispatch_ticks < end_ticks {
+            let budget = (end_ticks - self.dispatch_ticks).min((len - executed) as u64) as usize;
+            let stop = executed + budget;
+            let mut i = executed;
+            while i < stop {
+                let (_, jumped) =
+                    self.step(core_id, kinds[i], addrs[i], params, mem, data_rng, code_rng);
+                i += 1;
+                if jumped {
+                    break;
+                }
             }
-            self.step(core_id, kind, addr, params, mem, data_rng, code_rng);
-            executed += 1;
+            executed = i;
         }
         executed
     }
 
     /// The per-instruction ROB-occupancy-analysis state transition shared
-    /// by [`RobCore::execute`] and [`RobCore::execute_block`].
+    /// by [`RobCore::execute`] and [`RobCore::execute_block`]. Returns the
+    /// commit cycle and whether dispatch *jumped* (a stall moved the
+    /// dispatch clock by more than its own issue slot) — the signal the
+    /// block walk uses to re-derive its chunk-boundary run length.
     #[allow(clippy::too_many_arguments)] // see execute_block
-    fn step(
+    fn step<M: MemPort>(
         &mut self,
         core_id: u32,
         kind: InstKind,
         addr: u64,
         params: TaskParams,
-        mem: &mut MemorySystem,
+        mem: &mut M,
         data_rng: &mut Xoshiro256pp,
         code_rng: &mut Xoshiro256pp,
-    ) -> u64 {
+    ) -> (u64, bool) {
         // Dispatch constraints: issue width (tick += 1 below), ROB window,
         // serialization.
+        let entry_ticks = self.dispatch_ticks;
         let rob_constraint = self.commit_ring[self.ring_pos];
-        let mut ticks = self.dispatch_ticks.max(rob_constraint * self.issue_width);
+        let mut ticks = entry_ticks.max(rob_constraint * self.issue_width);
         ticks = ticks.max(self.serial_until * self.issue_width);
         let mut d = Self::div_width(ticks, self.issue_width);
 
-        // MSHR constraint for loads/atomics that will touch memory.
-        // Completed misses are cleaned out lazily: entries only matter once
-        // the list *looks* full, and the `c > d` filter removes a stale
-        // entry whenever it would have removed it earlier (d is monotone),
-        // so the cleaned set at decision time — and therefore the stall —
-        // is identical to eager per-load cleaning.
-        if matches!(kind, InstKind::Load | InstKind::Atomic) && self.outstanding.len() >= self.mshrs
-        {
-            self.outstanding.retain(|&c| c > d);
-            if self.outstanding.len() >= self.mshrs {
-                let earliest = *self.outstanding.iter().min().expect("non-empty");
-                d = d.max(earliest);
-                ticks = ticks.max(d * self.issue_width);
-                self.outstanding.retain(|&c| c > d);
-            }
-        }
-
-        // Execute. Memory accesses cross the clock-domain boundary: the
-        // hierarchy lives on the global base clock, the pipeline on the
-        // core-local clock.
-        let complete = match kind {
-            InstKind::Load => {
-                let r = mem.access(core_id, addr, false, self.to_global(d));
+        // One classified dispatch off the kind column instead of three
+        // separate matches (MSHR guard, execute, serialization): the class
+        // fuses the memory-access decision with the serialization draw,
+        // whose RNG-stream discipline (data stream for branches, code
+        // stream for everything except fences) is preserved exactly.
+        let complete = match KIND_CLASS[kind as usize] {
+            CLASS_LOAD | CLASS_ATOMIC => {
+                // MSHR constraint for loads/atomics that will touch memory.
+                // Completed misses are cleaned out lazily: entries only
+                // matter once the list *looks* full, and the `c > d` filter
+                // removes a stale entry whenever it would have removed it
+                // earlier (d is monotone), so the cleaned set at decision
+                // time — and therefore the stall — is identical to eager
+                // per-load cleaning.
+                if self.outstanding.len() >= self.mshrs {
+                    self.outstanding.retain(|&c| c > d);
+                    if self.outstanding.len() >= self.mshrs {
+                        let earliest = *self.outstanding.iter().min().expect("non-empty");
+                        d = d.max(earliest);
+                        ticks = ticks.max(d * self.issue_width);
+                        self.outstanding.retain(|&c| c > d);
+                    }
+                }
+                // Memory accesses cross the clock-domain boundary: the
+                // hierarchy lives on the global base clock, the pipeline on
+                // the core-local clock.
+                let write = kind == InstKind::Atomic;
+                let r = mem.access(core_id, addr, write, self.to_global(d));
                 let lat = self.to_local_latency(r.latency);
                 if r.l1_miss {
                     self.outstanding.push(d + lat);
                 }
-                d + lat
-            }
-            InstKind::Atomic => {
-                let r = mem.access(core_id, addr, true, self.to_global(d));
-                let lat = self.to_local_latency(r.latency);
-                if r.l1_miss {
-                    self.outstanding.push(d + lat);
+                let complete = d + lat + if write { self.lat_atomic_extra } else { 0 };
+                if code_rng.next_f64() < params.dependency_rate {
+                    self.serial_until = self.serial_until.max(complete);
                 }
-                d + lat + self.lat_atomic_extra
+                complete
             }
-            InstKind::Store => {
+            CLASS_STORE => {
                 // Write-allocate + coherence happen now; the store itself
                 // retires through the write buffer at store latency.
                 let _ = mem.access(core_id, addr, true, self.to_global(d));
-                d + self.lat_store
+                let complete = d + self.lat_store;
+                if code_rng.next_f64() < params.dependency_rate {
+                    self.serial_until = self.serial_until.max(complete);
+                }
+                complete
             }
-            _ => d + self.lat[kind as usize],
-        };
-
-        // Serialization effects on later instructions.
-        match kind {
-            InstKind::Branch => {
+            CLASS_BRANCH => {
+                let complete = d + self.lat[kind as usize];
                 // Branch outcomes are data-dependent: per-instance stream.
                 if data_rng.next_f64() < params.branch_mispredict_rate {
                     self.serial_until = self.serial_until.max(complete + self.mispredict_penalty);
                 }
+                complete
             }
-            InstKind::Fence => {
+            CLASS_FENCE => {
+                let complete = d + self.lat[kind as usize];
                 self.serial_until = self.serial_until.max(complete);
+                complete
             }
             _ => {
+                let complete = d + self.lat[kind as usize];
                 // Register dependences are code structure: the code stream,
                 // shared by all instances of a task type.
                 if code_rng.next_f64() < params.dependency_rate {
                     self.serial_until = self.serial_until.max(complete);
                 }
+                complete
             }
-        }
+        };
 
         // Consume one dispatch slot.
         self.dispatch_ticks = ticks + 1;
@@ -341,7 +391,7 @@ impl RobCore {
             self.ring_pos = 0;
         }
         self.last_commit = commit_cycle;
-        commit_cycle
+        (commit_cycle, ticks != entry_ticks)
     }
 }
 
@@ -349,6 +399,7 @@ impl RobCore {
 mod tests {
     use super::*;
     use crate::config::MachineConfig;
+    use crate::hierarchy::MemorySystem;
     use taskpoint_stats::rng::Xoshiro256pp;
 
     const NO_EVENTS: TaskParams = TaskParams { branch_mispredict_rate: 0.0, dependency_rate: 0.0 };

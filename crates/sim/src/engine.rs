@@ -54,7 +54,30 @@ use crate::traces::{ProceduralTraces, TraceProvider};
 /// Domain-separation constant for per-task pipeline randomness (branch and
 /// dependency draws), mixed with the trace seed so detailed replays are
 /// identical in every run and mode.
-const PIPELINE_RNG_SALT: u64 = 0xC0DE_0001;
+pub(crate) const PIPELINE_RNG_SALT: u64 = 0xC0DE_0001;
+
+/// Default floor (in instructions) below which a detailed task is not worth
+/// speculating on a parallel worker: shard forking and replay validation
+/// cost more than simply executing it in line.
+pub(crate) const PARALLEL_MIN_TASK_INSTRUCTIONS: u64 = 20_000;
+
+/// Reads the `TASKPOINT_DETAIL_THREADS` environment override for
+/// [`SimulationBuilder::detail_threads`]; returns 1 (the sequential
+/// engine) when unset.
+///
+/// # Panics
+///
+/// Panics on a value that is not an integer in `1..=64` — a misspelled
+/// override silently running sequentially would invalidate benchmarks.
+pub fn detail_threads_from_env() -> usize {
+    match std::env::var("TASKPOINT_DETAIL_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if (1..=64).contains(&n) => n,
+            _ => panic!("TASKPOINT_DETAIL_THREADS must be an integer in 1..=64, got {v:?}"),
+        },
+        Err(_) => 1,
+    }
+}
 
 /// A configured simulation, ready to [`run`](Simulation::run).
 pub struct Simulation<'p> {
@@ -68,6 +91,8 @@ pub struct Simulation<'p> {
     traces: Box<dyn TraceProvider>,
     block_capacity: usize,
     telemetry: Telemetry,
+    detail_threads: usize,
+    parallel_min_task_instructions: u64,
 }
 
 /// Builder for [`Simulation`].
@@ -82,6 +107,8 @@ pub struct SimulationBuilder<'p> {
     traces: Option<Box<dyn TraceProvider>>,
     block_capacity: usize,
     telemetry: Telemetry,
+    detail_threads: usize,
+    parallel_min_task_instructions: u64,
 }
 
 impl<'p> Simulation<'p> {
@@ -98,6 +125,8 @@ impl<'p> Simulation<'p> {
             traces: None,
             block_capacity: BLOCK_CAPACITY,
             telemetry: Telemetry::disabled(),
+            detail_threads: 1,
+            parallel_min_task_instructions: PARALLEL_MIN_TASK_INSTRUCTIONS,
         }
     }
 
@@ -133,7 +162,14 @@ impl<'p> Simulation<'p> {
             traces,
             block_capacity,
             telemetry: _,
+            detail_threads,
+            parallel_min_task_instructions,
         } = self;
+        let parallel = crate::parallel::ParallelState::new(
+            detail_threads,
+            parallel_min_task_instructions,
+            &machine,
+        );
         let wall_start = Instant::now();
         let mut mem = MemorySystem::new(&machine, num_workers);
         if prewarm {
@@ -204,6 +240,8 @@ impl<'p> Simulation<'p> {
             reports: Vec::new(),
             group_stats,
             sink,
+            completed: vec![false; program.num_instances()],
+            parallel,
         };
         if engine.sink.enabled() {
             for ty in program.types() {
@@ -243,40 +281,51 @@ impl<'p> Simulation<'p> {
                 .collect(),
             workers: num_workers,
             groups: engine.group_stats,
+            parallel_epochs: crate::report::ParallelEpochs {
+                committed: engine.parallel.epochs_committed,
+                aborted: engine.parallel.epochs_aborted,
+            },
         }
     }
 }
 
 /// Live state of a run (separated from `Simulation` so borrows stay local).
-struct Engine<'p, S: Sink> {
-    program: &'p Program,
-    mem: MemorySystem,
-    components: Vec<CoreComponent>,
-    scheduler: Box<dyn Scheduler>,
-    ready_set: ReadySet,
+/// Crate-visible so the [`parallel`](crate::parallel) module can implement
+/// the speculative-epoch logic on it.
+pub(crate) struct Engine<'p, S: Sink> {
+    pub(crate) program: &'p Program,
+    pub(crate) mem: MemorySystem,
+    pub(crate) components: Vec<CoreComponent>,
+    pub(crate) scheduler: Box<dyn Scheduler>,
+    pub(crate) ready_set: ReadySet,
     /// Earliest start cycle of each task: the maximum completion time of
     /// its predecessors. Completions are processed in *event* order, which
     /// can differ from end-time order when a task's commit tail extends
     /// past its final chunk — without this, a successor could start before
     /// a predecessor's actual end.
-    ready_at: Vec<u64>,
-    sched: EventScheduler,
+    pub(crate) ready_at: Vec<u64>,
+    pub(crate) sched: EventScheduler,
     /// Idle worker ids, kept sorted descending so `pop` yields lowest id.
-    idle: Vec<u32>,
-    running_count: u32,
-    num_workers: u32,
-    noise: Option<NoiseModel>,
-    collect_reports: bool,
-    traces: Box<dyn TraceProvider>,
-    block_capacity: usize,
-    stats: RunStats,
-    reports: Vec<TaskReport>,
+    pub(crate) idle: Vec<u32>,
+    pub(crate) running_count: u32,
+    pub(crate) num_workers: u32,
+    pub(crate) noise: Option<NoiseModel>,
+    pub(crate) collect_reports: bool,
+    pub(crate) traces: Box<dyn TraceProvider>,
+    pub(crate) block_capacity: usize,
+    pub(crate) stats: RunStats,
+    pub(crate) reports: Vec<TaskReport>,
     /// Per-group accumulators, in machine group order (empty for
     /// homogeneous machines).
-    group_stats: Vec<GroupStats>,
+    pub(crate) group_stats: Vec<GroupStats>,
     /// Telemetry receiver — [`NopSink`] unless the simulation was built
     /// with a recording [`Telemetry`] handle.
-    sink: S,
+    pub(crate) sink: S,
+    /// Completion flags per task instance, used by the parallel detail
+    /// layer's dependency-closure check.
+    pub(crate) completed: Vec<bool>,
+    /// Intra-run parallelism configuration and counters.
+    pub(crate) parallel: crate::parallel::ParallelState,
 }
 
 impl<'p, S: Sink> Engine<'p, S> {
@@ -340,6 +389,7 @@ impl<'p, S: Sink> Engine<'p, S> {
             gs.busy_ticks += report.end - report.start;
         }
         self.running_count -= 1;
+        self.completed[report.task.index()] = true;
         controller.on_task_complete(&report);
         if self.collect_reports {
             self.reports.push(report);
@@ -361,6 +411,7 @@ impl<'p, S: Sink> Engine<'p, S> {
     /// Hands ready tasks to idle workers (lowest id first), starting them
     /// no earlier than `now`.
     fn assign_ready_tasks<C: ModeController>(&mut self, controller: &mut C, now: u64) {
+        let prev_running = self.running_count;
         while self.scheduler.ready_count() > 0 {
             let Some(w) = self.idle.pop() else { break };
             let Some(task) = self.scheduler.pick(WorkerId(w)) else {
@@ -449,6 +500,13 @@ impl<'p, S: Sink> Engine<'p, S> {
             ready: self.scheduler.ready_count() as u64,
             running: self.running_count,
         });
+        // A fully fresh batch (no task mid-flight, no work left queued) is
+        // a candidate epoch for the speculative parallel detail layer: all
+        // running tasks start now, so their executions can be raced ahead
+        // on host threads and validated for commit.
+        if prev_running == 0 && self.running_count >= 2 && self.scheduler.ready_count() == 0 {
+            self.maybe_parallel_epoch();
+        }
     }
 
     /// Emits the end-of-run counter snapshot: memory-system totals,
@@ -534,12 +592,12 @@ fn prewarm_memory(mem: &mut MemorySystem, program: &Program, line_size: u32) {
 
 /// Per-run counters.
 #[derive(Debug, Default)]
-struct RunStats {
-    detailed_tasks: u64,
-    fast_tasks: u64,
-    detailed_instructions: u64,
-    fast_instructions: u64,
-    max_end: u64,
+pub(crate) struct RunStats {
+    pub(crate) detailed_tasks: u64,
+    pub(crate) fast_tasks: u64,
+    pub(crate) detailed_instructions: u64,
+    pub(crate) fast_instructions: u64,
+    pub(crate) max_end: u64,
 }
 
 /// What a worker core is currently doing.
@@ -548,7 +606,7 @@ struct RunStats {
 /// block and two RNGs), but there is exactly one `Running` per worker, so
 /// boxing it would only add a pointer chase on the hot path.
 #[allow(clippy::large_enum_variant)]
-enum Running {
+pub(crate) enum Running {
     Detailed {
         task: TaskInstanceId,
         /// Producer of the task's instruction stream (procedural or
@@ -571,6 +629,82 @@ enum Running {
         instructions: u64,
         concurrency: u32,
     },
+    /// A detailed task whose execution was already performed (and
+    /// validated) by the parallel detail layer. The worker's heap entry
+    /// forwards itself to `finish_tick` — the exact event tick the task's
+    /// final chunk would have occupied sequentially — and completes there,
+    /// so completion processing order matches the sequential engine.
+    Committed {
+        report: TaskReport,
+        finish_tick: u64,
+    },
+}
+
+/// One bounded time chunk of detailed execution: refills `block` from
+/// `source` as needed and advances `core` until the chunk boundary or the
+/// end of the stream. Returns `true` when the task's stream is exhausted.
+/// Shared verbatim by the sequential component tick and the speculative
+/// parallel executor so both walk identical instruction/chunk sequences.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_detailed_chunk<M: crate::hierarchy::MemPort>(
+    core: &mut RobCore,
+    worker: u32,
+    divider: u64,
+    chunk_cycles: u64,
+    now: u64,
+    source: &mut dyn TraceSource,
+    block: &mut InstBlock,
+    cursor: &mut usize,
+    executed: &mut u64,
+    params: TaskParams,
+    mem: &mut M,
+    data_rng: &mut Xoshiro256pp,
+    code_rng: &mut Xoshiro256pp,
+) -> bool {
+    // Events for this core fire only on multiples of its divider, so the
+    // local-cycle conversion is exact.
+    let t_local = now / divider;
+    let chunk_end = core.dispatch_cycle().max(t_local) + chunk_cycles;
+    let mut finished = false;
+    // Batched consumption: refill the SoA block from the trace source,
+    // then let the core model walk it. The chunk boundary is enforced
+    // inside `execute_block`, so timing is bit-identical to
+    // per-instruction execution for any block capacity.
+    while core.dispatch_cycle() < chunk_end {
+        if *cursor == block.len() {
+            if source.fill(block) == 0 {
+                finished = true;
+                break;
+            }
+            *cursor = 0;
+        }
+        let n =
+            core.execute_block(worker, block, *cursor, chunk_end, params, mem, data_rng, code_rng);
+        *cursor += n;
+        *executed += n as u64;
+    }
+    finished
+}
+
+/// End time of a finished detailed task on the global timeline: the final
+/// commit, floored to one cycle after start, with the noise model's
+/// per-task duration factor applied when present.
+pub(crate) fn detailed_end(
+    core: &RobCore,
+    divider: u64,
+    start: u64,
+    noise: Option<&NoiseModel>,
+    task_seed: u64,
+) -> u64 {
+    let raw_end = (core.last_commit() * divider).max(start + 1);
+    match noise {
+        Some(n) => {
+            let f = n.factor(task_seed);
+            let dur = ((raw_end - start) as f64 * f).round() as u64;
+            start + dur.max(1)
+        }
+        None => raw_end,
+    }
 }
 
 /// One worker core as a schedulable [`Component`].
@@ -580,25 +714,25 @@ enum Running {
 /// the [`EventCtx`]. All fields the engine coordinates through
 /// (`running`, `local_time`, `next_tick`, `spare_block`) are crate-private
 /// plumbing, not part of the component contract.
-struct CoreComponent {
+pub(crate) struct CoreComponent {
     /// Worker id — also the component's [`ComponentId`] and the scheduler
     /// tie-breaker.
-    id: u32,
-    core: RobCore,
+    pub(crate) id: u32,
+    pub(crate) core: RobCore,
     /// Clock divider of the core's group (1 for homogeneous machines).
-    divider: u64,
+    pub(crate) divider: u64,
     /// Index into the machine's `core_groups` (0 for homogeneous).
-    group: u32,
-    chunk_cycles: u64,
+    pub(crate) group: u32,
+    pub(crate) chunk_cycles: u64,
     /// The core's notion of "now" on the global timeline, used when the
     /// next task is assigned.
-    local_time: u64,
-    running: Option<Running>,
+    pub(crate) local_time: u64,
+    pub(crate) running: Option<Running>,
     /// Cleared instruction block recycled across this worker's detailed
     /// tasks.
-    spare_block: Option<InstBlock>,
+    pub(crate) spare_block: Option<InstBlock>,
     /// When this core next needs the event scheduler (`None` while idle).
-    next_tick: Option<u64>,
+    pub(crate) next_tick: Option<u64>,
 }
 
 impl CoreComponent {
@@ -641,51 +775,33 @@ impl Component for CoreComponent {
                 mut executed,
                 concurrency,
             } => {
-                // Events for this core fire only on multiples of its
-                // divider, so the local-cycle conversion is exact.
-                let t_local = ctx.now() / self.divider;
-                let chunk_end = self.core.dispatch_cycle().max(t_local) + self.chunk_cycles;
-                let mut finished = false;
-                // Batched consumption: refill the SoA block from the
-                // trace source, then let the core model walk it. The
-                // chunk boundary is enforced per instruction inside
-                // `execute_block`, so timing is bit-identical to
-                // per-instruction execution for any block capacity.
-                while self.core.dispatch_cycle() < chunk_end {
-                    if cursor == block.len() {
-                        if source.fill(&mut block) == 0 {
-                            finished = true;
-                            break;
-                        }
-                        cursor = 0;
-                    }
-                    let n = self.core.execute_block(
-                        self.id,
-                        &block,
-                        cursor,
-                        chunk_end,
-                        params,
-                        ctx.mem,
-                        &mut data_rng,
-                        &mut code_rng,
-                    );
-                    cursor += n;
-                    executed += n as u64;
-                }
+                let finished = run_detailed_chunk(
+                    &mut self.core,
+                    self.id,
+                    self.divider,
+                    self.chunk_cycles,
+                    ctx.now(),
+                    source.as_mut(),
+                    &mut block,
+                    &mut cursor,
+                    &mut executed,
+                    params,
+                    ctx.mem,
+                    &mut data_rng,
+                    &mut code_rng,
+                );
                 if finished {
                     // Park the block for the worker's next detailed task
                     // (refill allocations are per worker, not per task).
                     block.clear();
                     self.spare_block = Some(block);
-                    let raw_end = (self.core.last_commit() * self.divider).max(start + 1);
-                    let end = match ctx.noise {
-                        Some(n) => {
-                            let f = n.factor(ctx.program.instance(task).trace().seed());
-                            let dur = ((raw_end - start) as f64 * f).round() as u64;
-                            start + dur.max(1)
-                        }
-                        None => raw_end,
-                    };
+                    let end = detailed_end(
+                        &self.core,
+                        self.divider,
+                        start,
+                        ctx.noise,
+                        ctx.program.instance(task).trace().seed(),
+                    );
                     let report = TaskReport {
                         task,
                         type_id: ctx.program.instance(task).type_id(),
@@ -730,6 +846,18 @@ impl Component for CoreComponent {
                 };
                 self.next_tick = None;
                 ctx.complete(report);
+            }
+            Running::Committed { report, finish_tick } => {
+                if ctx.now() < finish_tick {
+                    // The start-of-task event was already in the heap when
+                    // the epoch committed; forward to the completion tick.
+                    self.running = Some(Running::Committed { report, finish_tick });
+                    self.next_tick = Some(finish_tick);
+                } else {
+                    debug_assert_eq!(ctx.now(), finish_tick);
+                    self.next_tick = None;
+                    ctx.complete(report);
+                }
             }
         }
     }
@@ -791,6 +919,31 @@ impl<'p> SimulationBuilder<'p> {
         self
     }
 
+    /// Sets the number of host threads the detailed-mode executor may use
+    /// (default 1 = the plain sequential engine; max 64). Results are
+    /// bit-identical at any value: independent ready detailed tasks are
+    /// executed speculatively on a scoped thread pool, validated against
+    /// the authoritative memory state in deterministic order, and any
+    /// interaction aborts the speculation back to the sequential path
+    /// (pinned by `tests/parallel_determinism.rs`). Honors nothing from
+    /// the environment by itself — callers wanting the
+    /// `TASKPOINT_DETAIL_THREADS` override pass
+    /// [`detail_threads_from_env`].
+    pub fn detail_threads(mut self, n: usize) -> Self {
+        self.detail_threads = n;
+        self
+    }
+
+    /// Sets the instruction floor below which a detailed task is not
+    /// offered to the parallel executor (default
+    /// `PARALLEL_MIN_TASK_INSTRUCTIONS`). Exposed for tests that need
+    /// tiny workloads to engage the parallel path; timing results are
+    /// independent of this value.
+    pub fn parallel_min_task_instructions(mut self, n: u64) -> Self {
+        self.parallel_min_task_instructions = n;
+        self
+    }
+
     /// Sets the instruction-block capacity of the detailed pipeline
     /// (default [`BLOCK_CAPACITY`]). Simulated timing is independent of
     /// this value — it only trades refill overhead against block
@@ -815,6 +968,7 @@ impl<'p> SimulationBuilder<'p> {
     pub fn build(self) -> Simulation<'p> {
         assert!(self.workers >= 1 && self.workers <= 64, "1..=64 workers");
         assert!(self.block_capacity >= 1, "instruction block needs capacity >= 1");
+        assert!(self.detail_threads >= 1 && self.detail_threads <= 64, "1..=64 detail threads");
         self.machine.validate();
         if let Some(total) = self.machine.total_group_cores() {
             assert_eq!(
@@ -834,6 +988,8 @@ impl<'p> SimulationBuilder<'p> {
             traces: self.traces.unwrap_or_else(|| Box::new(ProceduralTraces)),
             block_capacity: self.block_capacity,
             telemetry: self.telemetry,
+            detail_threads: self.detail_threads,
+            parallel_min_task_instructions: self.parallel_min_task_instructions,
         }
     }
 }

@@ -1,0 +1,547 @@
+//! Speculative intra-run parallelism for detailed-mode execution.
+//!
+//! The task-dataflow structure TaskPoint samples is also the structure
+//! that admits safe host-side parallelism: when a scheduling batch hands a
+//! *dependency-closed frontier* of task instances to the workers — no task
+//! mid-flight, nothing left in the ready queue — those executions are
+//! logically independent until the next completion, and their
+//! `RobCore::execute_block` loops can be raced ahead on host threads. The
+//! hard part is the shared memory fabric: caches, the snoop filter and the
+//! bandwidth queues see an interleaving of all cores' accesses, and the
+//! engine's results are pinned bit-identical to the sequential event
+//! order.
+//!
+//! The layer therefore runs **optimistic speculation with replay
+//! validation**:
+//!
+//! 1. **Speculate.** Each detailed task in the wave executes to completion
+//!    on a scoped thread against a *shard*: a snapshot of the shared
+//!    fabric plus its own private cache column
+//!    ([`MemorySystem::fork_for_worker`]). Every shared-fabric operation
+//!    the run performs (lookups after a private miss, prefetch installs,
+//!    snoop reads/writes) is logged with the event tick of its enclosing
+//!    chunk.
+//! 2. **Merge + validate.** The logs are merged in the exact order the
+//!    sequential engine would have performed them — `(event tick, worker
+//!    id)`, the event heap's key — and replayed against a fresh snapshot
+//!    of the authoritative shared state. Any outcome difference (a lookup
+//!    hitting a different level or paying a different queue delay, a write
+//!    finding different remote sharers) means the speculations interacted;
+//!    the epoch **aborts** and the engine simply executes the wave
+//!    sequentially — nothing authoritative was touched. A replayed
+//!    invalidation hitting another wave worker's private column aborts for
+//!    the same reason: that worker's speculation never saw it.
+//! 3. **Commit.** If every operation replays identically and no completion
+//!    could have scheduled a successor before the wave's final event (see
+//!    [`Engine::maybe_parallel_epoch`]), the replayed shared state, the
+//!    workers' private columns and the per-task reports are adopted, and
+//!    each worker's pending start event forwards itself to the task's
+//!    recorded finish tick ([`Running::Committed`]) — completions then
+//!    flow through the normal event loop in exactly the sequential order.
+//!
+//! Abort is always correct and commit is validated, so `SimResult`s are
+//! bit-identical to the sequential engine at any thread count (pinned by
+//! `tests/parallel_determinism.rs` and `tests/block_equivalence.rs`).
+//! Configurations whose results are dominated by fine-grained contention
+//! (a single slow DRAM channel, starved MSHR pools) would abort nearly
+//! every epoch, so they are statically ineligible and never pay the
+//! speculation cost ([`machine_parallel_eligible`]).
+
+use std::collections::HashMap;
+
+use taskpoint_runtime::{TaskInstanceId, TaskTypeId, WorkerId};
+use taskpoint_stats::rng::Xoshiro256pp;
+use taskpoint_telemetry::Sink;
+use taskpoint_trace::{InstBlock, TraceSource};
+
+use crate::config::MachineConfig;
+use crate::core_model::{RobCore, TaskParams};
+use crate::engine::{detailed_end, run_detailed_chunk, CoreComponent, Engine, Running};
+use crate::hierarchy::{AccessRecorder, MemAccessResult, MemPort, MemorySystem};
+use crate::noise::NoiseModel;
+use crate::report::{SimMode, TaskReport};
+
+/// A burst-mode wave member: `(task, end tick, worker)`. Bursts carry no
+/// speculative state — only the completion event the schedule check needs.
+type BurstMember = (TaskInstanceId, u64, u32);
+
+/// Consecutive aborted epochs after which speculation is disabled for the
+/// rest of the run: the workload is evidently interaction-heavy and the
+/// wasted speculative work would slow the simulation down.
+const ABORT_STREAK_LIMIT: u32 = 3;
+
+/// Configuration and accounting of the parallel detail layer, owned by the
+/// engine.
+#[derive(Debug)]
+pub(crate) struct ParallelState {
+    /// Host threads the detailed executor may use (1 = sequential only).
+    pub(crate) threads: usize,
+    /// Instruction floor below which a task is not worth speculating.
+    pub(crate) min_task_instructions: u64,
+    /// Static machine eligibility (see [`machine_parallel_eligible`]).
+    pub(crate) machine_eligible: bool,
+    /// Tripped by [`ABORT_STREAK_LIMIT`] consecutive aborts.
+    pub(crate) disabled: bool,
+    pub(crate) abort_streak: u32,
+    pub(crate) epochs_committed: u64,
+    pub(crate) epochs_aborted: u64,
+}
+
+impl ParallelState {
+    pub(crate) fn new(threads: usize, min_task_instructions: u64, machine: &MachineConfig) -> Self {
+        Self {
+            threads,
+            min_task_instructions,
+            machine_eligible: threads > 1 && machine_parallel_eligible(machine),
+            disabled: false,
+            abort_streak: 0,
+            epochs_committed: 0,
+            epochs_aborted: 0,
+        }
+    }
+}
+
+/// The fallback rule of the issue: configurations whose timing is
+/// dominated by fine-grained shared-resource contention must keep the
+/// exact sequential interleaving. Replay validation would preserve
+/// correctness anyway (such epochs abort), but attempting them wastes the
+/// full speculative execution each time, so they are ruled out statically:
+///
+/// * a single DRAM channel with a long service time concentrates every
+///   miss on one heavily-loaded queue, making queue-delay outcomes depend
+///   on precise arrival interleaving;
+/// * starved MSHR pools (≤ 2) serialize cores on their own misses and
+///   amplify any timing perturbation.
+pub(crate) fn machine_parallel_eligible(m: &MachineConfig) -> bool {
+    let dram_pressure = m.memory.channels == 1 && m.memory.service_cycles >= 8;
+    let min_mshrs = std::iter::once(&m.core)
+        .chain(m.core_groups.iter().filter_map(|g| g.core.as_ref()))
+        .map(|c| c.mshrs)
+        .min()
+        .unwrap_or(0);
+    !(dram_pressure || min_mshrs <= 2)
+}
+
+/// One shared-fabric operation recorded during speculation.
+#[derive(Debug, Clone, Copy)]
+enum SharedOp {
+    /// A shared-level/DRAM lookup after all private levels missed, with
+    /// the speculative outcome to validate against.
+    Lookup { line: u64, now: u64, hit_level: u8, queue_delay: u64 },
+    /// A prefetch installed `line` into the last shared level.
+    Install { line: u64 },
+    /// A read registered `line` in the snoop filter.
+    SnoopRead { line: u64 },
+    /// A write claimed exclusivity of `line`; `had_others` fed the
+    /// speculative latency.
+    SnoopWrite { line: u64, had_others: bool },
+}
+
+/// A [`SharedOp`] tagged with the event tick of the chunk that performed
+/// it — the first half of the sequential engine's `(tick, worker)` event
+/// order.
+#[derive(Debug, Clone, Copy)]
+struct TaggedOp {
+    tick: u64,
+    op: SharedOp,
+}
+
+/// [`AccessRecorder`] that appends to a speculation log.
+struct OpRecorder<'a> {
+    tick: u64,
+    ops: &'a mut Vec<TaggedOp>,
+}
+
+impl AccessRecorder for OpRecorder<'_> {
+    fn lookup(&mut self, line: u64, now: u64, hit_level: u8, queue_delay: u64) {
+        self.ops.push(TaggedOp {
+            tick: self.tick,
+            op: SharedOp::Lookup { line, now, hit_level, queue_delay },
+        });
+    }
+
+    fn install(&mut self, line: u64) {
+        self.ops.push(TaggedOp { tick: self.tick, op: SharedOp::Install { line } });
+    }
+
+    fn snoop_read(&mut self, line: u64) {
+        self.ops.push(TaggedOp { tick: self.tick, op: SharedOp::SnoopRead { line } });
+    }
+
+    fn snoop_write(&mut self, line: u64, had_others: bool) {
+        self.ops.push(TaggedOp { tick: self.tick, op: SharedOp::SnoopWrite { line, had_others } });
+    }
+}
+
+/// Memory port of a speculative execution: forwards to the shard while
+/// logging every shared-fabric operation under the current chunk's event
+/// tick.
+struct RecordingMem<'a> {
+    mem: &'a mut MemorySystem,
+    tick: u64,
+    ops: &'a mut Vec<TaggedOp>,
+}
+
+impl MemPort for RecordingMem<'_> {
+    fn access(&mut self, core: u32, addr: u64, write: bool, now: u64) -> MemAccessResult {
+        let mut rec = OpRecorder { tick: self.tick, ops: self.ops };
+        self.mem.access_impl(core, addr, write, now, &mut rec)
+    }
+}
+
+/// Everything one speculative task execution needs, moved onto its host
+/// thread. All pieces are snapshots or fresh constructions — nothing
+/// aliases engine state.
+struct WaveUnit {
+    worker: u32,
+    task: TaskInstanceId,
+    type_id: TaskTypeId,
+    start: u64,
+    /// The already-scheduled first event tick (`local_start · divider`).
+    first_tick: u64,
+    divider: u64,
+    chunk_cycles: u64,
+    concurrency: u32,
+    params: TaskParams,
+    task_seed: u64,
+    noise: Option<NoiseModel>,
+    source: Box<dyn TraceSource + Send>,
+    core: RobCore,
+    mem: MemorySystem,
+    data_rng: Xoshiro256pp,
+    code_rng: Xoshiro256pp,
+    block_capacity: usize,
+}
+
+/// Result of one speculative task execution.
+struct SpecOutcome {
+    worker: u32,
+    report: TaskReport,
+    /// Event tick of the final chunk — where the sequential engine's
+    /// completion event for this task would fire.
+    finish_tick: u64,
+    ops: Vec<TaggedOp>,
+    mem: MemorySystem,
+}
+
+/// Executes one wave task to completion against its shard, mirroring the
+/// sequential component's chunk loop exactly (same chunk boundaries, same
+/// refills, same RNG draws).
+fn speculate_one(mut unit: WaveUnit) -> SpecOutcome {
+    let mut block = InstBlock::with_capacity(unit.block_capacity);
+    let mut cursor = 0usize;
+    let mut executed = 0u64;
+    let mut ops = Vec::new();
+    let mut data_rng = unit.data_rng.clone();
+    let mut code_rng = unit.code_rng.clone();
+    let mut now = unit.first_tick;
+    loop {
+        let mut port = RecordingMem { mem: &mut unit.mem, tick: now, ops: &mut ops };
+        let finished = run_detailed_chunk(
+            &mut unit.core,
+            unit.worker,
+            unit.divider,
+            unit.chunk_cycles,
+            now,
+            unit.source.as_mut(),
+            &mut block,
+            &mut cursor,
+            &mut executed,
+            unit.params,
+            &mut port,
+            &mut data_rng,
+            &mut code_rng,
+        );
+        if finished {
+            break;
+        }
+        now = unit.core.dispatch_cycle() * unit.divider;
+    }
+    let end =
+        detailed_end(&unit.core, unit.divider, unit.start, unit.noise.as_ref(), unit.task_seed);
+    let report = TaskReport {
+        task: unit.task,
+        type_id: unit.type_id,
+        worker: WorkerId(unit.worker),
+        start: unit.start,
+        end,
+        instructions: executed,
+        mode: SimMode::Detailed,
+        concurrency: unit.concurrency,
+    };
+    SpecOutcome { worker: unit.worker, report, finish_tick: now, ops, mem: unit.mem }
+}
+
+impl<S: Sink> Engine<'_, S> {
+    /// Attempts one speculative epoch over the freshly assigned wave.
+    ///
+    /// The caller (`assign_ready_tasks`) has established the epoch shape:
+    /// no task was mid-flight before this batch, at least two are running
+    /// now, and the ready queue is drained. This method applies the
+    /// remaining gates, speculates, validates and either commits or walks
+    /// away — on any abort the engine state is exactly as if the attempt
+    /// never happened, and the wave executes sequentially.
+    pub(crate) fn maybe_parallel_epoch(&mut self) {
+        if self.parallel.threads <= 1
+            || self.parallel.disabled
+            || !self.parallel.machine_eligible
+            // Telemetry streams are pinned byte-identical to sequential
+            // execution, including per-event counters; the committed fast
+            // path skips those events, so recording runs stay sequential.
+            || self.sink.enabled()
+        {
+            return;
+        }
+        let Some((units, bursts)) = self.collect_wave() else { return };
+        let wave_mask: u64 = units.iter().map(|u| 1u64 << u.worker).fold(0, |a, b| a | b);
+
+        // Speculate: contiguous batches over up to `threads` host threads.
+        // Outcome order is the unit (worker id) order regardless of thread
+        // count or finish order, so everything downstream is
+        // deterministic.
+        let nthreads = self.parallel.threads.min(units.len());
+        let batch_len = units.len().div_ceil(nthreads);
+        let outcomes: Vec<SpecOutcome> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            let mut rest = units;
+            while !rest.is_empty() {
+                let take = batch_len.min(rest.len());
+                let batch: Vec<WaveUnit> = rest.drain(..take).collect();
+                handles.push(
+                    s.spawn(move || batch.into_iter().map(speculate_one).collect::<Vec<_>>()),
+                );
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("speculative detail worker panicked"))
+                .collect()
+        });
+
+        if !self.wave_completion_order_is_safe(&outcomes, &bursts) {
+            self.abort_epoch();
+            return;
+        }
+        let Some((fork, invalidations)) = self.replay_and_validate(&outcomes, wave_mask) else {
+            self.abort_epoch();
+            return;
+        };
+        self.commit_epoch(outcomes, fork, invalidations);
+    }
+
+    /// Gathers the wave: one [`WaveUnit`] per freshly assigned detailed
+    /// task plus the `(task, end, worker)` triples of burst members.
+    /// Returns `None` when the wave is not worth (or not able to be)
+    /// speculated — too few detailed tasks, one below the instruction
+    /// floor, or a trace provider without `Send` sources.
+    fn collect_wave(&self) -> Option<(Vec<WaveUnit>, Vec<BurstMember>)> {
+        let mut units = Vec::new();
+        let mut bursts = Vec::new();
+        for comp in &self.components {
+            match &comp.running {
+                Some(Running::Detailed {
+                    task,
+                    params,
+                    start,
+                    concurrency,
+                    data_rng,
+                    code_rng,
+                    ..
+                }) => {
+                    let inst = self.program.instance(*task);
+                    if inst.instructions() < self.parallel.min_task_instructions {
+                        return None;
+                    }
+                    let source = self.traces.source_send(*task, inst.trace())?;
+                    units.push(WaveUnit {
+                        worker: comp.id,
+                        task: *task,
+                        type_id: inst.type_id(),
+                        start: *start,
+                        first_tick: comp.next_tick?,
+                        divider: comp.divider,
+                        chunk_cycles: comp.chunk_cycles,
+                        concurrency: *concurrency,
+                        params: *params,
+                        task_seed: inst.trace().seed(),
+                        noise: self.noise,
+                        source,
+                        core: comp.core.clone(),
+                        mem: self.mem.fork_for_worker(comp.id),
+                        data_rng: data_rng.clone(),
+                        code_rng: code_rng.clone(),
+                        block_capacity: self.block_capacity,
+                    });
+                }
+                Some(Running::Burst { task, end, .. }) => bursts.push((*task, *end, comp.id)),
+                // `prev_running == 0` rules out leftovers from an earlier
+                // epoch; be conservative if it ever changes.
+                Some(Running::Committed { .. }) => return None,
+                None => {}
+            }
+        }
+        // One detailed task would just be sequential execution with
+        // logging overhead.
+        if units.len() < 2 {
+            return None;
+        }
+        Some((units, bursts))
+    }
+
+    /// Checks that committing cannot reorder downstream scheduling: every
+    /// task whose dependencies resolve *within* this wave must become
+    /// ready at the wave's final completion event. If one were enabled
+    /// earlier, the sequential engine would start it while other wave
+    /// members are still executing chunks — interleavings the speculation
+    /// never saw.
+    fn wave_completion_order_is_safe(
+        &self,
+        outcomes: &[SpecOutcome],
+        bursts: &[BurstMember],
+    ) -> bool {
+        // Completion event of each wave task, keyed by task id.
+        let mut events: HashMap<u64, (u64, u32)> = HashMap::new();
+        for o in outcomes {
+            events.insert(o.report.task.0, (o.finish_tick, o.worker));
+        }
+        for &(task, end, worker) in bursts {
+            events.insert(task.0, (end, worker));
+        }
+        let last_event = events.values().copied().max().expect("wave is non-empty");
+        let graph = self.program.graph();
+        for &task_id in events.keys() {
+            for &succ in graph.successors(TaskInstanceId(task_id)) {
+                let mut enabling: Option<(u64, u32)> = None;
+                let mut covered = true;
+                for &pred in graph.predecessors(succ) {
+                    if let Some(&ev) = events.get(&pred.0) {
+                        enabling = Some(enabling.map_or(ev, |e| e.max(ev)));
+                    } else if !self.completed[pred.index()] {
+                        covered = false;
+                        break;
+                    }
+                }
+                if covered && enabling.expect("succ has a wave pred") != last_event {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Merges the speculation logs in sequential event order — `(chunk
+    /// event tick, worker id)`, the event heap's key — and replays them
+    /// against a fresh snapshot of the authoritative shared fabric.
+    /// Returns the replayed fork (the true post-wave shared state) and the
+    /// deferred non-wave victim invalidations, or `None` when any outcome
+    /// diverges from the speculation.
+    fn replay_and_validate(
+        &self,
+        outcomes: &[SpecOutcome],
+        wave_mask: u64,
+    ) -> Option<(MemorySystem, Vec<(u32, u64)>)> {
+        let mut fork = self.mem.fork_shared();
+        let mut invalidations: Vec<(u32, u64)> = Vec::new();
+        let mut idx = vec![0usize; outcomes.len()];
+        loop {
+            // K-way pick: smallest (tick, worker) among the streams' heads
+            // (each stream is tick-sorted by construction).
+            let mut best: Option<(u64, u32, usize)> = None;
+            for (k, o) in outcomes.iter().enumerate() {
+                if idx[k] < o.ops.len() {
+                    let key = (o.ops[idx[k]].tick, o.worker, k);
+                    if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
+                        best = Some(key);
+                    }
+                }
+            }
+            let Some((_, _, k)) = best else { break };
+            let o = &outcomes[k];
+            let op = o.ops[idx[k]];
+            idx[k] += 1;
+            match op.op {
+                SharedOp::Lookup { line, now, hit_level, queue_delay } => {
+                    // The speculative outcome fed the core's timing; the
+                    // authoritative interleaving must agree exactly.
+                    if fork.replay_lookup(line, now) != (hit_level, queue_delay) {
+                        return None;
+                    }
+                }
+                SharedOp::Install { line } => fork.replay_install(line, o.worker),
+                SharedOp::SnoopRead { line } => fork.replay_snoop_read(line, o.worker),
+                SharedOp::SnoopWrite { line, had_others } => {
+                    let others = fork.replay_snoop_write(line, o.worker);
+                    if (others != 0) != had_others {
+                        return None;
+                    }
+                    // An invalidation into another wave worker's column is
+                    // state that worker's speculation never observed.
+                    if others & wave_mask != 0 {
+                        return None;
+                    }
+                    for victim in BitIter(others) {
+                        invalidations.push((victim, line));
+                    }
+                }
+            }
+        }
+        Some((fork, invalidations))
+    }
+
+    /// Adopts a validated epoch: the replayed shared fabric, each wave
+    /// worker's private column and prefetcher state, the deferred
+    /// invalidations into non-wave columns (in replay order), and a
+    /// [`Running::Committed`] completion per wave worker.
+    fn commit_epoch(
+        &mut self,
+        outcomes: Vec<SpecOutcome>,
+        fork: MemorySystem,
+        invalidations: Vec<(u32, u64)>,
+    ) {
+        self.mem.adopt_shared(fork);
+        for mut o in outcomes {
+            self.mem.adopt_worker_state(o.worker, &mut o.mem);
+            let comp: &mut CoreComponent = &mut self.components[o.worker as usize];
+            let prev = comp
+                .running
+                .replace(Running::Committed { report: o.report, finish_tick: o.finish_tick });
+            // Reclaim the sequential path's refill block for the worker's
+            // next detailed task — it was never filled (the wave committed
+            // before the start event ticked), but dropping it here would
+            // leak an allocation per committed task.
+            if let Some(Running::Detailed { mut block, .. }) = prev {
+                block.clear();
+                comp.spare_block = Some(block);
+            }
+        }
+        for (victim, line) in invalidations {
+            self.mem.invalidate_private(victim, line);
+        }
+        self.parallel.abort_streak = 0;
+        self.parallel.epochs_committed += 1;
+    }
+
+    fn abort_epoch(&mut self) {
+        self.parallel.epochs_aborted += 1;
+        self.parallel.abort_streak += 1;
+        if self.parallel.abort_streak >= ABORT_STREAK_LIMIT {
+            self.parallel.disabled = true;
+        }
+    }
+}
+
+/// Iterator over set bits of a u64 (ascending worker ids).
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            let b = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(b)
+        }
+    }
+}

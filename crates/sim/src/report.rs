@@ -92,6 +92,24 @@ impl GroupStats {
     }
 }
 
+/// Host-side accounting of the intra-run parallel detail layer
+/// ([`SimulationBuilder::detail_threads`](crate::SimulationBuilder::detail_threads)).
+///
+/// Like [`SimResult::wall_seconds`], this describes how the simulation was
+/// *executed*, not what it computed: all simulated quantities are
+/// bit-identical at any thread count, while these counters legitimately
+/// vary (always zero at `detail_threads = 1`). Identity comparisons must
+/// exclude it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelEpochs {
+    /// Speculative scheduling epochs whose results validated and were
+    /// committed into the event engine.
+    pub committed: u64,
+    /// Speculative epochs discarded by replay validation (the engine
+    /// re-ran them sequentially; results are unaffected).
+    pub aborted: u64,
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
@@ -125,6 +143,9 @@ pub struct SimResult {
     /// Per-core-group statistics, in the machine's group order. Empty for
     /// homogeneous machines.
     pub groups: Vec<GroupStats>,
+    /// Parallel detail-layer accounting (host-side execution metadata,
+    /// excluded from result-identity comparisons like `wall_seconds`).
+    pub parallel_epochs: ParallelEpochs,
 }
 
 impl SimResult {
@@ -197,6 +218,7 @@ mod tests {
             shared_cache: vec![],
             workers: 1,
             groups: vec![],
+            parallel_epochs: ParallelEpochs::default(),
         };
         assert!((res.detail_fraction() - 0.3).abs() < 1e-12);
         assert_eq!(res.total_instructions(), 100);

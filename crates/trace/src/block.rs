@@ -23,6 +23,7 @@
 //! see [`TraceIter`](crate::TraceIter)), and `RecordedTrace` replays
 //! whatever was encoded, byte for byte.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::encode::DecodeError;
@@ -38,6 +39,16 @@ use taskpoint_stats::rng::Xoshiro256pp;
 /// three parallel arrays (~2.5 KiB) stays L1-resident while the core model
 /// walks it.
 pub const BLOCK_CAPACITY: usize = 256;
+
+/// Process-wide count of [`InstBlock`] constructions.
+///
+/// Blocks sit on the simulator's detailed hot path; allocating one per
+/// task (instead of recycling per worker) costs three heap allocations per
+/// task boundary. This counter lets allocation-discipline tests assert the
+/// engine's recycling actually holds — it is a plain relaxed counter, so
+/// its overhead is a single uncontended atomic increment per *block*, not
+/// per instruction.
+static BLOCKS_ALLOCATED: AtomicU64 = AtomicU64::new(0);
 
 /// A fixed-capacity batch of trace instructions in structure-of-arrays
 /// layout.
@@ -69,12 +80,21 @@ impl InstBlock {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity >= 1, "instruction block needs capacity >= 1");
+        BLOCKS_ALLOCATED.fetch_add(1, Ordering::Relaxed);
         Self {
             kinds: Vec::with_capacity(capacity),
             addrs: Vec::with_capacity(capacity),
             sizes: Vec::with_capacity(capacity),
             capacity,
         }
+    }
+
+    /// Total number of `InstBlock`s constructed by this process so far
+    /// (monotonic; never reset). Subtract two readings to count the
+    /// blocks a region of code allocated — see the engine's
+    /// block-recycling tests.
+    pub fn blocks_allocated() -> u64 {
+        BLOCKS_ALLOCATED.load(Ordering::Relaxed)
     }
 
     /// Number of instructions currently in the block.
