@@ -1,0 +1,199 @@
+//! Neyman allocation of a detailed-sampling budget across strata.
+//!
+//! Two-phase stratified sampling (Ekman's *CPU Simulation Using Two-Phase
+//! Stratified Sampling*) spends a cheap pilot per stratum to estimate its
+//! variance, then allocates the remaining budget proportional to
+//! `N_h · S_h` — stratum size times pilot standard deviation — which
+//! minimizes the variance of the stratified mean at a fixed total budget.
+//! This module is the pure integer allocator: it turns the real-valued
+//! Neyman shares into exact integer sample counts.
+//!
+//! The rounding scheme is largest-remainder with a deterministic
+//! `(remainder desc, index asc)` tiebreak. With a fixed budget and a
+//! single stratum's weight increasing, largest remainder is monotone in
+//! that stratum's allocation (the population paradox needs two weights
+//! moving in opposite directions), which is the invariant the workspace
+//! property suite pins.
+
+/// One stratum as seen by the allocator: its population size and the
+/// pilot estimate of its standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stratum {
+    /// `N_h`: number of instances in the stratum.
+    pub size: u64,
+    /// `S_h`: pilot sample standard deviation of the stratum's IPC.
+    /// Non-finite or negative values are treated as zero weight.
+    pub std_dev: f64,
+}
+
+impl Stratum {
+    /// The Neyman weight `N_h · S_h` (zero when the stddev is unusable).
+    fn weight(&self) -> f64 {
+        if self.std_dev.is_finite() && self.std_dev > 0.0 {
+            self.size as f64 * self.std_dev
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Distributes `budget` detailed samples across `strata` proportional to
+/// `size · std_dev`, with every stratum guaranteed at least `floor`
+/// samples.
+///
+/// Invariants (pinned by `tests/stratified_properties.rs`):
+///
+/// * when at least one stratum has positive weight and
+///   `budget >= floor · k`, the allocations sum to **exactly** `budget`;
+/// * zero-weight strata (zero, non-finite or negative stddev, or zero
+///   size) receive **exactly** `floor`;
+/// * raising one stratum's stddev at fixed size (others unchanged) never
+///   decreases that stratum's allocation;
+/// * when every stratum has zero weight the extra budget is left unspent
+///   (every stratum gets exactly `floor`) — there is no variance signal
+///   to follow;
+/// * when `budget < floor · k` the floors themselves are handed out in
+///   index order until the budget runs dry (never exceeding `budget`).
+pub fn neyman_allocate(budget: u64, strata: &[Stratum], floor: u64) -> Vec<u64> {
+    let k = strata.len() as u64;
+    if k == 0 {
+        return Vec::new();
+    }
+    // Not enough budget for the floors: index order, budget-exact.
+    if floor > 0 && budget < floor.saturating_mul(k) {
+        let mut left = budget;
+        return strata
+            .iter()
+            .map(|_| {
+                let take = floor.min(left);
+                left -= take;
+                take
+            })
+            .collect();
+    }
+    let mut alloc = vec![floor; strata.len()];
+    let remaining = budget - floor * k;
+    let total_weight: f64 = strata.iter().map(Stratum::weight).sum();
+    if remaining == 0 || total_weight <= 0.0 {
+        return alloc;
+    }
+    // Largest-remainder rounding of the exact Neyman shares.
+    let mut handed = 0u64;
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(strata.len());
+    for (i, s) in strata.iter().enumerate() {
+        let exact = remaining as f64 * (s.weight() / total_weight);
+        let base = exact.floor() as u64;
+        alloc[i] += base;
+        handed += base;
+        remainders.push((i, exact - base as f64));
+    }
+    // Floating-point drift can only leave `handed` at or barely past
+    // `remaining`; claw back from the largest bases if it overshot.
+    while handed > remaining {
+        let (i, _) = alloc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .expect("non-empty strata");
+        alloc[i] -= 1;
+        handed -= 1;
+    }
+    remainders.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    let mut leftover = remaining - handed;
+    for &(i, w) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        // Zero-weight strata stay at exactly the floor even during the
+        // leftover pass.
+        if strata[i].weight() > 0.0 || w > 0.0 {
+            alloc[i] += 1;
+            leftover -= 1;
+        }
+    }
+    // If every remainder-eligible stratum was exhausted (cannot happen
+    // with a positive total weight, but be exact): hand the rest to the
+    // heaviest stratum.
+    if leftover > 0 {
+        let (i, _) = strata
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.weight().partial_cmp(&b.1.weight()).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty strata");
+        alloc[i] += leftover;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(size: u64, std_dev: f64) -> Stratum {
+        Stratum { size, std_dev }
+    }
+
+    #[test]
+    fn conserves_the_budget_exactly() {
+        let strata = [s(100, 1.0), s(50, 2.0), s(10, 0.5)];
+        for budget in [0u64, 1, 7, 100, 1000, 12345] {
+            let alloc = neyman_allocate(budget, &strata, 0);
+            assert_eq!(alloc.iter().sum::<u64>(), budget, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn proportional_to_size_times_stddev() {
+        // Weights 100, 200, 100 → shares 1/4, 1/2, 1/4 of 400.
+        let alloc = neyman_allocate(400, &[s(100, 1.0), s(100, 2.0), s(200, 0.5)], 0);
+        assert_eq!(alloc, vec![100, 200, 100]);
+    }
+
+    #[test]
+    fn zero_variance_strata_get_exactly_the_floor() {
+        let alloc = neyman_allocate(100, &[s(100, 0.0), s(100, 1.0), s(100, f64::NAN)], 3);
+        assert_eq!(alloc[0], 3);
+        assert_eq!(alloc[2], 3);
+        assert_eq!(alloc.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn all_zero_weights_leave_the_extra_budget_unspent() {
+        let alloc = neyman_allocate(100, &[s(10, 0.0), s(20, 0.0)], 2);
+        assert_eq!(alloc, vec![2, 2], "no variance signal: floors only");
+    }
+
+    #[test]
+    fn underfunded_floors_are_handed_out_in_index_order() {
+        let alloc = neyman_allocate(5, &[s(10, 1.0), s(10, 1.0), s(10, 1.0)], 2);
+        assert_eq!(alloc, vec![2, 2, 1]);
+        assert_eq!(neyman_allocate(0, &[s(10, 1.0)], 2), vec![0]);
+    }
+
+    #[test]
+    fn rounding_ties_break_by_index() {
+        // Three identical strata, one extra sample: lowest index wins.
+        let alloc = neyman_allocate(1, &[s(10, 1.0), s(10, 1.0), s(10, 1.0)], 0);
+        assert_eq!(alloc, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn monotone_in_stddev_at_fixed_size() {
+        let base = [s(100, 1.0), s(100, 1.5), s(100, 0.7)];
+        let before = neyman_allocate(97, &base, 1);
+        let mut raised = base;
+        raised[2].std_dev = 2.2;
+        let after = neyman_allocate(97, &raised, 1);
+        assert!(after[2] >= before[2], "{after:?} vs {before:?}");
+        assert_eq!(after.iter().sum::<u64>(), 97);
+    }
+
+    #[test]
+    fn empty_strata_yield_empty_allocation() {
+        assert_eq!(neyman_allocate(100, &[], 3), Vec::<u64>::new());
+    }
+}

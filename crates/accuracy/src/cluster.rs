@@ -16,6 +16,15 @@ use std::collections::HashMap;
 
 use taskpoint_runtime::TaskTypeId;
 
+/// The concurrency band of an observed machine concurrency level: the
+/// log₂ bucket of the number of simultaneously running tasks, so a
+/// doubling of parallelism shifts the band — the banded analogue of the
+/// base controller's factor-of-two concurrency-change trigger (paper
+/// Fig. 4a). Concurrency 0 is clamped to 1 (band 0).
+pub fn concurrency_band(concurrency: u32) -> u32 {
+    31 - concurrency.max(1).leading_zeros()
+}
+
 /// Dense remapping of `(type, size-class)` pairs to virtual type ids.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterMap {
@@ -98,5 +107,17 @@ mod tests {
     #[should_panic(expected = "granularity")]
     fn zero_granularity_rejected() {
         ClusterMap::new(0);
+    }
+
+    #[test]
+    fn concurrency_bands_are_log2_buckets() {
+        assert_eq!(concurrency_band(0), 0, "clamped to 1");
+        assert_eq!(concurrency_band(1), 0);
+        assert_eq!(concurrency_band(2), 1);
+        assert_eq!(concurrency_band(3), 1);
+        assert_eq!(concurrency_band(4), 2);
+        assert_eq!(concurrency_band(7), 2);
+        assert_eq!(concurrency_band(8), 3);
+        assert_eq!(concurrency_band(u32::MAX), 31);
     }
 }

@@ -128,6 +128,118 @@ impl AdaptiveConfig {
     }
 }
 
+/// Full configuration of a
+/// [`StratifiedController`](crate::StratifiedController) — the two-phase
+/// pilot + Neyman-allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StratifiedConfig {
+    /// `W`: detailed instances per worker at simulation start whose IPC
+    /// only feeds the fallback (all-samples) moments, exactly as in the
+    /// adaptive controller.
+    pub warmup_instances: u64,
+    /// Pilot phase: detailed instances per `(type, size-class)` stratum
+    /// used to estimate the stratum's IPC variance before allocation.
+    pub pilot_samples: u64,
+    /// Total detailed-sampling budget (post-warmup, pilot included).
+    /// The Neyman allocator distributes `budget − pilot spend`; when the
+    /// pilots consume the whole budget the run degenerates to pilot-only.
+    pub budget: u64,
+    /// Confidence level of the reported per-stratum intervals and of the
+    /// band re-opening test.
+    pub confidence: Confidence,
+    /// Size-class width in powers of two of the stratification
+    /// (see [`ClusterMap::new`](crate::ClusterMap::new)).
+    pub granularity: u32,
+}
+
+impl StratifiedConfig {
+    /// Configuration with the conventional surroundings: `W = 2`, 95%
+    /// confidence, octave size classes.
+    pub fn new(pilot_samples: u64, budget: u64) -> Self {
+        Self {
+            warmup_instances: 2,
+            pilot_samples,
+            budget,
+            confidence: Confidence::C95,
+            granularity: 1,
+        }
+    }
+
+    /// Overrides `W`.
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup_instances = warmup;
+        self
+    }
+
+    /// Overrides the confidence level.
+    pub fn with_confidence(mut self, confidence: Confidence) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Overrides the size-class granularity.
+    pub fn with_granularity(mut self, granularity: u32) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), StratifiedConfigError> {
+        if self.pilot_samples == 0 {
+            return Err(StratifiedConfigError::ZeroPilot);
+        }
+        if self.budget < self.pilot_samples {
+            return Err(StratifiedConfigError::BudgetBelowPilot {
+                pilot_samples: self.pilot_samples,
+                budget: self.budget,
+            });
+        }
+        if self.granularity == 0 {
+            return Err(StratifiedConfigError::ZeroGranularity);
+        }
+        Ok(())
+    }
+}
+
+/// An out-of-range [`StratifiedConfig`] field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StratifiedConfigError {
+    /// `pilot_samples` is zero — no variance estimate could ever exist.
+    ZeroPilot,
+    /// `budget` is smaller than a single stratum's pilot — even a
+    /// one-stratum program could not complete its pilot within budget.
+    BudgetBelowPilot {
+        /// The configured per-stratum pilot.
+        pilot_samples: u64,
+        /// The rejected total budget.
+        budget: u64,
+    },
+    /// `granularity` is zero (rejected by [`ClusterMap`](crate::ClusterMap)).
+    ZeroGranularity,
+}
+
+impl std::fmt::Display for StratifiedConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StratifiedConfigError::ZeroPilot => {
+                write!(f, "stratified pilot_samples must be positive")
+            }
+            StratifiedConfigError::BudgetBelowPilot { pilot_samples, budget } => {
+                write!(
+                    f,
+                    "stratified budget ({budget}) must cover at least one stratum's \
+                     pilot ({pilot_samples})"
+                )
+            }
+            StratifiedConfigError::ZeroGranularity => {
+                write!(f, "stratified granularity must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StratifiedConfigError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +277,36 @@ mod tests {
             Err(AdaptiveParamsError::ZeroMinSamples)
         );
         assert_eq!(AdaptiveParams::new(0.0).validate(), Ok(()), "degenerate target is legal");
+    }
+
+    #[test]
+    fn stratified_defaults_and_builders() {
+        let c = StratifiedConfig::new(4, 64);
+        assert_eq!(c.warmup_instances, 2);
+        assert_eq!(c.pilot_samples, 4);
+        assert_eq!(c.budget, 64);
+        assert_eq!(c.confidence, Confidence::C95);
+        assert_eq!(c.granularity, 1);
+        assert!(c.validate().is_ok());
+        let c = c.with_warmup(0).with_confidence(Confidence::C99).with_granularity(2);
+        assert_eq!(c.warmup_instances, 0);
+        assert_eq!(c.confidence, Confidence::C99);
+        assert_eq!(c.granularity, 2);
+    }
+
+    #[test]
+    fn invalid_stratified_configs_are_typed_errors() {
+        assert_eq!(StratifiedConfig::new(0, 10).validate(), Err(StratifiedConfigError::ZeroPilot));
+        assert_eq!(
+            StratifiedConfig::new(8, 4).validate(),
+            Err(StratifiedConfigError::BudgetBelowPilot { pilot_samples: 8, budget: 4 })
+        );
+        assert_eq!(
+            StratifiedConfig::new(4, 64).with_granularity(0).validate(),
+            Err(StratifiedConfigError::ZeroGranularity)
+        );
+        // Pilot-only (budget == pilot_samples) is the documented
+        // degenerate setting, not an error.
+        assert!(StratifiedConfig::new(8, 8).validate().is_ok());
     }
 }

@@ -24,45 +24,103 @@
 //!
 //! There is no global resampling: a cluster unseen so far is simply a new
 //! unconverged cluster (the per-cluster analogue of the paper's
-//! new-task-type trigger), and convergence is sticky. Samples are pooled
-//! across concurrency levels; re-opening converged clusters on sustained
-//! concurrency shifts is future work recorded in `docs/ARCHITECTURE.md`.
+//! new-task-type trigger). Convergence is sticky **per concurrency
+//! band**: every valid sample also feeds the moments of its log₂
+//! concurrency band ([`concurrency_band`]), and a converged cluster
+//! whose live concurrency shifts into a band that does not meet the CI
+//! target on its own is *re-opened* — once per band — emitting a
+//! [`FidelityAction::ClusterReopened`] event and sampling in detail until
+//! both the pooled and the triggering band's moments satisfy the
+//! stopping rule again. This is the adaptive counterpart of the base
+//! controller's Fig. 4a concurrency-change trigger. Clusters converged
+//! by the rare-cluster cutoff stay closed: their estimate is too thin
+//! for a per-band test to be meaningful.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use taskpoint_runtime::TaskTypeId;
-use taskpoint_stats::StreamingMoments;
+use taskpoint_stats::{Confidence, StreamingMoments};
 use taskpoint_telemetry::{FidelityAction, SimEvent, Sink, Telemetry};
 use tasksim::{ExecMode, ModeController, SimMode, TaskReport, TaskStart};
 
 use crate::ci::{ci_target_met, relative_ci_half_width};
-use crate::cluster::ClusterMap;
-use crate::config::AdaptiveConfig;
+use crate::cluster::{concurrency_band, ClusterMap};
+use crate::config::{AdaptiveConfig, StratifiedConfig};
 
-/// Per-cluster sampling state.
+/// Per-cluster sampling state (shared with the stratified controller).
 #[derive(Debug, Clone, Default)]
-struct ClusterState {
+pub(crate) struct ClusterState {
     /// Post-warmup detailed samples — what the CI is computed over.
-    valid: StreamingMoments,
+    pub(crate) valid: StreamingMoments,
     /// Every detailed sample including warmup — the fallback estimate.
-    all: StreamingMoments,
+    pub(crate) all: StreamingMoments,
+    /// Valid samples split by the log₂ concurrency band observed at
+    /// completion — updated in exact lockstep with `valid`.
+    pub(crate) bands: HashMap<u32, StreamingMoments>,
+    /// Bands that already triggered a re-open (at most one per band).
+    pub(crate) reopened_bands: HashSet<u32>,
+    /// The band whose unmet CI re-opened the cluster; re-convergence
+    /// additionally requires this band's moments to meet the target.
+    pub(crate) pending_band: Option<u32>,
     /// Instances observed starting (any mode).
-    seen: u64,
-    converged: bool,
+    pub(crate) seen: u64,
+    pub(crate) converged: bool,
     /// Converged via the rare-cluster cutoff rather than the CI test.
-    forced: bool,
+    pub(crate) forced: bool,
 }
 
 impl ClusterState {
     /// The fast-forward IPC: mean of the valid moments, else of the
     /// fallback moments, else `None`.
-    fn ipc(&self) -> Option<f64> {
+    pub(crate) fn ipc(&self) -> Option<f64> {
         for m in [&self.valid, &self.all] {
             if !m.is_empty() && m.mean() > 0.0 {
                 return Some(m.mean());
             }
         }
         None
+    }
+
+    /// Records a valid sample at the given concurrency, feeding the
+    /// pooled and the per-band moments in lockstep.
+    pub(crate) fn add_valid(&mut self, ipc: f64, concurrency: u32) {
+        self.valid.add(ipc);
+        self.all.add(ipc);
+        self.bands.entry(concurrency_band(concurrency)).or_default().add(ipc);
+    }
+
+    /// The end-of-run accuracy row of this cluster.
+    pub(crate) fn accuracy(&self, unit: u32, confidence: Confidence) -> ClusterAccuracy {
+        let mut band_ids: Vec<u32> = self.bands.keys().copied().collect();
+        for &b in &self.reopened_bands {
+            if !self.bands.contains_key(&b) {
+                band_ids.push(b);
+            }
+        }
+        band_ids.sort_unstable();
+        let bands = band_ids
+            .iter()
+            .map(|&band| {
+                let m = self.bands.get(&band).copied().unwrap_or_default();
+                BandAccuracy {
+                    band,
+                    samples: m.count(),
+                    mean_ipc: if m.is_empty() { 0.0 } else { m.mean() },
+                    rel_ci: relative_ci_half_width(&m, confidence),
+                    reopened: self.reopened_bands.contains(&band),
+                }
+            })
+            .collect();
+        ClusterAccuracy {
+            unit,
+            samples: self.valid.count(),
+            seen: self.seen,
+            mean_ipc: self.ipc().unwrap_or(0.0),
+            rel_ci: relative_ci_half_width(&self.valid, confidence),
+            converged: self.converged,
+            forced: self.forced,
+            bands,
+        }
     }
 }
 
@@ -77,6 +135,25 @@ pub struct AdaptiveStats {
     pub valid_samples: HashMap<u32, u64>,
     /// Clusters force-converged by the rare-cluster cutoff.
     pub rare_forced: u64,
+    /// Converged clusters re-opened by a concurrency-band shift.
+    pub reopened: u64,
+}
+
+/// End-of-run accuracy of one concurrency band within a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandAccuracy {
+    /// The log₂ concurrency band (see
+    /// [`concurrency_band`]).
+    pub band: u32,
+    /// Valid samples observed at this band.
+    pub samples: u64,
+    /// Streaming mean IPC of the band's samples (0 when empty).
+    pub mean_ipc: f64,
+    /// Relative CI half-width of the band mean at the configured
+    /// confidence; `None` when undefined.
+    pub rel_ci: Option<f64>,
+    /// Whether a shift into this band re-opened the cluster.
+    pub reopened: bool,
 }
 
 /// End-of-run accuracy of one sampling cluster.
@@ -99,6 +176,39 @@ pub struct ClusterAccuracy {
     pub converged: bool,
     /// Whether convergence came from the rare-cluster cutoff.
     pub forced: bool,
+    /// Per-concurrency-band accuracy, sorted by band id. Bands that
+    /// re-opened the cluster appear even when they gathered no sample.
+    pub bands: Vec<BandAccuracy>,
+}
+
+/// The sampling configuration a finished run reports itself under — the
+/// policy-specific half of an [`AccuracyReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyConfig {
+    /// A confidence-driven adaptive run.
+    Adaptive(AdaptiveConfig),
+    /// A two-phase stratified (pilot + Neyman) run.
+    Stratified(StratifiedConfig),
+}
+
+impl PolicyConfig {
+    /// The configured CI target, when the policy has one (adaptive only:
+    /// the stratified policy is budget-driven and has no stopping
+    /// target).
+    pub fn target_ci(&self) -> Option<f64> {
+        match self {
+            PolicyConfig::Adaptive(c) => Some(c.params.target_ci),
+            PolicyConfig::Stratified(_) => None,
+        }
+    }
+
+    /// The confidence level the reported intervals are computed at.
+    pub fn confidence(&self) -> Confidence {
+        match self {
+            PolicyConfig::Adaptive(c) => c.params.confidence,
+            PolicyConfig::Stratified(c) => c.confidence,
+        }
+    }
 }
 
 /// Per-cluster confidence intervals of a finished adaptive run — the
@@ -106,9 +216,13 @@ pub struct ClusterAccuracy {
 #[derive(Debug, Clone)]
 pub struct AccuracyReport {
     /// The configuration the run used.
-    pub config: AdaptiveConfig,
+    pub config: PolicyConfig,
     /// Per-cluster accuracy, sorted by unit id.
     pub clusters: Vec<ClusterAccuracy>,
+    /// Total detailed instances the Neyman allocator handed out after the
+    /// pilot phase (stratified runs that reached allocation; `None` for
+    /// adaptive runs and pilots cut short by the program ending).
+    pub allocated: Option<u64>,
 }
 
 impl AccuracyReport {
@@ -137,6 +251,12 @@ impl AccuracyReport {
         } else {
             Some(cis.iter().sum::<f64>() / cis.len() as f64)
         }
+    }
+
+    /// Total `(cluster, band)` pairs whose concurrency shift re-opened a
+    /// converged cluster.
+    pub fn reopened_bands(&self) -> usize {
+        self.clusters.iter().flat_map(|c| &c.bands).filter(|b| b.reopened).count()
     }
 }
 
@@ -210,18 +330,10 @@ impl AdaptiveController {
         let mut clusters: Vec<ClusterAccuracy> = self
             .clusters
             .iter()
-            .map(|(unit, st)| ClusterAccuracy {
-                unit: unit.0,
-                samples: st.valid.count(),
-                seen: st.seen,
-                mean_ipc: st.ipc().unwrap_or(0.0),
-                rel_ci: relative_ci_half_width(&st.valid, self.config.params.confidence),
-                converged: st.converged,
-                forced: st.forced,
-            })
+            .map(|(unit, st)| st.accuracy(unit.0, self.config.params.confidence))
             .collect();
         clusters.sort_by_key(|c| c.unit);
-        AccuracyReport { config: self.config, clusters }
+        AccuracyReport { config: PolicyConfig::Adaptive(self.config), clusters, allocated: None }
     }
 
     /// Consumes the controller, returning telemetry and the accuracy
@@ -262,6 +374,7 @@ impl AdaptiveController {
             if !st.converged && st.ipc().is_some() {
                 st.converged = true;
                 st.forced = true;
+                st.pending_band = None;
                 self.stats.rare_forced += 1;
                 self.telemetry.event(SimEvent::Fidelity {
                     tick: now,
@@ -302,6 +415,33 @@ impl ModeController for AdaptiveController {
             return ExecMode::Detailed;
         }
         if state.converged {
+            // Concurrency-band re-opening (Fig. 4a analogue): a shift
+            // into a band whose own moments miss the CI target re-opens
+            // the cluster — once per band, never for rare-forced
+            // clusters (their estimate is too thin for per-band tests).
+            if !state.forced {
+                let band = concurrency_band(start.concurrency);
+                let band_met =
+                    state.bands.get(&band).is_some_and(|m| ci_target_met(m, &self.config.params));
+                if !band_met && !state.reopened_bands.contains(&band) {
+                    state.reopened_bands.insert(band);
+                    state.pending_band = Some(band);
+                    state.converged = false;
+                    self.stats.reopened += 1;
+                    let band_ci = state
+                        .bands
+                        .get(&band)
+                        .and_then(|m| relative_ci_half_width(m, self.config.params.confidence));
+                    self.telemetry.event(SimEvent::Fidelity {
+                        tick: start.time,
+                        unit: start.type_id.0,
+                        action: FidelityAction::ClusterReopened,
+                        samples: state.bands.get(&band).map_or(0, StreamingMoments::count),
+                        rel_ci: band_ci,
+                    });
+                    return ExecMode::Detailed;
+                }
+            }
             if let Some(ipc) = state.ipc() {
                 return ExecMode::Fast { ipc };
             }
@@ -353,8 +493,7 @@ impl ModeController for AdaptiveController {
                     self.since_unconverged[w] += 1;
                 } else {
                     if usable {
-                        state.valid.add(ipc);
-                        state.all.add(ipc);
+                        state.add_valid(ipc, report.concurrency);
                         *self.stats.valid_samples.entry(report.type_id.0).or_insert(0) += 1;
                         let rel_ci =
                             relative_ci_half_width(&state.valid, self.config.params.confidence);
@@ -365,8 +504,19 @@ impl ModeController for AdaptiveController {
                             samples: state.valid.count(),
                             rel_ci,
                         });
-                        if ci_target_met(&state.valid, &self.config.params) {
+                        // Re-convergence after a band re-open additionally
+                        // requires the triggering band to meet the target
+                        // on its own samples.
+                        let band_ok = match state.pending_band {
+                            None => true,
+                            Some(b) => state
+                                .bands
+                                .get(&b)
+                                .is_some_and(|m| ci_target_met(m, &self.config.params)),
+                        };
+                        if band_ok && ci_target_met(&state.valid, &self.config.params) {
                             state.converged = true;
+                            state.pending_band = None;
                             self.telemetry.event(SimEvent::Fidelity {
                                 tick: report.end,
                                 unit: report.type_id.0,
@@ -611,6 +761,108 @@ mod tests {
         }
         assert_eq!(ctrl.num_clusters(), 2, "one type, two size classes");
         assert_eq!(ctrl.report().units(), 2);
+    }
+
+    fn start_c(task: u64, type_id: u32, concurrency: u32) -> TaskStart {
+        TaskStart { concurrency, ..start(task, type_id, 0, task * 1000) }
+    }
+
+    fn report_c(
+        task: u64,
+        type_id: u32,
+        cycles: u64,
+        mode: SimMode,
+        concurrency: u32,
+    ) -> TaskReport {
+        TaskReport { concurrency, ..report(task, type_id, cycles, mode) }
+    }
+
+    /// Runs one instance at the given concurrency; returns the decision.
+    fn run_at(ctrl: &mut AdaptiveController, task: u64, cycles: u64, concurrency: u32) -> ExecMode {
+        let mode = ctrl.mode_for_task(&start_c(task, 0, concurrency));
+        let sim_mode = match mode {
+            ExecMode::Detailed => SimMode::Detailed,
+            ExecMode::Fast { .. } => SimMode::Fast,
+        };
+        ctrl.on_task_complete(&report_c(task, 0, cycles, sim_mode, concurrency));
+        mode
+    }
+
+    #[test]
+    fn concurrency_shift_reopens_a_converged_cluster_once_per_band() {
+        let mut ctrl = AdaptiveController::new(AdaptiveConfig::new(0.05));
+        let mut task = 0u64;
+        // Converge at concurrency 1 (band 0): W=2 + floor 4 detailed.
+        for _ in 0..10 {
+            run_at(&mut ctrl, task, 500, 1);
+            task += 1;
+        }
+        assert_eq!(ctrl.stats().reopened, 0);
+        assert!(ctrl.report().clusters[0].converged);
+        // Shift into band 2 (concurrency 4): the empty band misses the
+        // target, so the cluster re-opens and samples in detail.
+        let mode = run_at(&mut ctrl, task, 500, 4);
+        task += 1;
+        assert_eq!(mode, ExecMode::Detailed, "shifted band re-opens the cluster");
+        assert_eq!(ctrl.stats().reopened, 1);
+        // Keep sampling at concurrency 4 until the band re-converges.
+        for _ in 0..10 {
+            run_at(&mut ctrl, task, 500, 4);
+            task += 1;
+        }
+        let rep = ctrl.report();
+        assert!(rep.clusters[0].converged, "band met its target again");
+        assert_eq!(rep.reopened_bands(), 1);
+        let band2 = rep.clusters[0].bands.iter().find(|b| b.band == 2).unwrap();
+        assert!(band2.reopened && band2.samples >= 4);
+        // A second shift into the same band stays fast: one re-open per
+        // band.
+        let mode = run_at(&mut ctrl, task, 500, 4);
+        assert!(matches!(mode, ExecMode::Fast { .. }));
+        assert_eq!(ctrl.stats().reopened, 1);
+    }
+
+    #[test]
+    fn constant_concurrency_never_reopens() {
+        // The triggering band's moments are bit-identical to the pooled
+        // moments at constant concurrency, so convergence is sticky.
+        let mut ctrl = AdaptiveController::new(AdaptiveConfig::new(0.05));
+        for task in 0..200u64 {
+            run_at(&mut ctrl, task, if task % 2 == 0 { 400 } else { 600 }, 3);
+        }
+        assert_eq!(ctrl.stats().reopened, 0);
+        assert_eq!(ctrl.report().reopened_bands(), 0);
+    }
+
+    #[test]
+    fn rare_forced_clusters_stay_closed_across_bands() {
+        let mut ctrl = AdaptiveController::new(AdaptiveConfig::new(0.05));
+        let mut task = 0u64;
+        let mut run = |ctrl: &mut AdaptiveController, ty: u32, concurrency: u32| -> ExecMode {
+            let s = start_c(task, ty, concurrency);
+            let mode = ctrl.mode_for_task(&s);
+            let sim_mode = match mode {
+                ExecMode::Detailed => SimMode::Detailed,
+                ExecMode::Fast { .. } => SimMode::Fast,
+            };
+            ctrl.on_task_complete(&report_c(task, ty, 500, sim_mode, concurrency));
+            task += 1;
+            mode
+        };
+        for _ in 0..3 {
+            run(&mut ctrl, 0, 1);
+        }
+        run(&mut ctrl, 1, 1); // rare type: one sample
+        for _ in 0..20 {
+            run(&mut ctrl, 0, 1);
+        }
+        assert_eq!(ctrl.stats().rare_forced, 1);
+        // The rare cluster at a brand-new concurrency band must not
+        // re-open: its single-sample estimate makes band tests
+        // meaningless.
+        let mode = run(&mut ctrl, 1, 8);
+        assert!(matches!(mode, ExecMode::Fast { .. }));
+        assert_eq!(ctrl.stats().reopened, 0);
     }
 
     #[test]

@@ -17,7 +17,16 @@
 //!   paper's rare-task-type rule — and is fast-forwarded from then on;
 //! * the [`ClusterMap`] that buckets instances into `(task type,
 //!   size-class)` sampling units (shared with the size-clustered
-//!   controller in the sampling core).
+//!   controller in the sampling core), plus the [`concurrency_band`]
+//!   log₂ bucketing that makes convergence concurrency-aware: both
+//!   controllers keep per-band moments and *re-open* a converged cluster
+//!   when the live concurrency shifts into a band whose interval misses
+//!   the target (the adaptive analogue of the paper's Fig. 4a
+//!   concurrency-change trigger);
+//! * the [`StratifiedController`] with its pure Neyman allocator
+//!   ([`neyman_allocate`]): a pilot phase per stratum estimates the
+//!   variance, then the remaining detailed budget is split proportional
+//!   to stratum size × stddev with exact integer conservation.
 //!
 //! Driving the budget from per-stratum variance follows Ekman & Stenström,
 //! *"Enhancing Multiprocessor Architecture Simulation Speed Using
@@ -34,14 +43,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allocate;
 pub mod ci;
 pub mod cluster;
 pub mod config;
 pub mod controller;
+pub mod stratified;
 
+pub use allocate::{neyman_allocate, Stratum};
 pub use ci::{ci_target_met, relative_ci_half_width};
-pub use cluster::ClusterMap;
-pub use config::{AdaptiveConfig, AdaptiveParams, AdaptiveParamsError};
-pub use controller::{
-    AccuracyReport, AdaptiveController, AdaptiveStats, ClusterAccuracy, ClusteredAdaptiveController,
+pub use cluster::{concurrency_band, ClusterMap};
+pub use config::{
+    AdaptiveConfig, AdaptiveParams, AdaptiveParamsError, StratifiedConfig, StratifiedConfigError,
 };
+pub use controller::{
+    AccuracyReport, AdaptiveController, AdaptiveStats, BandAccuracy, ClusterAccuracy,
+    ClusteredAdaptiveController, PolicyConfig,
+};
+pub use stratified::StratifiedController;

@@ -165,10 +165,12 @@ pub fn sensitivity_sweep(h: &Harness, part: SweepPart) -> Table {
 
 /// Runs the adaptive accuracy frontier: for every workload of the
 /// `adaptive` sweep, a reference row plus lazy / periodic / three
-/// confidence-driven cells. Reading down a workload's rows traces the
-/// error/speedup frontier — tighter CI targets spend more detailed
-/// instances and buy certified per-cluster confidence, recorded in the
-/// `ci max` and `converged` columns.
+/// confidence-driven cells / two budget-driven stratified cells. Reading
+/// down a workload's rows traces the error/speedup frontier — tighter CI
+/// targets (or larger Neyman budgets) spend more detailed instances and
+/// buy certified per-cluster confidence, recorded in the `ci max` and
+/// `converged` columns; the stratified rows put the two-phase allocator
+/// head to head against the adaptive dial at matched detail spend.
 pub fn adaptive_frontier(h: &Harness) -> Table {
     let specs = taskpoint_campaign::adaptive_specs(*h.scale());
     let report = h.run(&specs);
@@ -184,7 +186,10 @@ pub fn adaptive_frontier(h: &Harness) -> Table {
         "converged",
     ]);
     let dash = || "-".to_string();
-    let per_workload = 3 + taskpoint_campaign::ADAPTIVE_TARGETS.len();
+    let per_workload = 3
+        + taskpoint_campaign::ADAPTIVE_TARGETS.len()
+        + taskpoint_campaign::STRATIFIED_BUDGETS.len();
+    let adaptive_rows = taskpoint_campaign::ADAPTIVE_TARGETS.len();
     for ((bench, _), chunk) in taskpoint_campaign::adaptive_workloads()
         .into_iter()
         .zip(report.outcomes.chunks(per_workload))
@@ -205,9 +210,13 @@ pub fn adaptive_frontier(h: &Harness) -> Table {
             let policy = match i {
                 0 => "lazy".to_string(),
                 1 => "periodic".to_string(),
-                _ => {
+                _ if i - 2 < adaptive_rows => {
                     let target = taskpoint_campaign::ADAPTIVE_TARGETS[i - 2];
                     format!("adaptive ±{:.0}%@95", 100.0 * target)
+                }
+                _ => {
+                    let budget = taskpoint_campaign::STRATIFIED_BUDGETS[i - 2 - adaptive_rows];
+                    format!("stratified {}p/{budget}b", taskpoint_campaign::STRATIFIED_PILOT)
                 }
             };
             table.row([

@@ -15,7 +15,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use taskpoint::{
     run_adaptive_observed, run_clustered_adaptive_observed, run_clustered_observed,
-    run_reference_observed, run_sampled_observed, AccuracyReport, ExperimentOutcome, ResampleCause,
+    run_reference_observed, run_sampled_observed, run_stratified_observed, AccuracyReport,
+    ExperimentOutcome, PolicyConfig, ResampleCause,
 };
 use taskpoint_runtime::Program;
 use taskpoint_stats::{normalize_by_group, BoxplotStats};
@@ -318,10 +319,21 @@ impl Context {
                 let reference = self
                     .reference_entry(store, &spec.reference_spec().expect("sampled has reference"));
                 // Adaptive-policy cells run the confidence-driven
-                // controller and keep its per-cluster CI report for the
-                // record's accuracy fields.
+                // controller, stratified cells the two-phase Neyman
+                // controller; both keep the per-cluster accuracy report
+                // for the record's CI and allocation fields.
                 let (sampled, stats, accuracy) = if config.policy.is_adaptive() {
                     let (sampled, stats, accuracy) = run_adaptive_observed(
+                        &program,
+                        spec.machine.clone(),
+                        spec.workers,
+                        *config,
+                        self.provider(spec.bench),
+                        telemetry.clone(),
+                    );
+                    (sampled, stats, Some(accuracy))
+                } else if config.policy.is_stratified() {
+                    let (sampled, stats, accuracy) = run_stratified_observed(
                         &program,
                         spec.machine.clone(),
                         spec.workers,
@@ -473,6 +485,12 @@ impl Context {
         clusters: Option<u64>,
         accuracy: Option<&AccuracyReport>,
     ) -> StoredCell {
+        // Stratified cells persist the configured pilot/budget alongside
+        // the realized allocation; everything else omits the keys.
+        let strat = accuracy.and_then(|a| match &a.config {
+            PolicyConfig::Stratified(c) => Some(*c),
+            _ => None,
+        });
         StoredCell {
             record: CellRecord {
                 cell: hash.to_string(),
@@ -481,7 +499,7 @@ impl Context {
                 workers: spec.workers,
                 scale: spec.scale,
                 kind: spec.kind.tag().to_string(),
-                metrics: CellMetrics::Eval(EvalMetrics {
+                metrics: CellMetrics::Eval(Box::new(EvalMetrics {
                     error_percent: outcome.error_percent,
                     predicted_cycles: outcome.predicted_cycles,
                     reference_cycles: outcome.reference_cycles,
@@ -497,13 +515,17 @@ impl Context {
                         as u64,
                     resamples_empty: stats.resamples_by(ResampleCause::EmptyHistories) as u64,
                     clusters,
-                    ci_target: accuracy.map(|a| a.config.params.target_ci),
-                    ci_confidence: accuracy.map(|a| a.config.params.confidence.level()),
+                    ci_target: accuracy.and_then(|a| a.config.target_ci()),
+                    ci_confidence: accuracy.map(|a| a.config.confidence().level()),
                     ci_max: accuracy.and_then(AccuracyReport::max_rel_ci),
                     ci_mean: accuracy.and_then(AccuracyReport::mean_rel_ci),
                     ci_units: accuracy.map(|a| a.units() as u64),
                     ci_converged: accuracy.map(|a| a.converged_units() as u64),
-                }),
+                    strat_pilot: strat.map(|c| c.pilot_samples),
+                    strat_budget: strat.map(|c| c.budget),
+                    strat_allocated: accuracy.and_then(|a| a.allocated),
+                    strat_reopened: accuracy.map(|a| a.reopened_bands() as u64),
+                })),
             },
             timing: CellTiming {
                 wall_seconds: outcome.sampled_wall_seconds,
@@ -595,6 +617,36 @@ mod tests {
         assert_eq!(lm.ci_target, None);
         assert_eq!(lm.ci_units, None);
         // The adaptive record round-trips through the store encoding.
+        let stored = StoredCell { record: outcome.record.clone(), timing: outcome.timing.clone() };
+        assert_eq!(StoredCell::from_json(&stored.to_json()).unwrap(), stored);
+    }
+
+    #[test]
+    fn stratified_cells_record_budget_and_allocation() {
+        let ctx = Context::new();
+        let store = ResultStore::disabled();
+        let machine = MachineConfig::tiny_test();
+        let spec = CellSpec::sampled(
+            Benchmark::Spmv,
+            quick(),
+            machine,
+            2,
+            TaskPointConfig::stratified(4, 64),
+        );
+        let outcome = ctx.compute(&store, &spec);
+        let m = outcome.record.metrics.as_eval().unwrap();
+        assert_eq!(m.strat_pilot, Some(4));
+        assert_eq!(m.strat_budget, Some(64));
+        let allocated = m.strat_allocated.expect("pilot completed, allocation ran");
+        assert!(allocated <= 64, "allocation {allocated} within budget");
+        assert_eq!(m.strat_reopened, Some(0), "quick spmv has no concurrency ramp");
+        // Budget-driven policy: no CI target, but a confidence level for
+        // the reported per-stratum intervals.
+        assert_eq!(m.ci_target, None);
+        assert_eq!(m.ci_confidence, Some(0.95));
+        assert!(m.ci_units.unwrap() >= 1);
+        assert!(m.error_percent.is_finite());
+        // The stratified record round-trips through the store encoding.
         let stored = StoredCell { record: outcome.record.clone(), timing: outcome.timing.clone() };
         assert_eq!(StoredCell::from_json(&stored.to_json()).unwrap(), stored);
     }

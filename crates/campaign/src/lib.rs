@@ -70,5 +70,6 @@ pub use sweeps::{
     adaptive_specs, adaptive_workloads, error_speedup_specs, hetero_specs, sensitivity_configs,
     sensitivity_specs, table1_specs, variation_specs, Sweep, SweepPart, ADAPTIVE_KERNELS,
     ADAPTIVE_TARGETS, ADAPTIVE_WORKERS, FIG1_NOISE_SEED, HETERO_KERNELS, HETERO_WORKERS,
-    HIGH_PERF_THREADS, LOW_POWER_THREADS, SENSITIVITY_THREADS,
+    HIGH_PERF_THREADS, LOW_POWER_THREADS, SENSITIVITY_THREADS, STRATIFIED_BUDGETS,
+    STRATIFIED_PILOT,
 };

@@ -98,6 +98,16 @@ pub struct EvalMetrics {
     pub ci_units: Option<u64>,
     /// Units that converged (stopped sampling) by CI or cutoff.
     pub ci_converged: Option<u64>,
+    /// Configured pilot samples per stratum (stratified cells only).
+    pub strat_pilot: Option<u64>,
+    /// Configured total detailed budget (stratified cells only).
+    pub strat_budget: Option<u64>,
+    /// Detailed instances Neyman-allocated after the pilot phase, summed
+    /// across strata (stratified cells only).
+    pub strat_allocated: Option<u64>,
+    /// `(cluster, concurrency-band)` re-openings triggered by sustained
+    /// parallelism shifts (adaptive and stratified cells).
+    pub strat_reopened: Option<u64>,
 }
 
 /// Deterministic metrics of a variation cell: per-type-normalized IPC
@@ -170,8 +180,9 @@ pub struct ExploreMetrics {
 pub enum CellMetrics {
     /// Metrics of a reference cell.
     Reference(RefMetrics),
-    /// Metrics of a sampled or clustered cell.
-    Eval(EvalMetrics),
+    /// Metrics of a sampled or clustered cell (boxed: the eval payload
+    /// dwarfs the other variants).
+    Eval(Box<EvalMetrics>),
     /// Metrics of a variation cell.
     Variation(VariationMetrics),
     /// Metrics of an exploration cell.
@@ -335,11 +346,17 @@ fn metrics_json(metrics: &CellMetrics) -> Value {
                     o.set(key, Value::Num(v));
                 }
             }
-            if let Some(u) = m.ci_units {
-                o.set("ci_units", Value::Num(u as f64));
-            }
-            if let Some(c) = m.ci_converged {
-                o.set("ci_converged", Value::Num(c as f64));
+            for (key, value) in [
+                ("ci_units", m.ci_units),
+                ("ci_converged", m.ci_converged),
+                ("strat_pilot", m.strat_pilot),
+                ("strat_budget", m.strat_budget),
+                ("strat_allocated", m.strat_allocated),
+                ("strat_reopened", m.strat_reopened),
+            ] {
+                if let Some(v) = value {
+                    o.set(key, Value::Num(v as f64));
+                }
             }
         }
         CellMetrics::Variation(m) => {
@@ -438,7 +455,7 @@ fn parse_metrics(kind: &str, o: &Object) -> Result<CellMetrics, RecordError> {
             instructions: o.u64("instructions").ok_or_else(|| shape("instructions"))?,
             groups: parse_groups(o)?,
         })),
-        "sampled" | "clustered" => Ok(CellMetrics::Eval(EvalMetrics {
+        "sampled" | "clustered" => Ok(CellMetrics::Eval(Box::new(EvalMetrics {
             error_percent: o.num("error_percent").ok_or_else(|| shape("error_percent"))?,
             predicted_cycles: o.u64("predicted_cycles").ok_or_else(|| shape("predicted_cycles"))?,
             reference_cycles: o.u64("reference_cycles").ok_or_else(|| shape("reference_cycles"))?,
@@ -467,7 +484,11 @@ fn parse_metrics(kind: &str, o: &Object) -> Result<CellMetrics, RecordError> {
             ci_mean: o.num("ci_mean"),
             ci_units: o.u64("ci_units"),
             ci_converged: o.u64("ci_converged"),
-        })),
+            strat_pilot: o.u64("strat_pilot"),
+            strat_budget: o.u64("strat_budget"),
+            strat_allocated: o.u64("strat_allocated"),
+            strat_reopened: o.u64("strat_reopened"),
+        }))),
         "explore" => Ok(CellMetrics::Explore(ExploreMetrics {
             predicted_cycles: o.u64("predicted_cycles").ok_or_else(|| shape("predicted_cycles"))?,
             detail_fraction: o.num("detail_fraction").ok_or_else(|| shape("detail_fraction"))?,
@@ -571,7 +592,7 @@ mod tests {
             workers: 4,
             scale: ScaleConfig::quick(),
             kind: "sampled".to_string(),
-            metrics: CellMetrics::Eval(EvalMetrics {
+            metrics: CellMetrics::Eval(Box::new(EvalMetrics {
                 error_percent: 3.25,
                 predicted_cycles: 1020,
                 reference_cycles: 1000,
@@ -592,7 +613,11 @@ mod tests {
                 ci_mean: None,
                 ci_units: None,
                 ci_converged: None,
-            }),
+                strat_pilot: None,
+                strat_budget: None,
+                strat_allocated: None,
+                strat_reopened: None,
+            })),
         }
     }
 
@@ -699,6 +724,37 @@ mod tests {
         assert!(text.contains("\"ci_converged\":6"));
         let back = StoredCell::from_json(&text).unwrap();
         assert_eq!(back, stored);
+    }
+
+    #[test]
+    fn stratified_fields_round_trip() {
+        let mut record = eval_record();
+        let CellMetrics::Eval(ref mut m) = record.metrics else { unreachable!() };
+        m.ci_confidence = Some(0.95);
+        m.strat_pilot = Some(4);
+        m.strat_budget = Some(256);
+        m.strat_allocated = Some(198);
+        m.strat_reopened = Some(2);
+        let stored = StoredCell {
+            record,
+            timing: CellTiming {
+                wall_seconds: 0.2,
+                reference_wall_seconds: Some(1.0),
+                speedup: Some(5.0),
+                detailed_instr_per_sec: None,
+            },
+        };
+        let text = stored.to_json();
+        assert!(text.contains("\"strat_pilot\":4"));
+        assert!(text.contains("\"strat_budget\":256"));
+        assert!(text.contains("\"strat_allocated\":198"));
+        assert!(text.contains("\"strat_reopened\":2"));
+        // Budget-driven policy: no CI target key at all.
+        assert!(!text.contains("ci_target"));
+        let back = StoredCell::from_json(&text).unwrap();
+        assert_eq!(back, stored);
+        // Non-stratified records must not carry the keys at all.
+        assert!(!eval_record().to_json().contains("strat_"));
     }
 
     #[test]

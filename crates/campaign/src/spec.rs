@@ -178,6 +178,12 @@ fn hash_policy(h: &mut StableHasher, config: &TaskPointConfig) {
             h.write_str(confidence.tag());
             h.write_u64(min_samples);
         }
+        SamplingPolicy::Stratified { pilot_samples, budget, confidence } => {
+            h.write_u32(3);
+            h.write_u64(pilot_samples);
+            h.write_u64(budget);
+            h.write_str(confidence.tag());
+        }
     }
     h.write_u64(config.rare_type_cutoff);
     h.write_f64(config.concurrency_change_ratio);
@@ -289,8 +295,8 @@ impl CellSpec {
     pub fn hash_hex(&self) -> String {
         let mut h = StableHasher::new();
         // A format-version byte so future spec extensions re-key cleanly
-        // (v3: heterogeneous core groups in the machine hash).
-        h.write_u32(3);
+        // (v4: the stratified sampling policy joins the policy hash).
+        h.write_u32(4);
         h.write_str(self.bench.name());
         h.write_f64(self.scale.instr_factor);
         h.write_u64(self.scale.seed);
@@ -384,6 +390,18 @@ mod tests {
             },
             CellSpec {
                 kind: CellKind::Sampled { config: TaskPointConfig::adaptive(0.02) },
+                ..b.clone()
+            },
+            CellSpec {
+                kind: CellKind::Sampled { config: TaskPointConfig::stratified(4, 256) },
+                ..b.clone()
+            },
+            CellSpec {
+                kind: CellKind::Sampled { config: TaskPointConfig::stratified(4, 512) },
+                ..b.clone()
+            },
+            CellSpec {
+                kind: CellKind::Sampled { config: TaskPointConfig::stratified(8, 512) },
                 ..b.clone()
             },
             CellSpec {

@@ -208,6 +208,14 @@ pub fn ingested_specs(scale: ScaleConfig) -> Vec<CellSpec> {
 /// target is one operating point of the error/speedup frontier.
 pub const ADAPTIVE_TARGETS: [f64; 3] = [0.10, 0.05, 0.02];
 
+/// Pilot samples per stratum of the `adaptive` sweep's stratified cells.
+pub const STRATIFIED_PILOT: u64 = 4;
+
+/// Detailed budgets of the `adaptive` sweep's stratified cells, small →
+/// large. Each budget is one operating point of the frontier, head to
+/// head against the CI-target cells at comparable detail spend.
+pub const STRATIFIED_BUDGETS: [u64; 2] = [64, 256];
+
 /// Kernel workloads of the `adaptive` sweep.
 pub const ADAPTIVE_KERNELS: [Benchmark; 2] = [Benchmark::Spmv, Benchmark::Cholesky];
 
@@ -226,11 +234,14 @@ pub fn adaptive_workloads() -> Vec<(Benchmark, u32)> {
 }
 
 /// Cells of the `adaptive` sweep: for every workload, a full-detail
-/// reference plus lazy, periodic and three confidence-driven cells (one
-/// per [`ADAPTIVE_TARGETS`] entry) compared against it. The emitted JSONL
-/// is the error/speedup **frontier**: each policy column trades detailed
-/// instances (→ wall clock) against cycles error, and the adaptive cells
-/// additionally record their configured vs achieved per-cluster CI.
+/// reference plus lazy, periodic, three confidence-driven cells (one per
+/// [`ADAPTIVE_TARGETS`] entry) and two budget-driven stratified cells
+/// (one per [`STRATIFIED_BUDGETS`] entry) compared against it. The
+/// emitted JSONL is the error/speedup **frontier**: each policy column
+/// trades detailed instances (→ wall clock) against cycles error; the
+/// adaptive cells record their configured vs achieved per-cluster CI and
+/// the stratified cells their pilot/budget/allocation split — the
+/// head-to-head at matched detail spend.
 pub fn adaptive_specs(scale: ScaleConfig) -> Vec<CellSpec> {
     let machine = MachineConfig::low_power();
     let mut specs = Vec::new();
@@ -238,6 +249,8 @@ pub fn adaptive_specs(scale: ScaleConfig) -> Vec<CellSpec> {
         specs.push(CellSpec::reference(bench, scale, machine.clone(), workers));
         let mut configs = vec![TaskPointConfig::lazy(), TaskPointConfig::periodic()];
         configs.extend(ADAPTIVE_TARGETS.map(TaskPointConfig::adaptive));
+        configs
+            .extend(STRATIFIED_BUDGETS.map(|b| TaskPointConfig::stratified(STRATIFIED_PILOT, b)));
         for config in configs {
             specs.push(CellSpec::sampled(bench, scale, machine.clone(), workers, config));
         }
@@ -366,7 +379,8 @@ impl Sweep {
             }
             Sweep::Ingested => "external fixture traces: reference + lazy/periodic sampled cells",
             Sweep::Adaptive => {
-                "error/speedup frontier: lazy vs periodic vs 3 adaptive CI targets, low-power"
+                "error/speedup frontier: lazy vs periodic vs 3 adaptive CI targets vs 2 \
+                 stratified budgets, low-power"
             }
             Sweep::All => {
                 "every table and figure sweep (excludes smoke, design-space, hetero, ingested, adaptive)"
@@ -495,8 +509,8 @@ mod tests {
         assert_eq!(Sweep::Hetero.specs(scale).len(), 2 * 3);
         assert_eq!(Sweep::Ingested.specs(scale).len(), 2 * 3);
         // (2 kernels + 2 external) x (reference + lazy + periodic + 3 CI
-        // targets).
-        assert_eq!(Sweep::Adaptive.specs(scale).len(), 4 * 6);
+        // targets + 2 stratified budgets).
+        assert_eq!(Sweep::Adaptive.specs(scale).len(), 4 * 8);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! TaskPoint configuration: the paper's model parameters.
 
 use serde::{Deserialize, Serialize};
-use taskpoint_accuracy::{AdaptiveConfig, AdaptiveParams};
+use taskpoint_accuracy::{AdaptiveConfig, AdaptiveParams, StratifiedConfig};
 use taskpoint_stats::Confidence;
 
 /// When to resample a fast-forwarding simulation (paper §III-C, plus the
@@ -36,14 +36,34 @@ pub enum SamplingPolicy {
         /// Minimum detailed samples per cluster before fast-forwarding.
         min_samples: u64,
     },
+    /// Two-phase stratified sampling (Ekman-style pilot + Neyman
+    /// allocation): every `(type, size-class)` stratum runs
+    /// `pilot_samples` detailed instances to estimate its variance, then
+    /// the remainder of the total detailed `budget` is allocated
+    /// proportional to stratum size × stddev. Runs through the
+    /// [`StratifiedController`](taskpoint_accuracy::StratifiedController);
+    /// `run_sampled` dispatches automatically, or use
+    /// [`run_stratified`](crate::run_stratified) to also get the
+    /// per-stratum [`AccuracyReport`](taskpoint_accuracy::AccuracyReport).
+    Stratified {
+        /// Detailed pilot instances per stratum.
+        pilot_samples: u64,
+        /// Total detailed-sampling budget (pilot spend included).
+        budget: u64,
+        /// Confidence level of the reported intervals and the
+        /// concurrency-band re-opening test.
+        confidence: Confidence,
+    },
 }
 
 impl SamplingPolicy {
-    /// The period as an option (`None` for lazy and adaptive).
+    /// The period as an option (`None` for lazy, adaptive, stratified).
     pub fn period(self) -> Option<u64> {
         match self {
             SamplingPolicy::Periodic { period } => Some(period),
-            SamplingPolicy::Lazy | SamplingPolicy::Adaptive { .. } => None,
+            SamplingPolicy::Lazy
+            | SamplingPolicy::Adaptive { .. }
+            | SamplingPolicy::Stratified { .. } => None,
         }
     }
 
@@ -60,6 +80,11 @@ impl SamplingPolicy {
     /// True for [`SamplingPolicy::Adaptive`].
     pub fn is_adaptive(self) -> bool {
         matches!(self, SamplingPolicy::Adaptive { .. })
+    }
+
+    /// True for [`SamplingPolicy::Stratified`].
+    pub fn is_stratified(self) -> bool {
+        matches!(self, SamplingPolicy::Stratified { .. })
     }
 }
 
@@ -94,6 +119,8 @@ pub enum ConfigError {
     },
     /// Invalid adaptive stopping rule.
     Adaptive(taskpoint_accuracy::AdaptiveParamsError),
+    /// Invalid stratified pilot/budget configuration.
+    Stratified(taskpoint_accuracy::StratifiedConfigError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -110,6 +137,7 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "concurrency change ratio must exceed 1, got {ratio}")
             }
             ConfigError::Adaptive(e) => write!(f, "{e}"),
+            ConfigError::Stratified(e) => write!(f, "{e}"),
         }
     }
 }
@@ -175,6 +203,20 @@ impl TaskPointConfig {
         }
     }
 
+    /// The two-phase stratified configuration with the given per-stratum
+    /// pilot and total detailed budget, at the conventional defaults
+    /// (95% confidence, paper-tuned W/H/cutoff).
+    pub fn stratified(pilot_samples: u64, budget: u64) -> Self {
+        Self {
+            policy: SamplingPolicy::Stratified {
+                pilot_samples,
+                budget,
+                confidence: Confidence::C95,
+            },
+            ..Self::periodic()
+        }
+    }
+
     /// Overrides `W`.
     pub fn with_warmup(mut self, w: u64) -> Self {
         self.warmup_instances = w;
@@ -217,6 +259,11 @@ impl TaskPointConfig {
                 params.validate().map_err(ConfigError::Adaptive)?;
                 Ok(self)
             }
+            SamplingPolicy::Stratified { .. } => {
+                let config = self.stratified_config().expect("stratified policy");
+                config.validate().map_err(ConfigError::Stratified)?;
+                Ok(self)
+            }
             _ => Ok(self),
         }
     }
@@ -243,6 +290,24 @@ impl TaskPointConfig {
             rare_cluster_cutoff: self.rare_type_cutoff,
             params,
         })
+    }
+
+    /// The stratified-controller configuration equivalent to this one
+    /// (octave size classes). Returns `None` unless the policy is
+    /// [`SamplingPolicy::Stratified`].
+    pub fn stratified_config(&self) -> Option<StratifiedConfig> {
+        match self.policy {
+            SamplingPolicy::Stratified { pilot_samples, budget, confidence } => {
+                Some(StratifiedConfig {
+                    warmup_instances: self.warmup_instances,
+                    pilot_samples,
+                    budget,
+                    confidence,
+                    granularity: 1,
+                })
+            }
+            _ => None,
+        }
     }
 }
 
@@ -285,6 +350,36 @@ mod tests {
         assert_eq!(ac.params.confidence, Confidence::C95);
         assert_eq!(ac.params.min_samples, 4);
         assert_eq!(TaskPointConfig::lazy().adaptive_config(), None);
+    }
+
+    #[test]
+    fn stratified_constructor_and_conversion() {
+        let c = TaskPointConfig::stratified(4, 64);
+        assert!(c.policy.is_stratified());
+        assert!(!c.policy.is_adaptive());
+        assert_eq!(c.policy.period(), None);
+        c.validate();
+        let sc = c.stratified_config().unwrap();
+        assert_eq!(sc.warmup_instances, 2);
+        assert_eq!(sc.pilot_samples, 4);
+        assert_eq!(sc.budget, 64);
+        assert_eq!(sc.confidence, Confidence::C95);
+        assert_eq!(sc.granularity, 1);
+        assert_eq!(TaskPointConfig::lazy().stratified_config(), None);
+        assert_eq!(c.adaptive_config(), None);
+    }
+
+    #[test]
+    fn invalid_stratified_policy_is_a_typed_error() {
+        assert!(matches!(
+            TaskPointConfig::stratified(0, 10).validated(),
+            Err(ConfigError::Stratified(_))
+        ));
+        assert!(matches!(
+            TaskPointConfig::stratified(8, 4).validated(),
+            Err(ConfigError::Stratified(_))
+        ));
+        assert!(TaskPointConfig::stratified(8, 8).validated().is_ok(), "pilot-only is legal");
     }
 
     #[test]

@@ -126,6 +126,11 @@ impl TaskPointController {
              run_clustered_adaptive, or run_sampled / run_clustered (which dispatch on the \
              policy)"
         );
+        assert!(
+            !config.policy.is_stratified(),
+            "SamplingPolicy::Stratified requires the StratifiedController; use run_stratified, \
+             or run_sampled (which dispatches on the policy)"
+        );
         let warmup_target = config.warmup_instances;
         let mut controller = Self {
             config,

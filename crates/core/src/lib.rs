@@ -63,6 +63,7 @@ pub mod controller;
 pub mod history;
 pub mod metrics;
 pub mod simulate;
+pub mod stratified;
 
 pub use adaptive::{
     run_adaptive, run_adaptive_observed, run_adaptive_traced, run_clustered_adaptive,
@@ -79,13 +80,15 @@ pub use simulate::{
     evaluate, run_reference, run_reference_observed, run_reference_traced, run_sampled,
     run_sampled_observed, run_sampled_traced,
 };
+pub use stratified::{run_stratified, run_stratified_observed, run_stratified_traced};
 // Observability handle, re-exported for the same reason.
 pub use tasksim::{Telemetry, TelemetryReport};
 // The statistical layer underneath the adaptive policy, re-exported so
 // downstream crates (campaign, bench) need not depend on
 // `taskpoint-accuracy` directly.
 pub use taskpoint_accuracy::{
-    AccuracyReport, AdaptiveConfig, AdaptiveController, AdaptiveParams, ClusterAccuracy,
-    ClusterMap, ClusteredAdaptiveController,
+    concurrency_band, neyman_allocate, AccuracyReport, AdaptiveConfig, AdaptiveController,
+    AdaptiveParams, BandAccuracy, ClusterAccuracy, ClusterMap, ClusteredAdaptiveController,
+    PolicyConfig, StratifiedConfig, StratifiedController, Stratum,
 };
 pub use taskpoint_stats::Confidence;

@@ -104,6 +104,12 @@ pub fn run_sampled_observed(
         );
         return (result, stats);
     }
+    if config.policy.is_stratified() {
+        let (result, stats, _) = crate::stratified::run_stratified_observed(
+            program, machine, workers, config, traces, telemetry,
+        );
+        return (result, stats);
+    }
     let mut controller = TaskPointController::new(config);
     let result = Simulation::builder(program, machine)
         .workers(workers)

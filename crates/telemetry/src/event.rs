@@ -89,6 +89,13 @@ pub enum FidelityAction {
     /// The rare-cluster cutoff force-converged the unit on whatever
     /// estimate it had.
     RareConverged,
+    /// A converged unit was re-opened because the live concurrency
+    /// shifted into a band whose interval misses the target (`samples`
+    /// and `rel_ci` describe the triggering band's moments).
+    ClusterReopened,
+    /// The stratified Neyman allocation assigned the unit its share of
+    /// extra detailed samples (`samples` is the allocation).
+    Allocated,
 }
 
 impl FidelityAction {
@@ -99,6 +106,8 @@ impl FidelityAction {
             FidelityAction::Sampled => "sampled",
             FidelityAction::Converged => "converged",
             FidelityAction::RareConverged => "rare-converged",
+            FidelityAction::ClusterReopened => "reopened",
+            FidelityAction::Allocated => "allocated",
         }
     }
 }
@@ -214,6 +223,26 @@ mod tests {
         }
         .write_canonical(&mut out);
         assert_eq!(out, "fidelity tick=9 unit=3 action=converged samples=4 rel_ci=0.25");
+        out.clear();
+        SimEvent::Fidelity {
+            tick: 12,
+            unit: 3,
+            action: FidelityAction::ClusterReopened,
+            samples: 0,
+            rel_ci: None,
+        }
+        .write_canonical(&mut out);
+        assert_eq!(out, "fidelity tick=12 unit=3 action=reopened samples=0");
+        out.clear();
+        SimEvent::Fidelity {
+            tick: 15,
+            unit: 0,
+            action: FidelityAction::Allocated,
+            samples: 24,
+            rel_ci: Some(0.1),
+        }
+        .write_canonical(&mut out);
+        assert_eq!(out, "fidelity tick=15 unit=0 action=allocated samples=24 rel_ci=0.1");
     }
 
     #[test]
