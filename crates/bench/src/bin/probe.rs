@@ -12,6 +12,20 @@
 //! because single-run wall-clock on a shared host scatters by tens of
 //! percent. `--json` writes the whole probe as a canonical JSON document
 //! shaped like the committed `BENCH_*.json` records.
+//!
+//! ## `--json` schema (version 2)
+//!
+//! Top-level keys, all present unless noted: `schema_version` (2), `id`,
+//! `date` (UTC civil date), `change` (only with `--note`), `method`,
+//! `bench`, `workers`, `detail_threads`, `scale`, `scale_seed`,
+//! `probe_detailed_throughput_minstr_per_sec` (`{runs, min, median,
+//! max}`, aggregates omitted when no run produced detailed
+//! instructions), and `sampled` (`{lazy, periodic}`, each
+//! `{error_percent, speedup, detail_percent, resamples}`). The schema is
+//! **closed**: `regress` (and this probe's own read-back check below)
+//! reject any key outside this set, so hand edits that typo a key fail
+//! loudly instead of silently dropping a measurement. See
+//! `taskpoint_bench::regress` for the legacy BENCH_0006–0008 shapes.
 
 use taskpoint::{run_reference, TaskPointConfig};
 use taskpoint_bench::{Harness, RunScale};
@@ -210,6 +224,7 @@ fn main() {
             .map(|d| d.as_secs())
             .unwrap_or(0);
         let mut doc = Object::new();
+        doc.set("schema_version", Value::Num(2.0));
         doc.set("id", Value::Str(args.id.clone()));
         doc.set("date", Value::Str(utc_date(unix)));
         if !args.note.is_empty() {
@@ -258,6 +273,12 @@ fn main() {
         }
         doc.set("sampled", Value::Obj(sampled));
         let text = format!("{}\n", Value::Obj(doc).to_json());
+        // Read-back validation: the record must parse under the strict
+        // (closed-schema) regress parser before it is worth committing.
+        if let Err(e) = taskpoint_bench::regress::parse_record(&text) {
+            eprintln!("error: probe produced an invalid schema-v2 record: {e}");
+            std::process::exit(1);
+        }
         match std::fs::write(path, text) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {

@@ -256,6 +256,33 @@ fn cmd_timeline(path: &Path, flags: &[(String, String)]) -> ExitCode {
     for name in ["mem.dram_accesses", "mem.contended_accesses", "mem.queue_delay_cycles"] {
         println!("  counter {name}={}", report.counter_total(name));
     }
+    // Stall breakdown: where every core tick of the run went, per core
+    // group (the always-on cycle accounting of `SimResult`).
+    for acct in &sampled.cycle_accounts {
+        let total = acct.total();
+        println!("stalls [{}] ({} cores, {} total ticks):", acct.name, acct.cores, total);
+        for (name, ticks) in acct.categories() {
+            if ticks == 0 {
+                continue;
+            }
+            println!("  {name:<12} {ticks:>12}  {:5.1}%", 100.0 * ticks as f64 / total as f64);
+        }
+    }
+    // Task-latency distribution: the busiest log2 buckets next to the
+    // engine-computed percentiles.
+    if let Some(hist) = report.histogram("task.latency", 0) {
+        println!(
+            "task latency: {} tasks, p50={} p99={} p999={} cycles (approx)",
+            hist.count(),
+            hist.approx_quantile(0.50).unwrap_or(0),
+            hist.approx_quantile(0.99).unwrap_or(0),
+            hist.approx_quantile(0.999).unwrap_or(0),
+        );
+        for (index, count) in hist.top_buckets(5) {
+            let (lo, hi) = tasksim::telemetry::Histogram::bucket_bounds(index);
+            println!("  [{lo:>8}, {hi:>8}] {count:>8} tasks");
+        }
+    }
     if let Some((_, out)) = flags.iter().find(|(f, _)| f == "out") {
         let dir = PathBuf::from(out);
         if let Err(e) = std::fs::create_dir_all(&dir) {

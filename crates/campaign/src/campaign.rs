@@ -188,6 +188,10 @@ fn export_cell_traces(dir: &Path, cell: &str, report: &TelemetryReport) {
     if let Err(e) = std::fs::write(&chrome, report.chrome_trace_json()) {
         eprintln!("warning: cannot write {}: {e}", chrome.display());
     }
+    let prom = dir.join(format!("{cell}.prom"));
+    if let Err(e) = std::fs::write(&prom, report.text_exposition()) {
+        eprintln!("warning: cannot write {}: {e}", prom.display());
+    }
     // A stream with no finished tasks (counters only) has no timeline; the
     // Chrome trace above still carries the counters.
     if let Ok(text) = report.tptrace_timeline() {
@@ -203,7 +207,7 @@ fn write_profile_trace(dir: &Path, spans: Vec<ProfileSpan>) {
     if spans.is_empty() {
         return;
     }
-    let report = TelemetryReport { events: Vec::new(), counters: Vec::new(), profile: spans };
+    let report = TelemetryReport { profile: spans, ..TelemetryReport::default() };
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: cannot create telemetry dir {}: {e}", dir.display());
         return;

@@ -28,7 +28,7 @@ use tasksim::{
 
 use crate::record::{
     CellMetrics, CellOutcome, CellRecord, CellTiming, EvalMetrics, ExploreMetrics, GroupMetric,
-    RefMetrics, StoredCell, VariationMetrics,
+    PerfProfile, RefMetrics, StoredCell, VariationMetrics,
 };
 use crate::spec::{CellKind, CellSpec};
 use crate::store::ResultStore;
@@ -78,6 +78,17 @@ fn strip_reports(mut result: SimResult) -> SimResult {
 /// inspecting task counts.
 fn reference_result_from_stored(stored: &StoredCell, workers: u32) -> SimResult {
     let m = stored.record.metrics.as_reference().expect("reference record");
+    // v5 records persist latency percentiles; the stub rebuilds the
+    // summary struct (count = completed tasks). Pre-v5 entries default.
+    let task_latency = match &m.perf {
+        Some(p) => tasksim::LatencyPercentiles {
+            count: m.detailed_tasks,
+            p50: p.lat_p50,
+            p99: p.lat_p99,
+            p999: p.lat_p999,
+        },
+        None => Default::default(),
+    };
     let groups = m
         .groups
         .as_deref()
@@ -108,6 +119,11 @@ fn reference_result_from_stored(stored: &StoredCell, workers: u32) -> SimResult 
         workers,
         groups,
         parallel_epochs: Default::default(),
+        // Stall attribution is not reconstructible from the flat summed
+        // keys; the stub carries no accounts (callers treat that as "no
+        // accounting data", same as a pre-v5 record).
+        cycle_accounts: Vec::new(),
+        task_latency,
     }
 }
 
@@ -218,6 +234,7 @@ impl Context {
                         detailed_tasks: result.detailed_tasks,
                         instructions: result.total_instructions(),
                         groups: group_metrics(&result),
+                        perf: PerfProfile::from_result(&result),
                     }),
                 },
                 timing: CellTiming {
@@ -525,6 +542,7 @@ impl Context {
                     strat_budget: strat.map(|c| c.budget),
                     strat_allocated: accuracy.and_then(|a| a.allocated),
                     strat_reopened: accuracy.map(|a| a.reopened_bands() as u64),
+                    perf: PerfProfile::from_result(sampled),
                 })),
             },
             timing: CellTiming {

@@ -51,6 +51,78 @@ pub struct RefMetrics {
     /// machines (same pattern as the adaptive-only `ci_*` fields:
     /// homogeneous records do not carry the key at all).
     pub groups: Option<Vec<GroupMetric>>,
+    /// Task-latency percentiles and stall attribution (record format v5;
+    /// pre-v5 cached records lack the keys entirely).
+    pub perf: Option<PerfProfile>,
+}
+
+/// Task-latency percentiles and machine-wide stall attribution of one
+/// simulated run — the record-format-v5 extension of the JSONL schema.
+///
+/// Latencies are simulated base-clock cycles per task instance; stall
+/// fields are global base-clock core-ticks summed across all core groups,
+/// in the fixed taxonomy of `tasksim`'s cycle accounting. The block is
+/// all-or-nothing: either every key below is present or none is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfProfile {
+    /// Median task latency (cycles).
+    pub lat_p50: f64,
+    /// 99th-percentile task latency (cycles).
+    pub lat_p99: f64,
+    /// 99.9th-percentile task latency (cycles).
+    pub lat_p999: f64,
+    /// Ticks stalled on a full reorder buffer behind a compute op.
+    pub stall_rob_full: u64,
+    /// Ticks stalled on serialized dependencies (div/fence/mispredict).
+    pub stall_dep_wait: u64,
+    /// Ticks stalled on L1-hit load latency at the ROB head.
+    pub stall_l1_wait: u64,
+    /// Ticks stalled on shared-cache load latency at the ROB head.
+    pub stall_l2_wait: u64,
+    /// Ticks stalled on DRAM load latency at the ROB head.
+    pub stall_dram_wait: u64,
+    /// Ticks stalled acquiring an MSHR for an outstanding miss.
+    pub stall_mshr_full: u64,
+    /// Ticks stalled behind bank/channel service queues.
+    pub stall_contention: u64,
+    /// Ticks cores sat idle with no ready task assigned.
+    pub stall_idle: u64,
+}
+
+impl PerfProfile {
+    /// Builds the profile from a simulation result: percentiles straight
+    /// from the engine, stall categories summed across core groups.
+    /// `None` when the run produced no cycle accounts (e.g. a stub
+    /// reconstructed from a pre-v5 cached record).
+    pub fn from_result(result: &tasksim::SimResult) -> Option<Self> {
+        if result.cycle_accounts.is_empty() {
+            return None;
+        }
+        let mut p = PerfProfile {
+            lat_p50: result.task_latency.p50,
+            lat_p99: result.task_latency.p99,
+            lat_p999: result.task_latency.p999,
+            stall_rob_full: 0,
+            stall_dep_wait: 0,
+            stall_l1_wait: 0,
+            stall_l2_wait: 0,
+            stall_dram_wait: 0,
+            stall_mshr_full: 0,
+            stall_contention: 0,
+            stall_idle: 0,
+        };
+        for a in &result.cycle_accounts {
+            p.stall_rob_full += a.rob_full;
+            p.stall_dep_wait += a.dep_wait;
+            p.stall_l1_wait += a.l1_wait;
+            p.stall_l2_wait += a.l2_wait;
+            p.stall_dram_wait += a.dram_wait;
+            p.stall_mshr_full += a.mshr_full;
+            p.stall_contention += a.contention;
+            p.stall_idle += a.idle;
+        }
+        Some(p)
+    }
 }
 
 /// Deterministic metrics of a sampled (or clustered) cell.
@@ -108,6 +180,9 @@ pub struct EvalMetrics {
     /// `(cluster, concurrency-band)` re-openings triggered by sustained
     /// parallelism shifts (adaptive and stratified cells).
     pub strat_reopened: Option<u64>,
+    /// Task-latency percentiles and stall attribution of the sampled run
+    /// itself (record format v5; pre-v5 cached records lack the keys).
+    pub perf: Option<PerfProfile>,
 }
 
 /// Deterministic metrics of a variation cell: per-type-normalized IPC
@@ -295,6 +370,25 @@ fn scale_json(scale: &ScaleConfig) -> Value {
     Value::Obj(o)
 }
 
+fn perf_json(o: &mut Object, perf: &Option<PerfProfile>) {
+    let Some(p) = perf else { return };
+    o.set("lat_p50", Value::Num(p.lat_p50));
+    o.set("lat_p99", Value::Num(p.lat_p99));
+    o.set("lat_p999", Value::Num(p.lat_p999));
+    for (key, value) in [
+        ("stall_rob_full", p.stall_rob_full),
+        ("stall_dep_wait", p.stall_dep_wait),
+        ("stall_l1_wait", p.stall_l1_wait),
+        ("stall_l2_wait", p.stall_l2_wait),
+        ("stall_dram_wait", p.stall_dram_wait),
+        ("stall_mshr_full", p.stall_mshr_full),
+        ("stall_contention", p.stall_contention),
+        ("stall_idle", p.stall_idle),
+    ] {
+        o.set(key, Value::Num(value as f64));
+    }
+}
+
 fn metrics_json(metrics: &CellMetrics) -> Value {
     let mut o = Object::new();
     match metrics {
@@ -318,6 +412,7 @@ fn metrics_json(metrics: &CellMetrics) -> Value {
                     .collect();
                 o.set("groups", Value::Arr(arr));
             }
+            perf_json(&mut o, &m.perf);
         }
         CellMetrics::Eval(m) => {
             o.set("error_percent", Value::Num(m.error_percent));
@@ -358,6 +453,7 @@ fn metrics_json(metrics: &CellMetrics) -> Value {
                     o.set(key, Value::Num(v as f64));
                 }
             }
+            perf_json(&mut o, &m.perf);
         }
         CellMetrics::Variation(m) => {
             o.set("p5", Value::Num(m.p5));
@@ -447,6 +543,27 @@ fn parse_groups(o: &Object) -> Result<Option<Vec<GroupMetric>>, RecordError> {
     Ok(Some(groups))
 }
 
+fn parse_perf(o: &Object) -> Result<Option<PerfProfile>, RecordError> {
+    // The block is all-or-nothing: its lead key decides presence, the
+    // rest are then required so a half-written record fails loudly.
+    if o.get("lat_p50").is_none() {
+        return Ok(None);
+    }
+    Ok(Some(PerfProfile {
+        lat_p50: o.num("lat_p50").ok_or_else(|| shape("lat_p50"))?,
+        lat_p99: o.num("lat_p99").ok_or_else(|| shape("lat_p99"))?,
+        lat_p999: o.num("lat_p999").ok_or_else(|| shape("lat_p999"))?,
+        stall_rob_full: o.u64("stall_rob_full").ok_or_else(|| shape("stall_rob_full"))?,
+        stall_dep_wait: o.u64("stall_dep_wait").ok_or_else(|| shape("stall_dep_wait"))?,
+        stall_l1_wait: o.u64("stall_l1_wait").ok_or_else(|| shape("stall_l1_wait"))?,
+        stall_l2_wait: o.u64("stall_l2_wait").ok_or_else(|| shape("stall_l2_wait"))?,
+        stall_dram_wait: o.u64("stall_dram_wait").ok_or_else(|| shape("stall_dram_wait"))?,
+        stall_mshr_full: o.u64("stall_mshr_full").ok_or_else(|| shape("stall_mshr_full"))?,
+        stall_contention: o.u64("stall_contention").ok_or_else(|| shape("stall_contention"))?,
+        stall_idle: o.u64("stall_idle").ok_or_else(|| shape("stall_idle"))?,
+    }))
+}
+
 fn parse_metrics(kind: &str, o: &Object) -> Result<CellMetrics, RecordError> {
     match kind {
         "reference" => Ok(CellMetrics::Reference(RefMetrics {
@@ -454,6 +571,7 @@ fn parse_metrics(kind: &str, o: &Object) -> Result<CellMetrics, RecordError> {
             detailed_tasks: o.u64("detailed_tasks").ok_or_else(|| shape("detailed_tasks"))?,
             instructions: o.u64("instructions").ok_or_else(|| shape("instructions"))?,
             groups: parse_groups(o)?,
+            perf: parse_perf(o)?,
         })),
         "sampled" | "clustered" => Ok(CellMetrics::Eval(Box::new(EvalMetrics {
             error_percent: o.num("error_percent").ok_or_else(|| shape("error_percent"))?,
@@ -488,6 +606,7 @@ fn parse_metrics(kind: &str, o: &Object) -> Result<CellMetrics, RecordError> {
             strat_budget: o.u64("strat_budget"),
             strat_allocated: o.u64("strat_allocated"),
             strat_reopened: o.u64("strat_reopened"),
+            perf: parse_perf(o)?,
         }))),
         "explore" => Ok(CellMetrics::Explore(ExploreMetrics {
             predicted_cycles: o.u64("predicted_cycles").ok_or_else(|| shape("predicted_cycles"))?,
@@ -617,7 +736,24 @@ mod tests {
                 strat_budget: None,
                 strat_allocated: None,
                 strat_reopened: None,
+                perf: None,
             })),
+        }
+    }
+
+    fn sample_perf() -> PerfProfile {
+        PerfProfile {
+            lat_p50: 120.0,
+            lat_p99: 900.5,
+            lat_p999: 1800.0,
+            stall_rob_full: 11,
+            stall_dep_wait: 22,
+            stall_l1_wait: 33,
+            stall_l2_wait: 44,
+            stall_dram_wait: 55,
+            stall_mshr_full: 6,
+            stall_contention: 7,
+            stall_idle: 88,
         }
     }
 
@@ -658,6 +794,7 @@ mod tests {
                     detailed_tasks: 1024,
                     instructions: 9_700_000,
                     groups: None,
+                    perf: Some(sample_perf()),
                 }),
             ),
             (
@@ -785,6 +922,7 @@ mod tests {
                     detailed_tasks: 1024,
                     instructions: 9_700_000,
                     groups: Some(groups),
+                    perf: None,
                 }),
                 ..eval_record()
             },
@@ -810,12 +948,45 @@ mod tests {
                     detailed_tasks: 1,
                     instructions: 1,
                     groups: None,
+                    perf: None,
                 }),
                 ..eval_record()
             },
             timing: stored.timing.clone(),
         };
         assert!(!homogeneous.to_json().contains("groups"));
+    }
+
+    #[test]
+    fn perf_profile_fields_round_trip() {
+        let mut record = eval_record();
+        let CellMetrics::Eval(ref mut m) = record.metrics else { unreachable!() };
+        m.perf = Some(sample_perf());
+        let stored = StoredCell {
+            record,
+            timing: CellTiming {
+                wall_seconds: 0.2,
+                reference_wall_seconds: Some(1.0),
+                speedup: Some(5.0),
+                detailed_instr_per_sec: None,
+            },
+        };
+        let text = stored.to_json();
+        // The exact flat keys the CI smoke greps out of the JSONL.
+        assert!(text.contains("\"lat_p50\":120"), "{text}");
+        assert!(text.contains("\"lat_p99\":900.5"));
+        assert!(text.contains("\"lat_p999\":1800"));
+        assert!(text.contains("\"stall_rob_full\":11"));
+        assert!(text.contains("\"stall_dram_wait\":55"));
+        assert!(text.contains("\"stall_idle\":88"));
+        let back = StoredCell::from_json(&text).unwrap();
+        assert_eq!(back, stored);
+        // Pre-v5 records carry none of the keys and still parse (perf
+        // stays None); a half-written block is rejected, not defaulted.
+        assert!(!eval_record().to_json().contains("lat_p"));
+        assert!(!eval_record().to_json().contains("stall_"));
+        let truncated = text.replace(",\"stall_idle\":88", "");
+        assert!(StoredCell::from_json(&truncated).is_err());
     }
 
     #[test]

@@ -295,8 +295,9 @@ impl CellSpec {
     pub fn hash_hex(&self) -> String {
         let mut h = StableHasher::new();
         // A format-version byte so future spec extensions re-key cleanly
-        // (v4: the stratified sampling policy joins the policy hash).
-        h.write_u32(4);
+        // (v5: records carry task-latency percentiles and stall
+        // attribution, so pre-v5 cached cells must recompute).
+        h.write_u32(5);
         h.write_str(self.bench.name());
         h.write_f64(self.scale.instr_factor);
         h.write_u64(self.scale.seed);

@@ -247,6 +247,7 @@ mod tests {
                     detailed_tasks: 1,
                     instructions: 10,
                     groups: None,
+                    perf: None,
                 }),
             },
             timing: CellTiming {

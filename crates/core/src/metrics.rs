@@ -68,6 +68,8 @@ mod tests {
             workers: 1,
             groups: vec![],
             parallel_epochs: Default::default(),
+            cycle_accounts: vec![],
+            task_latency: Default::default(),
         }
     }
 

@@ -49,6 +49,31 @@ const fn kind_classes() -> [u8; 11] {
 
 const KIND_CLASS: [u8; 11] = kind_classes();
 
+// Stall taxonomy indices for the per-core cycle accounting. Counters are
+// tick-denominated (1 tick = 1/issue_width cycles) so attribution inside
+// `step` is plain integer adds; conversion to cycles happens once per task
+// at readout.
+pub(crate) const STALL_ROB: usize = 0;
+pub(crate) const STALL_DEP: usize = 1;
+pub(crate) const STALL_L1: usize = 2;
+pub(crate) const STALL_L2: usize = 3;
+pub(crate) const STALL_DRAM: usize = 4;
+pub(crate) const STALL_MSHR: usize = 5;
+pub(crate) const STALL_CONTENTION: usize = 6;
+pub(crate) const NUM_STALLS: usize = 7;
+
+// Per-ROB-slot classes: which part of the machine the instruction occupying
+// a slot was waiting on. When the ROB window binds dispatch, the stall is
+// charged to the *blocking* slot's class — a window full behind a DRAM miss
+// is a DRAM stall, not a generic ROB stall.
+const SLOT_COMPUTE: u8 = 0;
+const SLOT_L1: u8 = 1;
+const SLOT_L2: u8 = 2;
+const SLOT_DRAM: u8 = 3;
+const SLOT_CONTENTION: u8 = 4;
+
+const SLOT_STALL: [usize; 5] = [STALL_ROB, STALL_L1, STALL_L2, STALL_DRAM, STALL_CONTENTION];
+
 /// Workload-dependent execution parameters of the current task, taken from
 /// its trace spec.
 #[derive(Debug, Clone, Copy)]
@@ -78,7 +103,14 @@ pub struct RobCore {
     // -- dynamic state --
     /// Commit cycle of instruction `i - rob_size`, indexed `i % rob_size`.
     commit_ring: Vec<u64>,
+    /// Slot class (`SLOT_*`) of the instruction in each `commit_ring` slot,
+    /// read when that slot blocks dispatch to attribute the ROB stall.
+    class_ring: Vec<u8>,
     ring_pos: usize,
+    /// Stalled dispatch ticks per `STALL_*` category since the last
+    /// [`RobCore::reset`]. Always on: maintained with plain adds on the
+    /// paths that already jump the dispatch clock, zero allocation.
+    stall_ticks: [u64; NUM_STALLS],
     /// Dispatch clock in ticks of `1/issue_width` cycles.
     dispatch_ticks: u64,
     /// Commit clock in ticks of `1/commit_width` cycles.
@@ -122,7 +154,9 @@ impl RobCore {
             lat_store: l.store as u64,
             lat_atomic_extra: l.atomic_extra as u64,
             commit_ring: vec![0; cfg.rob_size as usize],
+            class_ring: vec![SLOT_COMPUTE; cfg.rob_size as usize],
             ring_pos: 0,
+            stall_ticks: [0; NUM_STALLS],
             dispatch_ticks: 0,
             commit_ticks: 0,
             serial_until: 0,
@@ -168,6 +202,8 @@ impl RobCore {
     /// persist across tasks).
     pub fn reset(&mut self, start: u64) {
         self.commit_ring.fill(start);
+        self.class_ring.fill(SLOT_COMPUTE);
+        self.stall_ticks = [0; NUM_STALLS];
         self.ring_pos = 0;
         self.dispatch_ticks = start * self.issue_width;
         self.commit_ticks = start * self.commit_width;
@@ -202,6 +238,18 @@ impl RobCore {
     /// Commit cycle of the most recently executed instruction.
     pub fn last_commit(&self) -> u64 {
         self.last_commit
+    }
+
+    /// Stalled dispatch time per `STALL_*` category since the last
+    /// [`RobCore::reset`], converted to **global base-clock ticks**
+    /// (tick-exact accounting divided by the issue width once, then scaled
+    /// by the clock divider — the same units as task start/end times).
+    pub(crate) fn stall_global_ticks(&self) -> [u64; NUM_STALLS] {
+        let mut out = [0u64; NUM_STALLS];
+        for (o, &t) in out.iter_mut().zip(&self.stall_ticks) {
+            *o = Self::div_width(t, self.issue_width) * self.clock_divider;
+        }
+        out
     }
 
     /// Executes one trace instruction on core `core_id`; returns its commit
@@ -294,12 +342,26 @@ impl RobCore {
         code_rng: &mut Xoshiro256pp,
     ) -> (u64, bool) {
         // Dispatch constraints: issue width (tick += 1 below), ROB window,
-        // serialization.
+        // serialization. When a constraint jumps the clock, the jump is
+        // attributed: serialization to dependency-wait, the ROB window to
+        // the class of the blocking slot.
         let entry_ticks = self.dispatch_ticks;
         let rob_constraint = self.commit_ring[self.ring_pos];
-        let mut ticks = entry_ticks.max(rob_constraint * self.issue_width);
-        ticks = ticks.max(self.serial_until * self.issue_width);
+        let rob_ticks = rob_constraint * self.issue_width;
+        let serial_ticks = self.serial_until * self.issue_width;
+        let mut ticks = entry_ticks;
+        if rob_ticks > ticks || serial_ticks > ticks {
+            let bound = rob_ticks.max(serial_ticks);
+            let cat = if serial_ticks >= rob_ticks {
+                STALL_DEP
+            } else {
+                SLOT_STALL[self.class_ring[self.ring_pos] as usize]
+            };
+            self.stall_ticks[cat] += bound - ticks;
+            ticks = bound;
+        }
         let mut d = Self::div_width(ticks, self.issue_width);
+        let mut slot_class = SLOT_COMPUTE;
 
         // One classified dispatch off the kind column instead of three
         // separate matches (MSHR guard, execute, serialization): the class
@@ -320,7 +382,11 @@ impl RobCore {
                     if self.outstanding.len() >= self.mshrs {
                         let earliest = *self.outstanding.iter().min().expect("non-empty");
                         d = d.max(earliest);
-                        ticks = ticks.max(d * self.issue_width);
+                        let raised = d * self.issue_width;
+                        if raised > ticks {
+                            self.stall_ticks[STALL_MSHR] += raised - ticks;
+                            ticks = raised;
+                        }
                         self.outstanding.retain(|&c| c > d);
                     }
                 }
@@ -330,6 +396,15 @@ impl RobCore {
                 let write = kind == InstKind::Atomic;
                 let r = mem.access(core_id, addr, write, self.to_global(d));
                 let lat = self.to_local_latency(r.latency);
+                slot_class = if r.queue_delay > 0 {
+                    SLOT_CONTENTION
+                } else if r.dram {
+                    SLOT_DRAM
+                } else if r.l1_miss {
+                    SLOT_L2
+                } else {
+                    SLOT_L1
+                };
                 if r.l1_miss {
                     self.outstanding.push(d + lat);
                 }
@@ -381,8 +456,9 @@ impl RobCore {
         let commit_cycle = Self::div_width(self.commit_ticks, self.commit_width);
 
         // The slot we read as the i-ROB constraint is overwritten with this
-        // instruction's commit time for instruction i+ROB.
+        // instruction's commit time (and slot class) for instruction i+ROB.
         self.commit_ring[self.ring_pos] = commit_cycle;
+        self.class_ring[self.ring_pos] = slot_class;
         // Conditional wrap instead of `% rob_size`: the ROB size is not a
         // power of two (168 on the high-performance machine), so the
         // modulo would be a hardware divide on the hot path.

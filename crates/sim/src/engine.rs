@@ -44,11 +44,14 @@ use taskpoint_trace::{InstBlock, TraceSource, BLOCK_CAPACITY};
 use crate::burst::burst_duration;
 use crate::config::MachineConfig;
 use crate::core_model::{RobCore, TaskParams};
+use crate::core_model::{
+    NUM_STALLS, STALL_CONTENTION, STALL_DEP, STALL_DRAM, STALL_L1, STALL_L2, STALL_MSHR, STALL_ROB,
+};
 use crate::event::{Component, ComponentId, EventCtx, EventScheduler};
 use crate::hierarchy::MemorySystem;
 use crate::mode::{ExecMode, ModeController, TaskStart};
 use crate::noise::NoiseModel;
-use crate::report::{GroupStats, SimMode, SimResult, TaskReport};
+use crate::report::{CycleAccount, GroupStats, LatencyPercentiles, SimMode, SimResult, TaskReport};
 use crate::traces::{ProceduralTraces, TraceProvider};
 
 /// Domain-separation constant for per-task pipeline randomness (branch and
@@ -221,6 +224,26 @@ impl<'p> Simulation<'p> {
                 busy_ticks: 0,
             })
             .collect();
+        // Cycle-accounting buckets: one per configured group, or a single
+        // synthetic `all` group on homogeneous machines (where `groups`
+        // stays empty but the taxonomy is still wanted).
+        let cycle_accounts: Vec<CycleAccount> = if machine.core_groups.is_empty() {
+            vec![CycleAccount {
+                name: "all".to_string(),
+                cores: num_workers,
+                ..CycleAccount::default()
+            }]
+        } else {
+            machine
+                .core_groups
+                .iter()
+                .map(|g| CycleAccount {
+                    name: g.name.clone(),
+                    cores: g.cores,
+                    ..CycleAccount::default()
+                })
+                .collect()
+        };
         let mut engine = Engine {
             program,
             mem,
@@ -239,6 +262,8 @@ impl<'p> Simulation<'p> {
             stats: RunStats::default(),
             reports: Vec::new(),
             group_stats,
+            cycle_accounts,
+            latencies: Vec::new(),
             sink,
             completed: vec![false; program.num_instances()],
             parallel,
@@ -261,7 +286,9 @@ impl<'p> Simulation<'p> {
             "simulation stalled with {} tasks pending (scheduler lost tasks?)",
             engine.ready_set.pending()
         );
+        engine.finalize_cycle_accounts();
         engine.emit_final_counters();
+        let task_latency = engine.latency_percentiles();
 
         SimResult {
             total_cycles: engine.stats.max_end,
@@ -285,6 +312,8 @@ impl<'p> Simulation<'p> {
                 committed: engine.parallel.epochs_committed,
                 aborted: engine.parallel.epochs_aborted,
             },
+            cycle_accounts: engine.cycle_accounts,
+            task_latency,
         }
     }
 }
@@ -318,6 +347,12 @@ pub(crate) struct Engine<'p, S: Sink> {
     /// Per-group accumulators, in machine group order (empty for
     /// homogeneous machines).
     pub(crate) group_stats: Vec<GroupStats>,
+    /// Cycle-accounting buckets, in machine group order (one synthetic
+    /// `all` entry for homogeneous machines). Global base-clock ticks.
+    pub(crate) cycle_accounts: Vec<CycleAccount>,
+    /// Duration of every completed task, for exact latency percentiles
+    /// (one u64 per task — always on, unlike `reports`).
+    pub(crate) latencies: Vec<u64>,
     /// Telemetry receiver — [`NopSink`] unless the simulation was built
     /// with a recording [`Telemetry`] handle.
     pub(crate) sink: S,
@@ -388,6 +423,9 @@ impl<'p, S: Sink> Engine<'p, S> {
             gs.instructions += report.instructions;
             gs.busy_ticks += report.end - report.start;
         }
+        self.account_task(&report);
+        self.latencies.push(report.end - report.start);
+        self.sink.observe("task.latency", 0, report.end - report.start);
         self.running_count -= 1;
         self.completed[report.task.index()] = true;
         controller.on_task_complete(&report);
@@ -500,12 +538,76 @@ impl<'p, S: Sink> Engine<'p, S> {
             ready: self.scheduler.ready_count() as u64,
             running: self.running_count,
         });
+        self.sink.observe("sched.ready_depth", 0, self.scheduler.ready_count() as u64);
         // A fully fresh batch (no task mid-flight, no work left queued) is
         // a candidate epoch for the speculative parallel detail layer: all
         // running tasks start now, so their executions can be raced ahead
         // on host threads and validated for commit.
         if prev_running == 0 && self.running_count >= 2 && self.scheduler.ready_count() == 0 {
             self.maybe_parallel_epoch();
+        }
+    }
+
+    /// Folds one finished task into its group's [`CycleAccount`].
+    ///
+    /// Detailed tasks are attributed from the core's always-on stall
+    /// counters with a *clamped walk*: the noise model (and the one-cycle
+    /// duration floor) can scale a task's wall duration away from the
+    /// modeled pipeline time, so each stall category takes at most what
+    /// remains of the task's actual `end - start` budget — memory-side
+    /// categories first (they are the rarest and most meaningful), with
+    /// `issue` absorbing the remainder. The sum over categories therefore
+    /// equals the busy time *exactly*, which is what makes the
+    /// sums-to-total invariant on [`CycleAccount`] hold unconditionally.
+    fn account_task(&mut self, report: &TaskReport) {
+        let w = report.worker.0 as usize;
+        let busy = report.end - report.start;
+        let g = self.components[w].group as usize;
+        match report.mode {
+            SimMode::Fast => self.cycle_accounts[g].fast_fwd += busy,
+            SimMode::Detailed => {
+                let stalls: [u64; NUM_STALLS] = self.components[w].core.stall_global_ticks();
+                let acct = &mut self.cycle_accounts[g];
+                let mut remaining = busy;
+                let take = |cat: usize, remaining: &mut u64| -> u64 {
+                    let v = stalls[cat].min(*remaining);
+                    *remaining -= v;
+                    v
+                };
+                acct.dep_wait += take(STALL_DEP, &mut remaining);
+                acct.mshr_full += take(STALL_MSHR, &mut remaining);
+                acct.contention += take(STALL_CONTENTION, &mut remaining);
+                acct.dram_wait += take(STALL_DRAM, &mut remaining);
+                acct.l2_wait += take(STALL_L2, &mut remaining);
+                acct.l1_wait += take(STALL_L1, &mut remaining);
+                acct.rob_full += take(STALL_ROB, &mut remaining);
+                acct.issue += remaining;
+            }
+        }
+    }
+
+    /// Closes the books after the event loop: whatever part of
+    /// `total_cycles × cores` each group did not spend busy is idle time,
+    /// making every account sum exactly to the machine's capacity.
+    fn finalize_cycle_accounts(&mut self) {
+        let total = self.stats.max_end;
+        for acct in &mut self.cycle_accounts {
+            acct.idle = (total * acct.cores as u64).saturating_sub(acct.busy());
+        }
+    }
+
+    /// Exact task-latency percentiles over every completed task.
+    fn latency_percentiles(&self) -> LatencyPercentiles {
+        if self.latencies.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        let mut sorted: Vec<f64> = self.latencies.iter().map(|&d| d as f64).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        LatencyPercentiles {
+            count: sorted.len() as u64,
+            p50: taskpoint_stats::percentile::percentile_sorted(&sorted, 50.0),
+            p99: taskpoint_stats::percentile::percentile_sorted(&sorted, 99.0),
+            p999: taskpoint_stats::percentile::percentile_sorted(&sorted, 99.9),
         }
     }
 
@@ -534,6 +636,20 @@ impl<'p, S: Sink> Engine<'p, S> {
             self.sink.counter("group.busy_ticks", g as u32, gs.busy_ticks);
             self.sink.counter("group.instructions", g as u32, gs.instructions);
         }
+        for (g, acct) in self.cycle_accounts.iter().enumerate() {
+            let g = g as u32;
+            self.sink.counter("cycles.issue", g, acct.issue);
+            self.sink.counter("cycles.rob_full", g, acct.rob_full);
+            self.sink.counter("cycles.dep_wait", g, acct.dep_wait);
+            self.sink.counter("cycles.l1_wait", g, acct.l1_wait);
+            self.sink.counter("cycles.l2_wait", g, acct.l2_wait);
+            self.sink.counter("cycles.dram_wait", g, acct.dram_wait);
+            self.sink.counter("cycles.mshr_full", g, acct.mshr_full);
+            self.sink.counter("cycles.contention", g, acct.contention);
+            self.sink.counter("cycles.fast_fwd", g, acct.fast_fwd);
+            self.sink.counter("cycles.idle", g, acct.idle);
+        }
+        self.sink.observe_hist("mem.access_latency", 0, self.mem.access_latency_histogram());
     }
 }
 

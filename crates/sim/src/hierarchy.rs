@@ -26,6 +26,7 @@
 use crate::cache::{AccessOutcome, SetAssocCache};
 use crate::config::MachineConfig;
 use serde::{Deserialize, Serialize};
+use taskpoint_telemetry::Histogram;
 
 /// Result of one memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +37,9 @@ pub struct MemAccessResult {
     pub dram: bool,
     /// True if the access missed the first-level cache.
     pub l1_miss: bool,
+    /// Cycles of `latency` spent waiting in shared-level / DRAM service
+    /// queues (bandwidth contention); 0 for private-level hits.
+    pub queue_delay: u64,
 }
 
 /// A core-facing memory port: where the detailed pipeline sends its
@@ -257,6 +261,11 @@ pub struct MemorySystem {
     queue_delay_cycles: u64,
     /// Accesses that hit a non-empty service queue (paid any queue delay).
     contended_accesses: u64,
+    /// Always-on log₂ distribution of demand-access latencies (loads,
+    /// stores, atomics — everything through [`MemorySystem::access`]).
+    /// Speculation shards start empty and are merged back at commit, so
+    /// the distribution is identical at any `detail_threads` count.
+    access_latency: Histogram,
 }
 
 impl MemorySystem {
@@ -321,6 +330,7 @@ impl MemorySystem {
             prefetches: 0,
             queue_delay_cycles: 0,
             contended_accesses: 0,
+            access_latency: Histogram::new(),
         }
     }
 
@@ -364,6 +374,7 @@ impl MemorySystem {
         self.prefetches = 0;
         self.queue_delay_cycles = 0;
         self.contended_accesses = 0;
+        self.access_latency = Histogram::new();
     }
 
     /// Total capacity of the last shared level in lines (0 when none).
@@ -453,12 +464,14 @@ impl MemorySystem {
         }
 
         let mut dram = false;
+        let mut queued = 0u64;
         let latency = if let Some(lat) = hit_latency {
             lat
         } else {
             // 2.–3. Shared levels with bandwidth queueing, then DRAM.
             let (hit_level, queue_delay) = self.shared_lookup(line, now);
             dram = hit_level == u8::MAX;
+            queued = queue_delay;
             rec.lookup(line, now, hit_level, queue_delay);
             self.shared_latency_of(hit_level, queue_delay)
         };
@@ -502,7 +515,8 @@ impl MemorySystem {
             rec.snoop_read(line);
         }
 
-        MemAccessResult { latency, dram, l1_miss }
+        self.access_latency.record(latency);
+        MemAccessResult { latency, dram, l1_miss, queue_delay: queued }
     }
 
     /// Clone of everything except the private columns (those are filled in
@@ -524,6 +538,9 @@ impl MemorySystem {
             prefetches: self.prefetches,
             queue_delay_cycles: self.queue_delay_cycles,
             contended_accesses: self.contended_accesses,
+            // Forks accumulate only their own accesses; speculation shards
+            // merge back at commit, the replay fork never records.
+            access_latency: Histogram::new(),
         }
     }
 
@@ -583,6 +600,7 @@ impl MemorySystem {
             std::mem::swap(&mut caches[c], &mut shard.private[lvl][c]);
         }
         self.prefetch_last[c] = shard.prefetch_last[c];
+        self.access_latency.merge(&shard.access_latency);
     }
 
     /// Replays a recorded shared-fabric lookup against this fork; returns
@@ -639,6 +657,12 @@ impl MemorySystem {
     /// Number of accesses that paid a non-zero queue delay.
     pub fn contended_accesses(&self) -> u64 {
         self.contended_accesses
+    }
+
+    /// The log₂ latency distribution of all demand accesses performed so
+    /// far (see the field docs for speculation-shard merge semantics).
+    pub fn access_latency_histogram(&self) -> &Histogram {
+        &self.access_latency
     }
 
     /// Total DRAM line fetches.

@@ -63,7 +63,9 @@ pub use event::{Component, ComponentId, EventCtx, EventScheduler};
 pub use hierarchy::{LevelStats, MemPort, MemorySystem};
 pub use mode::{DetailedOnly, ExecMode, FixedIpc, ModeController, TaskStart};
 pub use noise::NoiseModel;
-pub use report::{GroupStats, ParallelEpochs, SimMode, SimResult, TaskReport};
+pub use report::{
+    CycleAccount, GroupStats, LatencyPercentiles, ParallelEpochs, SimMode, SimResult, TaskReport,
+};
 pub use taskpoint_telemetry as telemetry;
 pub use taskpoint_telemetry::{
     FidelityAction, NopSink, ProfileSpan, SimEvent, Sink, Telemetry, TelemetryReport,

@@ -222,6 +222,10 @@ struct SpecOutcome {
     finish_tick: u64,
     ops: Vec<TaggedOp>,
     mem: MemorySystem,
+    /// The post-task pipeline state, adopted at commit so the engine's
+    /// cycle accounting reads the same stall counters the sequential path
+    /// would have produced.
+    core: RobCore,
 }
 
 /// Executes one wave task to completion against its shard, mirroring the
@@ -269,7 +273,14 @@ fn speculate_one(mut unit: WaveUnit) -> SpecOutcome {
         mode: SimMode::Detailed,
         concurrency: unit.concurrency,
     };
-    SpecOutcome { worker: unit.worker, report, finish_tick: now, ops, mem: unit.mem }
+    SpecOutcome {
+        worker: unit.worker,
+        report,
+        finish_tick: now,
+        ops,
+        mem: unit.mem,
+        core: unit.core,
+    }
 }
 
 impl<S: Sink> Engine<'_, S> {
@@ -501,6 +512,7 @@ impl<S: Sink> Engine<'_, S> {
         for mut o in outcomes {
             self.mem.adopt_worker_state(o.worker, &mut o.mem);
             let comp: &mut CoreComponent = &mut self.components[o.worker as usize];
+            comp.core = o.core;
             let prev = comp
                 .running
                 .replace(Running::Committed { report: o.report, finish_tick: o.finish_tick });

@@ -92,6 +92,112 @@ impl GroupStats {
     }
 }
 
+/// Where one core group's time went, in global base-clock ticks summed
+/// over the group's cores.
+///
+/// The taxonomy is exhaustive and disjoint: the categories sum **exactly**
+/// to `total()` = `total_cycles × cores` (pinned by
+/// `tests/block_equivalence.rs`). Stall categories are attributed inside
+/// the detailed core model ([ROB occupancy
+/// analysis](crate::core_model::RobCore)) with cheap always-on counters;
+/// `issue` absorbs productive dispatch plus timing-noise remainder,
+/// `fast_fwd` is busy time spent in burst mode, and `idle` is the
+/// no-task-assigned remainder.
+///
+/// Homogeneous machines report one synthetic group named `all`;
+/// heterogeneous machines report one account per configured group.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleAccount {
+    /// Group name (`all` for homogeneous machines).
+    pub name: String,
+    /// Cores in the group.
+    pub cores: u32,
+    /// Ticks dispatching instructions (including noise-model remainder).
+    pub issue: u64,
+    /// ROB window full behind a compute instruction.
+    pub rob_full: u64,
+    /// Serialization: data dependences, branch mispredictions, fences.
+    pub dep_wait: u64,
+    /// Waiting on an L1 hit blocking the window.
+    pub l1_wait: u64,
+    /// Waiting on data from a deeper cache level (L1 missed, no DRAM).
+    pub l2_wait: u64,
+    /// Waiting on DRAM.
+    pub dram_wait: u64,
+    /// All MSHRs in flight — no new miss could issue.
+    pub mshr_full: u64,
+    /// Waiting behind bus/bank bandwidth (service-queue delay).
+    pub contention: u64,
+    /// Busy ticks spent fast-forwarding tasks in burst mode.
+    pub fast_fwd: u64,
+    /// Ticks with no task assigned.
+    pub idle: u64,
+}
+
+impl CycleAccount {
+    /// Ticks the group's cores were running tasks (everything but idle).
+    pub fn busy(&self) -> u64 {
+        self.issue
+            + self.rob_full
+            + self.dep_wait
+            + self.l1_wait
+            + self.l2_wait
+            + self.dram_wait
+            + self.mshr_full
+            + self.contention
+            + self.fast_fwd
+    }
+
+    /// Ticks spent stalled in detailed mode (busy minus issue/fast-forward).
+    pub fn stalled(&self) -> u64 {
+        self.rob_full
+            + self.dep_wait
+            + self.l1_wait
+            + self.l2_wait
+            + self.dram_wait
+            + self.mshr_full
+            + self.contention
+    }
+
+    /// Total accounted ticks — `busy() + idle`, which the engine pins to
+    /// `total_cycles × cores`.
+    pub fn total(&self) -> u64 {
+        self.busy() + self.idle
+    }
+
+    /// The categories as `(name, ticks)` pairs in canonical order, for
+    /// uniform rendering and export.
+    pub fn categories(&self) -> [(&'static str, u64); 10] {
+        [
+            ("issue", self.issue),
+            ("rob_full", self.rob_full),
+            ("dep_wait", self.dep_wait),
+            ("l1_wait", self.l1_wait),
+            ("l2_wait", self.l2_wait),
+            ("dram_wait", self.dram_wait),
+            ("mshr_full", self.mshr_full),
+            ("contention", self.contention),
+            ("fast_fwd", self.fast_fwd),
+            ("idle", self.idle),
+        ]
+    }
+}
+
+/// Task-latency percentiles over all completed task instances (global
+/// base-clock ticks), computed exactly from the per-task durations —
+/// always on, independent of report collection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    /// Number of completed task instances the percentiles cover.
+    pub count: u64,
+    /// Median task latency.
+    pub p50: f64,
+    /// 99th-percentile task latency.
+    pub p99: f64,
+    /// 99.9th-percentile task latency.
+    pub p999: f64,
+}
+
 /// Host-side accounting of the intra-run parallel detail layer
 /// ([`SimulationBuilder::detail_threads`](crate::SimulationBuilder::detail_threads)).
 ///
@@ -146,6 +252,11 @@ pub struct SimResult {
     /// Parallel detail-layer accounting (host-side execution metadata,
     /// excluded from result-identity comparisons like `wall_seconds`).
     pub parallel_epochs: ParallelEpochs,
+    /// Per-core-group cycle accounting (one synthetic `all` group for
+    /// homogeneous machines). Categories sum to `total_cycles × cores`.
+    pub cycle_accounts: Vec<CycleAccount>,
+    /// Task-latency percentiles over all completed task instances.
+    pub task_latency: LatencyPercentiles,
 }
 
 impl SimResult {
@@ -219,6 +330,8 @@ mod tests {
             workers: 1,
             groups: vec![],
             parallel_epochs: ParallelEpochs::default(),
+            cycle_accounts: vec![],
+            task_latency: LatencyPercentiles::default(),
         };
         assert!((res.detail_fraction() - 0.3).abs() < 1e-12);
         assert_eq!(res.total_instructions(), 100);

@@ -115,6 +115,23 @@ pub fn chrome_trace_json(report: &TelemetryReport) -> String {
         entries.push(e);
     }
 
+    // Histogram cells become counter ("ph":"C") tracks summarizing the
+    // distribution — count, sum and max render as stacked counter series
+    // in the viewer.
+    for h in &report.histograms {
+        let mut e = String::new();
+        let _ = write!(
+            e,
+            "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":0,\"name\":{},\
+             \"args\":{{\"count\":{},\"sum\":{},\"max\":{}}}}}",
+            json_string(&format!("hist.{}[{}]", h.name, h.index)),
+            h.histogram.count(),
+            h.histogram.sum(),
+            h.histogram.max().unwrap_or(0),
+        );
+        entries.push(e);
+    }
+
     let mut out = String::from("{\"traceEvents\":[\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str(e);
@@ -206,6 +223,16 @@ mod tests {
                 },
             ],
             counters: vec![Counter { name: "scheduler.pops".into(), index: 0, value: 12 }],
+            histograms: vec![crate::histogram::HistogramCell {
+                name: "task.latency".into(),
+                index: 0,
+                histogram: {
+                    let mut h = crate::histogram::Histogram::new();
+                    h.record(7);
+                    h.record(9);
+                    h
+                },
+            }],
             profile: vec![],
         };
         let json = chrome_trace_json(&report);
@@ -215,6 +242,8 @@ mod tests {
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("fidelity.converged"));
         assert!(json.contains("\"scheduler.pops[0]\":12"));
+        assert!(json.contains("\"name\":\"hist.task.latency[0]\""));
+        assert!(json.contains("\"count\":2,\"sum\":16,\"max\":9"));
     }
 
     #[test]
@@ -236,6 +265,7 @@ mod tests {
                 concurrency: 1,
             }],
             counters: vec![],
+            histograms: vec![],
             profile: vec![],
         };
         assert!(chrome_trace_json(&report).contains("\"dur\":1"));

@@ -156,8 +156,7 @@ mod tests {
                     concurrency: 1,
                 },
             ],
-            counters: vec![],
-            profile: vec![],
+            ..Default::default()
         };
         let chart = render_gantt(&report, 20);
         assert!(chart.contains("w0"), "{chart}");

@@ -49,6 +49,8 @@
 pub mod chrome;
 pub mod event;
 pub mod gantt;
+pub mod histogram;
+pub mod prometheus;
 pub mod report;
 pub mod sink;
 pub mod tptrace;
@@ -56,6 +58,8 @@ pub mod tptrace;
 pub use chrome::chrome_trace_json;
 pub use event::{FidelityAction, ProfileSpan, SimEvent};
 pub use gantt::render_gantt;
+pub use histogram::{Histogram, HistogramCell, HISTOGRAM_BUCKETS};
+pub use prometheus::text_exposition;
 pub use report::{Counter, TelemetryReport};
 pub use sink::{NopSink, Sink, Telemetry};
 pub use tptrace::{tptrace_timeline, TimelineError};

@@ -1,0 +1,126 @@
+//! Prometheus-style text exposition of a [`TelemetryReport`].
+//!
+//! Renders the counter snapshot and histogram cells in the [OpenMetrics /
+//! Prometheus text format]: counters become `# TYPE ... counter` families
+//! with an `index` label per layer, histograms become the standard
+//! cumulative `_bucket{le="..."}` / `_sum` / `_count` triple. Everything
+//! is derived from the deterministic channels only, so for a
+//! deterministic simulation the exposition is byte-identical across runs
+//! (same contract as [`TelemetryReport::canonical_text`]).
+//!
+//! Metric names are prefixed `taskpoint_` and sanitized to
+//! `[a-zA-Z0-9_]` (dots become underscores), so `mem.private_hits[1]`
+//! exports as `taskpoint_mem_private_hits{index="1"}`.
+//!
+//! [OpenMetrics / Prometheus text format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use crate::histogram::Histogram;
+use crate::report::TelemetryReport;
+
+/// Renders `report`'s counters and histograms in the Prometheus text
+/// exposition format. Ends with a trailing newline; empty reports render
+/// to an empty string.
+pub fn text_exposition(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    // Counters are already sorted by (name, index); group consecutive
+    // cells of the same name into one metric family.
+    let mut last_family: Option<&str> = None;
+    for c in &report.counters {
+        if last_family != Some(c.name.as_str()) {
+            let _ = writeln!(out, "# TYPE {} counter", metric_name(&c.name));
+            last_family = Some(c.name.as_str());
+        }
+        let _ = writeln!(out, "{}{{index=\"{}\"}} {}", metric_name(&c.name), c.index, c.value);
+    }
+    let mut last_family: Option<&str> = None;
+    for cell in &report.histograms {
+        if last_family != Some(cell.name.as_str()) {
+            let _ = writeln!(out, "# TYPE {} histogram", metric_name(&cell.name));
+            last_family = Some(cell.name.as_str());
+        }
+        write_histogram(&mut out, &cell.name, cell.index, &cell.histogram);
+    }
+    out
+}
+
+fn write_histogram(out: &mut String, name: &str, index: u32, h: &Histogram) {
+    let name = metric_name(name);
+    let mut cumulative = 0u64;
+    for (bucket, count) in h.nonzero_buckets() {
+        cumulative += count;
+        let le = Histogram::bucket_bounds(bucket).1;
+        let _ = writeln!(out, "{name}_bucket{{index=\"{index}\",le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{index=\"{index}\",le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum{{index=\"{index}\"}} {}", h.sum());
+    let _ = writeln!(out, "{name}_count{{index=\"{index}\"}} {}", h.count());
+}
+
+/// Sanitizes a dotted counter name into a Prometheus metric name.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("taskpoint_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::HistogramCell;
+    use crate::report::Counter;
+
+    #[test]
+    fn counters_export_with_index_labels() {
+        let report = TelemetryReport {
+            counters: vec![
+                Counter { name: "mem.private_hits".into(), index: 0, value: 7 },
+                Counter { name: "mem.private_hits".into(), index: 1, value: 9 },
+                Counter { name: "scheduler.pops".into(), index: 0, value: 3 },
+            ],
+            ..Default::default()
+        };
+        let text = text_exposition(&report);
+        assert!(text.contains("# TYPE taskpoint_mem_private_hits counter\n"));
+        assert!(text.contains("taskpoint_mem_private_hits{index=\"0\"} 7\n"));
+        assert!(text.contains("taskpoint_mem_private_hits{index=\"1\"} 9\n"));
+        assert!(text.contains("taskpoint_scheduler_pops{index=\"0\"} 3\n"));
+        // One TYPE line per family, not per cell.
+        assert_eq!(text.matches("# TYPE taskpoint_mem_private_hits").count(), 1);
+    }
+
+    #[test]
+    fn histograms_export_cumulative_buckets() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(2);
+        h.record(40);
+        let report = TelemetryReport {
+            histograms: vec![HistogramCell { name: "task.latency".into(), index: 0, histogram: h }],
+            ..Default::default()
+        };
+        let text = text_exposition(&report);
+        assert!(text.contains("# TYPE taskpoint_task_latency histogram\n"));
+        assert!(text.contains("taskpoint_task_latency_bucket{index=\"0\",le=\"1\"} 1\n"));
+        assert!(text.contains("taskpoint_task_latency_bucket{index=\"0\",le=\"3\"} 3\n"));
+        assert!(text.contains("taskpoint_task_latency_bucket{index=\"0\",le=\"63\"} 4\n"));
+        assert!(text.contains("taskpoint_task_latency_bucket{index=\"0\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("taskpoint_task_latency_sum{index=\"0\"} 45\n"));
+        assert!(text.contains("taskpoint_task_latency_count{index=\"0\"} 4\n"));
+    }
+
+    #[test]
+    fn empty_report_exports_nothing() {
+        assert_eq!(text_exposition(&TelemetryReport::default()), "");
+    }
+}

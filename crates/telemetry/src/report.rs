@@ -3,6 +3,7 @@
 //! determinism guarantee.
 
 use crate::event::{ProfileSpan, SimEvent};
+use crate::histogram::{Histogram, HistogramCell};
 
 /// One counter cell in a [`TelemetryReport`] snapshot.
 ///
@@ -31,6 +32,8 @@ pub struct TelemetryReport {
     pub events: Vec<SimEvent>,
     /// Counter snapshot, sorted by `(name, index)`.
     pub counters: Vec<Counter>,
+    /// Histogram cells, sorted by `(name, index)` like `counters`.
+    pub histograms: Vec<HistogramCell>,
     /// Wall-clock profiling spans (non-deterministic channel).
     pub profile: Vec<ProfileSpan>,
 }
@@ -46,11 +49,17 @@ impl TelemetryReport {
         self.counters.iter().filter(|c| c.name == name).map(|c| c.value).sum()
     }
 
+    /// Looks up a histogram cell by name and layer index.
+    pub fn histogram(&self, name: &str, index: u32) -> Option<&Histogram> {
+        self.histograms.iter().find(|h| h.name == name && h.index == index).map(|h| &h.histogram)
+    }
+
     /// The canonical text form of the deterministic channels: one line per
     /// event in emission order, then one `counter name[index]=value` line
-    /// per counter in sorted order. Two runs of the same deterministic
-    /// simulation produce byte-identical canonical text; profiling spans
-    /// are deliberately excluded.
+    /// per counter in sorted order, then one `hist name[index] ...` line
+    /// per histogram cell in sorted order. Two runs of the same
+    /// deterministic simulation produce byte-identical canonical text;
+    /// profiling spans are deliberately excluded.
     pub fn canonical_text(&self) -> String {
         let mut out = String::new();
         for event in &self.events {
@@ -60,7 +69,18 @@ impl TelemetryReport {
         for c in &self.counters {
             out.push_str(&format!("counter {}[{}]={}\n", c.name, c.index, c.value));
         }
+        for h in &self.histograms {
+            h.histogram.write_canonical(&h.name, h.index, &mut out);
+            out.push('\n');
+        }
         out
+    }
+
+    /// Renders the counters and histograms in the Prometheus text
+    /// exposition format. See
+    /// [`text_exposition`](crate::prometheus::text_exposition).
+    pub fn text_exposition(&self) -> String {
+        crate::prometheus::text_exposition(self)
     }
 
     /// FNV-1a 64-bit checksum of [`canonical_text`](Self::canonical_text)
@@ -116,6 +136,15 @@ mod tests {
                 Counter { name: "mem.private_hits".into(), index: 0, value: 7 },
                 Counter { name: "scheduler.pops".into(), index: 2, value: 3 },
             ],
+            histograms: vec![HistogramCell {
+                name: "task.latency".into(),
+                index: 0,
+                histogram: {
+                    let mut h = Histogram::new();
+                    h.record(10);
+                    h
+                },
+            }],
             profile: vec![ProfileSpan {
                 name: "cell.computed".into(),
                 key: "abc".into(),
@@ -133,7 +162,19 @@ mod tests {
         assert!(text.contains("finish tick=10 start=0"));
         assert!(text.contains("counter mem.private_hits[0]=7\n"));
         assert!(text.contains("counter scheduler.pops[2]=3\n"));
+        assert!(text.contains("hist task.latency[0] count=1 sum=10 min=10 max=10 buckets=4:1\n"));
         assert!(!text.contains("cell.computed"));
+    }
+
+    #[test]
+    fn histogram_lookup_and_checksum_sensitivity() {
+        let a = sample();
+        assert_eq!(a.histogram("task.latency", 0).map(Histogram::count), Some(1));
+        assert!(a.histogram("task.latency", 1).is_none());
+        // Histogram contents are part of the determinism contract.
+        let mut b = sample();
+        b.histograms[0].histogram.record(11);
+        assert_ne!(a.fnv64(), b.fnv64());
     }
 
     #[test]

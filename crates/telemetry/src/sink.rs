@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use crate::event::{ProfileSpan, SimEvent};
+use crate::histogram::{Histogram, HistogramCell};
 use crate::report::{Counter, TelemetryReport};
 
 /// Receiver of telemetry emissions.
@@ -37,6 +38,16 @@ pub trait Sink {
     /// `scheduler.pops[core]`, `mem.private_hits[level]`). Scalar counters
     /// use index 0.
     fn counter(&self, name: &'static str, index: u32, delta: u64);
+
+    /// Records one sample into the distribution `name[index]` (e.g.
+    /// `task.latency[group]`, `sched.ready_depth[0]`).
+    fn observe(&self, name: &'static str, index: u32, value: u64);
+
+    /// Merges a pre-accumulated histogram into the distribution
+    /// `name[index]` — the bulk form of [`observe`](Sink::observe) for
+    /// always-on accumulators that are drained at end of run (e.g. the
+    /// memory system's access-latency histogram).
+    fn observe_hist(&self, name: &'static str, index: u32, hist: &Histogram);
 
     /// Records a wall-clock span on the profiling channel.
     fn profile(&self, span: ProfileSpan);
@@ -59,6 +70,12 @@ impl Sink for NopSink {
     fn counter(&self, _name: &'static str, _index: u32, _delta: u64) {}
 
     #[inline(always)]
+    fn observe(&self, _name: &'static str, _index: u32, _value: u64) {}
+
+    #[inline(always)]
+    fn observe_hist(&self, _name: &'static str, _index: u32, _hist: &Histogram) {}
+
+    #[inline(always)]
     fn profile(&self, _span: ProfileSpan) {}
 }
 
@@ -69,6 +86,8 @@ struct Recorder {
     /// `(name, index) -> value`. A `BTreeMap` so snapshots list counters
     /// in a deterministic order regardless of emission order.
     counters: BTreeMap<(&'static str, u32), u64>,
+    /// `(name, index) -> distribution`, ordered like `counters`.
+    histograms: BTreeMap<(&'static str, u32), Histogram>,
     profile: Vec<ProfileSpan>,
 }
 
@@ -79,6 +98,14 @@ impl Recorder {
             counters: std::mem::take(&mut self.counters)
                 .into_iter()
                 .map(|((name, index), value)| Counter { name: name.to_string(), index, value })
+                .collect(),
+            histograms: std::mem::take(&mut self.histograms)
+                .into_iter()
+                .map(|((name, index), histogram)| HistogramCell {
+                    name: name.to_string(),
+                    index,
+                    histogram,
+                })
                 .collect(),
             profile: std::mem::take(&mut self.profile),
         }
@@ -139,6 +166,28 @@ impl Sink for Telemetry {
         }
     }
 
+    fn observe(&self, name: &'static str, index: u32, value: u64) {
+        if let Some(r) = &self.inner {
+            r.lock()
+                .expect("telemetry recorder poisoned")
+                .histograms
+                .entry((name, index))
+                .or_default()
+                .record(value);
+        }
+    }
+
+    fn observe_hist(&self, name: &'static str, index: u32, hist: &Histogram) {
+        if let Some(r) = &self.inner {
+            r.lock()
+                .expect("telemetry recorder poisoned")
+                .histograms
+                .entry((name, index))
+                .or_default()
+                .merge(hist);
+        }
+    }
+
     fn profile(&self, span: ProfileSpan) {
         if let Some(r) = &self.inner {
             r.lock().expect("telemetry recorder poisoned").profile.push(span);
@@ -156,6 +205,7 @@ mod tests {
         assert!(!t.is_recording());
         t.event(SimEvent::QueueDepth { tick: 0, ready: 0, running: 0 });
         t.counter("x", 0, 1);
+        t.observe("y", 0, 5);
         assert!(t.take_report().is_none());
     }
 
@@ -180,5 +230,27 @@ mod tests {
         assert!(!NopSink.enabled());
         NopSink.event(SimEvent::QueueDepth { tick: 0, ready: 0, running: 0 });
         NopSink.counter("x", 0, 1);
+        NopSink.observe("y", 0, 2);
+        NopSink.observe_hist("z", 0, &Histogram::new());
+    }
+
+    #[test]
+    fn observations_accumulate_into_shared_histograms() {
+        let t = Telemetry::recording();
+        let u = t.clone();
+        t.observe("task.latency", 0, 8);
+        u.observe("task.latency", 0, 9);
+        let mut bulk = Histogram::new();
+        bulk.record(100);
+        bulk.record(200);
+        t.observe_hist("task.latency", 0, &bulk);
+        t.observe("task.latency", 1, 1);
+        let report = t.take_report().unwrap();
+        assert_eq!(report.histograms.len(), 2);
+        let h = report.histogram("task.latency", 0).unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 8 + 9 + 100 + 200);
+        assert_eq!(report.histogram("task.latency", 1).unwrap().count(), 1);
+        assert!(report.histogram("task.latency", 2).is_none());
     }
 }

@@ -207,8 +207,7 @@ mod tests {
                 finish(0, 10, 0, 0, 0),
                 finish(10, 20, 0, 1, 0),
             ],
-            counters: vec![],
-            profile: vec![],
+            ..Default::default()
         };
         let text = tptrace_timeline(&report).unwrap();
         let e0 = text.find("E:0:0").unwrap();
@@ -226,8 +225,7 @@ mod tests {
                 finish(0, 5, 1, 0, 0),
                 finish(0, 5, 2, 1, 3),
             ],
-            counters: vec![],
-            profile: vec![],
+            ..Default::default()
         };
         let text = tptrace_timeline(&report).unwrap();
         assert!(text.contains("T:0:a_b_c"));

@@ -338,6 +338,69 @@ fn telemetry_does_not_perturb_golden_results() {
     }
 }
 
+/// The always-on cycle accounting is observation, not perturbation: on
+/// every golden cell the per-group `CycleAccount` taxonomy sums exactly
+/// to total core ticks (busy + idle = total_cycles × cores), while the
+/// golden cycle counts themselves stay untouched (asserted against the
+/// same pre-refactor grid as `simulation_results_match_pre_refactor_goldens`).
+#[test]
+fn cycle_accounting_sums_to_total_on_golden_cells() {
+    let machines =
+        [MachineConfig::tiny_test(), MachineConfig::low_power(), MachineConfig::high_performance()];
+    // Golden cycle counts from the pre-refactor grid above (one cell per
+    // benchmark × machine at both worker counts), plus a heterogeneous
+    // machine where accounting must split per group.
+    #[rustfmt::skip]
+    let goldens: [(Benchmark, usize, u32, u64); 6] = [
+        (Benchmark::Spmv,      0, 1, 2_141_380),
+        (Benchmark::Spmv,      2, 4,   138_804),
+        (Benchmark::Histogram, 1, 1, 3_436_373),
+        (Benchmark::Histogram, 2, 4,   924_852),
+        (Benchmark::Freqmine,  0, 4,   921_717),
+        (Benchmark::Freqmine,  1, 1, 1_353_827),
+    ];
+    let scale = ScaleConfig::quick();
+    for (bench, machine_idx, workers, cycles) in goldens {
+        let program = bench.generate(&scale);
+        let machine = &machines[machine_idx];
+        let r = run_detailed(&program, machine, workers, 256);
+        let what = format!("{bench}/{}/{workers}t", machine.name);
+        assert_eq!(r.total_cycles, cycles, "{what}: golden cycles moved");
+        assert!(!r.cycle_accounts.is_empty(), "{what}: accounting always on");
+        let mut cores = 0u32;
+        for acct in &r.cycle_accounts {
+            assert_eq!(
+                acct.total(),
+                r.total_cycles * acct.cores as u64,
+                "{what}[{}]: taxonomy must sum to busy+idle ticks",
+                acct.name
+            );
+            assert_eq!(acct.busy(), acct.total() - acct.idle, "{what}[{}]: busy", acct.name);
+            cores += acct.cores;
+        }
+        assert_eq!(cores, workers, "{what}: account groups cover every core");
+        // Percentiles are always on too: every detailed task contributed.
+        assert_eq!(r.task_latency.count, r.detailed_tasks + r.fast_tasks, "{what}: latency count");
+        assert!(r.task_latency.p50 <= r.task_latency.p99, "{what}: p50<=p99");
+        assert!(r.task_latency.p99 <= r.task_latency.p999, "{what}: p99<=p999");
+    }
+    // Heterogeneous: one account per core group, same invariant.
+    let program = Benchmark::Cholesky.generate(&scale);
+    let machine = MachineConfig::big_little(2, 2);
+    let r = run_detailed(&program, &machine, 4, 256);
+    assert_eq!(r.cycle_accounts.len(), 2, "one account per hetero group");
+    assert_eq!(r.cycle_accounts[0].name, "big");
+    assert_eq!(r.cycle_accounts[1].name, "little");
+    for acct in &r.cycle_accounts {
+        assert_eq!(
+            acct.total(),
+            r.total_cycles * acct.cores as u64,
+            "hetero[{}]: taxonomy must sum to busy+idle ticks",
+            acct.name
+        );
+    }
+}
+
 /// A simulation driven by recorded traces (binary `encode` format through
 /// `RecordedTraces`) reproduces the procedural run bit for bit.
 #[test]
